@@ -1,0 +1,128 @@
+// Command fisql-chat is the interactive Assistant (the CLI equivalent of
+// the paper's Figure 4 conversation): ask questions, read the four outputs
+// (result, reformulation, explanation, SQL), and refine with feedback.
+//
+// Usage:
+//
+//	fisql-chat -corpus aep
+//	fisql-chat -corpus spider -db concert_singer
+//
+// In-chat commands:
+//
+//	:db <name>         switch database
+//	:dbs               list databases
+//	:fb <text>         give feedback on the last query
+//	:hl <substring>    highlight a segment of the SQL for the next :fb
+//	:sql               show the current SQL
+//	:quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"fisql"
+)
+
+func main() {
+	log.SetFlags(0)
+	corpus := flag.String("corpus", "aep", "corpus: aep or spider")
+	db := flag.String("db", "", "database to start on (default: first)")
+	flag.Parse()
+
+	var sys *fisql.System
+	var err error
+	switch *corpus {
+	case "aep":
+		sys, err = fisql.NewExperiencePlatformSystem()
+	case "spider":
+		sys, err = fisql.NewSpiderSystem()
+	default:
+		log.Fatalf("unknown corpus %q", *corpus)
+	}
+	if err != nil {
+		log.Fatalf("build corpus: %v", err)
+	}
+	dbs := sys.Databases()
+	cur := dbs[0]
+	if *db != "" {
+		cur = *db
+	}
+
+	ctx := context.Background()
+	sess := sys.Session(cur, fisql.Options{Routing: true, Highlights: true})
+	fmt.Printf("FISQL assistant — corpus %s, database %s\n", *corpus, cur)
+	fmt.Println("Ask a question, or :help for commands.")
+
+	var pendingHL *fisql.Highlight
+	sc := bufio.NewScanner(os.Stdin)
+	for prompt(); sc.Scan(); prompt() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":help":
+			fmt.Println(":db <name> | :dbs | :fb <text> | :hl <substring> | :sql | :quit")
+		case line == ":dbs":
+			for _, d := range dbs {
+				fmt.Println(" ", d)
+			}
+		case line == ":sql":
+			fmt.Println(sess.SQL())
+		case strings.HasPrefix(line, ":db "):
+			cur = strings.TrimSpace(strings.TrimPrefix(line, ":db "))
+			sess = sys.Session(cur, fisql.Options{Routing: true, Highlights: true})
+			fmt.Printf("switched to %s\n", cur)
+		case strings.HasPrefix(line, ":hl "):
+			sub := strings.TrimSpace(strings.TrimPrefix(line, ":hl "))
+			idx := strings.Index(sess.SQL(), sub)
+			if idx < 0 {
+				fmt.Println("segment not found in current SQL")
+				continue
+			}
+			pendingHL = &fisql.Highlight{Start: idx, End: idx + len(sub), Text: sub}
+			fmt.Printf("highlighted: %q\n", sub)
+		case strings.HasPrefix(line, ":fb "):
+			text := strings.TrimSpace(strings.TrimPrefix(line, ":fb "))
+			ans, err := sess.Feedback(ctx, text, pendingHL)
+			pendingHL = nil
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			show(ans)
+		default:
+			ans, err := sess.Ask(ctx, line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			show(ans)
+		}
+	}
+}
+
+func prompt() { fmt.Print("> ") }
+
+func show(ans *fisql.Answer) {
+	fmt.Println(ans.Reformulation)
+	fmt.Println("Here is how we got the results:")
+	for _, step := range ans.Explanation {
+		fmt.Println("  -", step)
+	}
+	if ans.ExecErr != nil {
+		fmt.Println("We found nothing for your query. (", ans.ExecErr, ")")
+	} else if ans.Result == nil || len(ans.Result.Rows) == 0 {
+		fmt.Println("We found nothing for your query.")
+	} else {
+		fmt.Println(ans.Result.Format())
+	}
+	fmt.Println("[Show source] ", ans.SQL)
+}

@@ -1,0 +1,154 @@
+// Command fisql-datagen materializes the synthetic benchmarks to disk: the
+// schema DDL, the table data as INSERT scripts, and the examples (with
+// their trap annotations) as JSON lines — useful for inspecting the corpora
+// or loading them into another engine.
+//
+// Usage:
+//
+//	fisql-datagen -corpus spider -out ./data/spider
+//	fisql-datagen -corpus aep -out ./data/aep -examples-only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/dataset/spider"
+	"fisql/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	corpus := flag.String("corpus", "spider", "corpus: spider or aep")
+	out := flag.String("out", "", "output directory (required)")
+	examplesOnly := flag.Bool("examples-only", false, "write only examples.jsonl")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+
+	var ds *dataset.Dataset
+	var err error
+	switch *corpus {
+	case "spider":
+		ds, err = spider.Build()
+	case "aep":
+		ds, err = aep.Build()
+	default:
+		log.Fatalf("unknown corpus %q", *corpus)
+	}
+	if err != nil {
+		log.Fatalf("build corpus: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeExamples(ds, filepath.Join(*out, "examples.jsonl")); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeDemos(ds, filepath.Join(*out, "demonstrations.jsonl")); err != nil {
+		log.Fatal(err)
+	}
+	if !*examplesOnly {
+		for name, db := range ds.DBs {
+			if err := writeDB(ds, name, db, *out); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	log.Printf("wrote %d examples across %d databases to %s", len(ds.Examples), len(ds.DBs), *out)
+}
+
+// exampleJSON is the serialized example record.
+type exampleJSON struct {
+	ID          string   `json:"id"`
+	DB          string   `json:"db"`
+	Question    string   `json:"question"`
+	Gold        string   `json:"gold_sql"`
+	WrongSQL    string   `json:"wrong_sql,omitempty"`
+	TrapKinds   []string `json:"trap_kinds,omitempty"`
+	Annotatable bool     `json:"annotatable,omitempty"`
+}
+
+func writeExamples(ds *dataset.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, e := range ds.Examples {
+		rec := exampleJSON{
+			ID: e.ID, DB: e.DB, Question: e.Question, Gold: e.Gold,
+			Annotatable: e.Annotatable,
+		}
+		if len(e.Traps) > 0 {
+			rec.WrongSQL = e.WrongSQL()
+			for _, t := range e.Traps {
+				rec.TrapKinds = append(rec.TrapKinds, t.Kind.String())
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDemos(ds *dataset.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, d := range ds.Demos {
+		if err := enc.Encode(map[string]string{"db": d.DB, "question": d.Question, "sql": d.SQL}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDB(ds *dataset.Dataset, name string, db *engine.Database, dir string) error {
+	var sb strings.Builder
+	sb.WriteString(ds.Schemas[name].DDL())
+	for _, t := range db.Tables() {
+		for _, row := range t.Rows {
+			sb.WriteString("INSERT INTO ")
+			sb.WriteString(t.Name)
+			sb.WriteString(" VALUES (")
+			for i, v := range row {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(sqlLiteral(v))
+			}
+			sb.WriteString(");\n")
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("%s.sql", name)), []byte(sb.String()), 0o644)
+}
+
+func sqlLiteral(v engine.Value) string {
+	switch v.T {
+	case engine.TypeNull:
+		return "NULL"
+	case engine.TypeText:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case engine.TypeBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,50 @@
+// Command fisql-server exposes the Assistant over a REST API — the headless
+// equivalent of the AEP Assistant panel (paper Figure 3). Sessions are
+// created per client and hold the ask/feedback state.
+//
+//	POST /v1/sessions                 {"corpus":"aep","db":"..."}    -> {"session_id":...}
+//	POST /v1/sessions/{id}/ask        {"question":"..."}             -> answer
+//	POST /v1/sessions/{id}/feedback   {"text":"...","highlight":"…"} -> answer
+//	GET  /v1/sessions/{id}/history
+//	GET  /v1/databases?corpus=aep
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"fisql"
+	"fisql/internal/server"
+)
+
+// sysAdapter adapts the public System to the server's SessionFactory,
+// pinning the full FISQL configuration (routing + highlights).
+type sysAdapter struct{ *fisql.System }
+
+func (a sysAdapter) NewSession(db string) *fisql.Session {
+	return a.Session(db, fisql.Options{Routing: true, Highlights: true})
+}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	flag.Parse()
+
+	sp, err := fisql.NewSpiderSystem()
+	if err != nil {
+		log.Fatalf("build spider corpus: %v", err)
+	}
+	ae, err := fisql.NewExperiencePlatformSystem()
+	if err != nil {
+		log.Fatalf("build experience-platform corpus: %v", err)
+	}
+	srv := server.New(map[string]server.SessionFactory{
+		"spider": sysAdapter{sp},
+		"aep":    sysAdapter{ae},
+	})
+	log.Printf("fisql-server listening on http://%s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package fisql_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fisql"
+)
+
+// The paper's Figure 4 interaction: the Assistant misreads the implicit
+// year, one line of feedback fixes it.
+func Example() {
+	sys, err := fisql.NewExperiencePlatformSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sess := sys.Session("experience_platform", fisql.Options{Routing: true})
+
+	ans, _ := sess.Ask(ctx, "How many audiences were created in January?")
+	fmt.Println(ans.SQL)
+
+	ans, _ = sess.Feedback(ctx, "we are in 2024", nil)
+	fmt.Println(ans.SQL)
+	// Output:
+	// SELECT COUNT(*) AS createdCount FROM hkg_dim_segment WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'
+	// SELECT COUNT(*) AS createdCount FROM hkg_dim_segment WHERE createdTime >= '2024-01-01' AND createdTime < '2024-02-01'
+}
+
+// Comparing correction methods on the same error: FISQL edits the query in
+// place; the rewrite baseline regenerates from a merged question.
+func ExampleSystem_FISQL() {
+	sys, err := fisql.NewExperiencePlatformSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	method := sys.FISQL(fisql.Options{Routing: true})
+	fixed, _ := method.Correct(ctx, "experience_platform",
+		"How many audiences were created in January?",
+		"SELECT COUNT(*) AS createdCount FROM hkg_dim_segment WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+		fisql.Feedback{Text: "we are in 2024"})
+	fmt.Println(fixed)
+	// Output:
+	// SELECT COUNT(*) AS createdCount FROM hkg_dim_segment WHERE createdTime >= '2024-01-01' AND createdTime < '2024-02-01'
+}
+
+// Every answer carries the paper's four Assistant outputs.
+func ExampleAssistant() {
+	sys, err := fisql.NewSpiderSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := sys.Assistant()
+	ans := a.Answer("concert_singer", "SELECT COUNT(*) FROM singer WHERE age > 40")
+	fmt.Println(ans.Reformulation)
+	for _, step := range ans.Explanation {
+		fmt.Println("-", step)
+	}
+	// Output:
+	// Finds the count of rows from singer where the age is greater than 40.
+	// - First, consider all the singer.
+	// - Then, keep only those where the age is greater than 40.
+	// - Finally, return the count of rows.
+}

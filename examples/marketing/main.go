@@ -1,0 +1,104 @@
+// Marketing analytics walkthrough on the closed-domain Experience-Platform
+// corpus: closed-domain jargon ("audiences" are segments), a wrong-value
+// filter fixed by grounding the feedback with a highlight (the paper's
+// Figure 9 mechanism), and a schema tour.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"fisql"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := fisql.NewExperiencePlatformSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Println("== Schema (what the Assistant sees) ==")
+	fmt.Println(sys.DS.Schemas["experience_platform"].PromptText())
+
+	sess := sys.Session("experience_platform", fisql.Options{Routing: true, Highlights: true})
+
+	// 1. Closed-domain jargon: "audiences" means segments, but the naive
+	// reading lands on the datasets table.
+	fmt.Println("== Jargon misunderstanding ==")
+	q := "How many audiences in the org do we have?"
+	ans := must(sess.Ask(ctx, q))
+	fmt.Printf("Q: %s\n  SQL: %s\n", q, ans.SQL)
+	ans = must(sess.Feedback(ctx, "I meant the audiences, not the datasets", nil))
+	fmt.Printf("after feedback:\n  SQL: %s\n  rows: %d\n\n", ans.SQL, rowCount(ans))
+
+	// 2. Grounded feedback: a query that filters on two columns makes
+	// value-only feedback ("the value should be X") ambiguous until the
+	// user highlights the clause they mean. The corpus plants one such
+	// example; find it and walk through the Figure 9 interaction.
+	fmt.Println("== Highlight-grounded correction ==")
+	for _, e := range sys.DS.Examples {
+		if len(e.Traps) != 1 || !e.Traps[0].GroundingHard {
+			continue
+		}
+		trap := e.Traps[0]
+		sess2 := sys.Session("experience_platform", fisql.Options{Routing: true, Highlights: true})
+		ans = must(sess2.Ask(ctx, e.Question))
+		fmt.Printf("Q: %s\n  SQL: %s\n", e.Question, ans.SQL)
+
+		fbText := fmt.Sprintf("the value should be '%s'", trap.New)
+		// Without a highlight the edit lands on the wrong comparison.
+		ungrounded := must(sess2.Feedback(ctx, fbText, nil))
+		fmt.Printf("value-only feedback edits the wrong clause:\n  SQL: %s\n", ungrounded.SQL)
+
+		// Highlight the comparison on the trap's column and retry.
+		sess3 := sys.Session("experience_platform", fisql.Options{Routing: true, Highlights: true})
+		must(sess3.Ask(ctx, e.Question))
+		if idx := strings.Index(sess3.SQL(), trap.Column); idx >= 0 {
+			seg := sess3.SQL()[idx:]
+			hl := &fisql.Highlight{Start: idx, End: idx + len(seg), Text: seg}
+			grounded := must(sess3.Feedback(ctx, fbText, hl))
+			fmt.Printf("with the clause highlighted:\n  SQL: %s\n\n", grounded.SQL)
+		}
+		break
+	}
+
+	// 3. Regular analytics over activations.
+	fmt.Println("== Activation analytics ==")
+	sess3 := sys.Session("experience_platform", fisql.Options{Routing: true})
+	for _, q := range []string{
+		"For each channel, count the number of campaigns.",
+		"What is the maximum delivered count of the activations?",
+	} {
+		ans := must(sess3.Ask(ctx, q))
+		fmt.Printf("Q: %s\n  SQL: %s\n", q, ans.SQL)
+		if ans.Result != nil && len(ans.Result.Rows) > 0 {
+			fmt.Printf("  first row: %v\n", firstRow(ans))
+		}
+	}
+}
+
+func must(ans *fisql.Answer, err error) *fisql.Answer {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ans
+}
+
+func rowCount(ans *fisql.Answer) int {
+	if ans.Result == nil {
+		return 0
+	}
+	return len(ans.Result.Rows)
+}
+
+func firstRow(ans *fisql.Answer) []string {
+	var out []string
+	for _, v := range ans.Result.Rows[0] {
+		out = append(out, v.String())
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+// Incremental query building — the paper's §5 first future-work direction:
+// "this tool could be adapted to allow users to build up complex SQL
+// queries by asking simple questions first." Start from a trivial listing
+// and layer filters, projections, ordering and limits one feedback line at
+// a time, watching the SQL grow.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fisql"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := fisql.NewSpiderSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	// Dynamic demonstration selection (§5's second direction) is on, so
+	// each refinement round carries the most relevant repair examples.
+	sess := sys.Session("soccer", fisql.Options{Routing: true, DynamicDemos: 2})
+
+	ans, err := sess.Ask(ctx, "List the player name of all players.")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("start:     ", ans.SQL)
+
+	steps := []string{
+		"also show the goals scored",
+		"only count those with goals scored greater than 10",
+		"sort the results by goals scored in descending order",
+		"only show the top 3",
+	}
+	for _, step := range steps {
+		ans, err = sess.Feedback(ctx, step, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("+ %q\n  -> %s\n", step, ans.SQL)
+	}
+
+	fmt.Println("\nfinal result:")
+	if ans.Result != nil {
+		fmt.Print(ans.Result.Format())
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: build the Experience-Platform system, ask the paper's
+// Figure 4 question, watch the Assistant misread the implicit year, then
+// fix it with one line of feedback.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fisql"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := fisql.NewExperiencePlatformSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sess := sys.Session("experience_platform", fisql.Options{Routing: true})
+
+	ans, err := sess.Ask(ctx, "How many audiences were created in January?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q: How many audiences were created in January?")
+	show(ans)
+
+	fmt.Println("\nUser feedback: we are in 2024")
+	ans, err = sess.Feedback(ctx, "we are in 2024", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(ans)
+}
+
+func show(ans *fisql.Answer) {
+	fmt.Println(" ", ans.Reformulation)
+	for _, step := range ans.Explanation {
+		fmt.Println("   -", step)
+	}
+	fmt.Println("  SQL:", ans.SQL)
+	if ans.Result != nil {
+		fmt.Print(indent(ans.Result.Format()))
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

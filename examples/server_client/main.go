@@ -1,0 +1,103 @@
+// REST round-trip: start the fisql HTTP server in-process, then drive the
+// ask→feedback loop through the JSON API exactly as a web front-end would.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"fisql"
+	"fisql/internal/server"
+)
+
+type sysAdapter struct{ *fisql.System }
+
+func (a sysAdapter) NewSession(db string) *fisql.Session {
+	return a.Session(db, fisql.Options{Routing: true, Highlights: true})
+}
+
+func main() {
+	log.SetFlags(0)
+	ae, err := fisql.NewExperiencePlatformSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(map[string]server.SessionFactory{
+		"aep": sysAdapter{ae},
+	}))
+	defer srv.Close()
+	fmt.Println("server at", srv.URL)
+
+	// Create a session.
+	var created struct {
+		SessionID string `json:"session_id"`
+		DB        string `json:"db"`
+	}
+	post(srv.URL+"/v1/sessions", map[string]string{"corpus": "aep"}, &created)
+	fmt.Printf("session %s on %s\n\n", created.SessionID, created.DB)
+
+	// Ask the Figure 4 question.
+	var ans struct {
+		SQL           string     `json:"sql"`
+		Reformulation string     `json:"reformulation"`
+		Rows          [][]string `json:"rows"`
+	}
+	base := srv.URL + "/v1/sessions/" + created.SessionID
+	post(base+"/ask", map[string]string{"question": "How many audiences were created in January?"}, &ans)
+	fmt.Println("ask:", ans.Reformulation)
+	fmt.Println("  sql:", ans.SQL)
+
+	// Send feedback.
+	post(base+"/feedback", map[string]string{"text": "we are in 2024"}, &ans)
+	fmt.Println("feedback applied:", ans.Reformulation)
+	fmt.Println("  sql:", ans.SQL)
+	if len(ans.Rows) > 0 {
+		fmt.Println("  result:", ans.Rows[0])
+	}
+
+	// Read back the transcript.
+	var hist struct {
+		Turns []struct {
+			Role string `json:"role"`
+			Text string `json:"text"`
+		} `json:"turns"`
+	}
+	get(base+"/history", &hist)
+	fmt.Println("\ntranscript:")
+	for _, t := range hist.Turns {
+		fmt.Printf("  [%s] %s\n", t.Role, t.Text)
+	}
+}
+
+func post(url string, body any, out any) {
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("http %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatalf("bad response %q: %v", data, err)
+	}
+}

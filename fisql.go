@@ -1,0 +1,153 @@
+// Package fisql is the public API of the FISQL reproduction: an interactive
+// framework that refines SQL generation through natural-language feedback
+// and highlights, layered on an LLM-based NL2SQL assistant.
+//
+// The package wires together the building blocks under internal/ and
+// exposes them through aliases, so downstream users program against one
+// import path:
+//
+//	sys, _ := fisql.NewSpiderSystem()
+//	sess := sys.Session("concert_singer", fisql.Options{Routing: true})
+//	ans, _ := sess.Ask(ctx, "How many singers are there?")
+//	ans, _ = sess.Feedback(ctx, "we are in 2024", nil)
+//
+// Two benchmark systems ship ready-made: the SPIDER-like open-domain corpus
+// and the Experience-Platform closed-domain corpus, both served by a
+// deterministic simulated LLM (see DESIGN.md for the substitution
+// rationale). Plugging a real OpenAI-compatible client behind the Client
+// interface swaps the simulation out without touching the pipeline.
+package fisql
+
+import (
+	"fisql/internal/assistant"
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/dataset/spider"
+	"fisql/internal/engine"
+	"fisql/internal/eval"
+	"fisql/internal/feedback"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+)
+
+// Re-exported building blocks. The aliases keep one import path for users
+// while the implementations live in internal packages.
+type (
+	// Client is the chat-completion interface the pipeline calls.
+	Client = llm.Client
+	// Sim is the deterministic simulated model.
+	Sim = llm.Sim
+	// Dataset is a benchmark corpus: schemas, databases, examples, demos.
+	Dataset = dataset.Dataset
+	// Example is one benchmark item.
+	Example = dataset.Example
+	// Assistant produces the four user-facing outputs of the paper's
+	// Figure 4.
+	Assistant = assistant.Assistant
+	// Answer is the Assistant's response.
+	Answer = assistant.Answer
+	// Session is an interactive ask/feedback conversation.
+	Session = core.Session
+	// Corrector is a feedback-incorporation method.
+	Corrector = core.Corrector
+	// FISQL is the routed feedback pipeline (the paper's contribution).
+	FISQL = core.FISQL
+	// QueryRewrite is the rewrite-and-regenerate baseline.
+	QueryRewrite = core.QueryRewrite
+	// Feedback is one round of user feedback.
+	Feedback = feedback.Feedback
+	// Highlight grounds feedback to a span of the SQL text.
+	Highlight = feedback.Highlight
+	// Result is an executed query's result set.
+	Result = engine.Result
+	// Accuracy is a correct/total tally.
+	Accuracy = eval.Accuracy
+	// CorrectionResult is a method's multi-round correction outcome.
+	CorrectionResult = eval.CorrectionResult
+)
+
+// System bundles a corpus with a model client and retrieval store.
+type System struct {
+	DS     *Dataset
+	Client Client
+	Store  *rag.Store
+	// K is the number of retrieved demonstrations per prompt.
+	K int
+}
+
+// Options configures a session's correction method.
+type Options struct {
+	// Routing enables feedback-type identification (on in FISQL, off in
+	// the -Routing ablation).
+	Routing bool
+	// Highlights forwards user highlight spans to the model.
+	Highlights bool
+	// DynamicDemos, when positive, selects that many routed repair
+	// demonstrations by similarity to the feedback instead of the fixed
+	// per-operation set (the paper's §5 routing extension).
+	DynamicDemos int
+}
+
+// NewSpiderSystem builds the SPIDER-like benchmark served by the simulated
+// model.
+func NewSpiderSystem() (*System, error) {
+	ds, err := spider.Build()
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(ds, llm.NewSim(ds)), nil
+}
+
+// NewExperiencePlatformSystem builds the closed-domain Experience-Platform
+// benchmark served by the simulated model.
+func NewExperiencePlatformSystem() (*System, error) {
+	ds, err := aep.Build()
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(ds, llm.NewSim(ds)), nil
+}
+
+// NewSystem assembles a system from a corpus and any Client (use a real API
+// client in production, llm.NewSim for the offline benchmarks).
+func NewSystem(ds *Dataset, client Client) *System {
+	return &System{DS: ds, Client: client, Store: rag.NewStore(ds.Demos), K: 8}
+}
+
+// Assistant returns the retrieval-augmented assistant over this system.
+func (s *System) Assistant() *Assistant {
+	return &assistant.Assistant{Client: s.Client, DS: s.DS, Store: s.Store, K: s.K}
+}
+
+// FISQL returns the feedback-incorporation pipeline with the given options.
+func (s *System) FISQL(opt Options) *FISQL {
+	return &core.FISQL{Client: s.Client, DS: s.DS, Store: s.Store, K: s.K,
+		Routing: opt.Routing, Highlights: opt.Highlights, DynamicDemos: opt.DynamicDemos}
+}
+
+// QueryRewrite returns the rewrite baseline.
+func (s *System) QueryRewrite() *QueryRewrite {
+	return &core.QueryRewrite{Client: s.Client, DS: s.DS, Store: s.Store, K: s.K}
+}
+
+// Session opens an interactive conversation against one database. The
+// default method is full FISQL (routing on, highlights on).
+func (s *System) Session(db string, opt Options) *Session {
+	return core.NewSession(s.Assistant(), s.FISQL(opt), db)
+}
+
+// Databases lists the corpus's database names in a stable order.
+func (s *System) Databases() []string {
+	out := make([]string, 0, len(s.DS.Schemas))
+	for name := range s.DS.Schemas {
+		out = append(out, name)
+	}
+	// Map order is random; sort for a stable CLI experience.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

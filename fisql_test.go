@@ -1,0 +1,94 @@
+package fisql
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce sync.Once
+	apiSys  *System
+	apiErr  error
+)
+
+func aepSystem(t *testing.T) *System {
+	t.Helper()
+	apiOnce.Do(func() { apiSys, apiErr = NewExperiencePlatformSystem() })
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiSys
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	sys := aepSystem(t)
+	ctx := context.Background()
+	sess := sys.Session("experience_platform", Options{Routing: true})
+
+	ans, err := sess.Ask(ctx, "How many audiences were created in January?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.SQL, "2023") {
+		t.Fatalf("year trap should fire: %q", ans.SQL)
+	}
+	ans, err = sess.Feedback(ctx, "we are in 2024", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.SQL, "2024-01-01") {
+		t.Errorf("feedback not applied: %q", ans.SQL)
+	}
+	if ans.Result == nil || ans.ExecErr != nil {
+		t.Errorf("result missing: %+v", ans)
+	}
+}
+
+func TestDatabasesSorted(t *testing.T) {
+	sys := aepSystem(t)
+	dbs := sys.Databases()
+	if len(dbs) != 1 || dbs[0] != "experience_platform" {
+		t.Errorf("databases: %v", dbs)
+	}
+	sp, err := NewSpiderSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spDBs := sp.Databases()
+	if len(spDBs) != 20 {
+		t.Fatalf("spider databases: %d", len(spDBs))
+	}
+	for i := 1; i < len(spDBs); i++ {
+		if spDBs[i] < spDBs[i-1] {
+			t.Fatal("databases not sorted")
+		}
+	}
+}
+
+func TestMethodConstructors(t *testing.T) {
+	sys := aepSystem(t)
+	if sys.FISQL(Options{Routing: true}).Name() != "FISQL" {
+		t.Error("FISQL constructor")
+	}
+	if sys.FISQL(Options{}).Name() != "FISQL (- Routing)" {
+		t.Error("no-routing constructor")
+	}
+	if sys.QueryRewrite().Name() != "Query Rewrite" {
+		t.Error("query-rewrite constructor")
+	}
+	if sys.Assistant() == nil {
+		t.Error("assistant constructor")
+	}
+}
+
+func TestCorpusShapes(t *testing.T) {
+	sys := aepSystem(t)
+	if len(sys.DS.Examples) != 200 {
+		t.Errorf("AEP examples: %d", len(sys.DS.Examples))
+	}
+	if sys.Store.Len() == 0 {
+		t.Error("empty demonstration store")
+	}
+}

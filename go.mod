@@ -1,0 +1,3 @@
+module fisql
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package assistant implements the AEP-Assistant surface of the paper
+// (§3.2): for a user question it produces the four outputs of Figure 4 —
+// the execution result, a reformulation showing the model's understanding,
+// a step-by-step natural-language explanation, and the SQL itself
+// ("Show Source").
+package assistant
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"fisql/internal/dataset"
+	"fisql/internal/engine"
+	"fisql/internal/llm"
+	"fisql/internal/prompt"
+	"fisql/internal/rag"
+	"fisql/internal/sqlast"
+	"fisql/internal/sqlparse"
+)
+
+// Assistant wires the NL2SQL model, the retrieval store and the execution
+// engine together.
+type Assistant struct {
+	Client llm.Client
+	DS     *dataset.Dataset
+	Store  *rag.Store
+	// K is the number of retrieved demonstrations (0 disables retrieval,
+	// yielding the zero-shot prompt of Figure 1).
+	K int
+}
+
+// Answer is the Assistant's response to one question.
+type Answer struct {
+	SQL           string
+	Result        *engine.Result
+	Reformulation string
+	Explanation   []string
+	// Spans maps the displayed SQL's byte ranges onto clauses, enabling a
+	// front-end to implement highlight selection (paper Figure 9). Empty
+	// when the SQL did not parse.
+	Spans []sqlast.Span
+	// ExecErr is non-nil when the generated SQL failed to run; Result is
+	// nil in that case (the UI shows "We found nothing for your query").
+	ExecErr error
+}
+
+// Ask runs the full pipeline for a question against one database.
+func (a *Assistant) Ask(ctx context.Context, db, question string) (*Answer, error) {
+	sql, err := a.GenerateSQL(ctx, db, question)
+	if err != nil {
+		return nil, err
+	}
+	return a.Answer(db, sql), nil
+}
+
+// GenerateSQL produces SQL for the question (retrieval-augmented when K>0).
+func (a *Assistant) GenerateSQL(ctx context.Context, db, question string) (string, error) {
+	s, ok := a.DS.Schemas[db]
+	if !ok {
+		return "", fmt.Errorf("unknown database %q", db)
+	}
+	var demos []prompt.Demo
+	if a.K > 0 && a.Store != nil {
+		for _, hit := range a.Store.Search(question, db, a.K) {
+			demos = append(demos, prompt.Demo{Question: hit.Demo.Question, SQL: hit.Demo.SQL})
+		}
+	}
+	resp, err := a.Client.Complete(ctx, llm.Request{Prompt: prompt.NL2SQL(s, demos, question)})
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp.Text), nil
+}
+
+// Answer executes the SQL and assembles the four user-facing outputs.
+func (a *Assistant) Answer(db, sql string) *Answer {
+	ans := &Answer{SQL: sql}
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		ans.ExecErr = err
+		return ans
+	}
+	ans.Reformulation = Reformulate(sel)
+	ans.Explanation = Explain(sel)
+	// Re-print to guarantee the spans index into the exact displayed text.
+	printed, spans := sqlast.PrintWithSpans(sel)
+	if printed == sql {
+		ans.Spans = spans
+	}
+	ex := engine.NewExecutor(a.DS.DBs[db])
+	res, err := ex.Select(sel)
+	if err != nil {
+		ans.ExecErr = err
+		return ans
+	}
+	ans.Result = res
+	return ans
+}
+
+// ----------------------------------------------------------------------------
+// Reformulation and explanation (Figure 4's (b) and (c) outputs)
+
+// Reformulate renders the Assistant's understanding of the query as one
+// sentence ("Finds the count of segments created in January 2023.").
+func Reformulate(sel *sqlast.SelectStmt) string {
+	var what []string
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			what = append(what, "all columns")
+		case it.TableStar != "":
+			what = append(what, "all columns of "+it.TableStar)
+		default:
+			what = append(what, describeExpr(it.Expr))
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("Finds ")
+	sb.WriteString(strings.Join(what, " and "))
+	if sel.From != nil && sel.From.First.Name != "" {
+		sb.WriteString(" from ")
+		sb.WriteString(humanize(sel.From.First.Name))
+	}
+	if sel.Where != nil {
+		sb.WriteString(" where ")
+		sb.WriteString(describeCond(sel.Where))
+	}
+	sb.WriteString(".")
+	return sb.String()
+}
+
+// Explain renders the step-by-step procedure description of Figure 4.
+func Explain(sel *sqlast.SelectStmt) []string {
+	var steps []string
+	if sel.From != nil && sel.From.First.Name != "" {
+		steps = append(steps, fmt.Sprintf("First, consider all the %s.", humanize(sel.From.First.Name)))
+		for _, j := range sel.From.Joins {
+			if j.Source.Name != "" {
+				steps = append(steps, fmt.Sprintf("Then, match them with their %s.", humanize(j.Source.Name)))
+			}
+		}
+	}
+	if sel.Where != nil {
+		steps = append(steps, fmt.Sprintf("Then, keep only those where %s.", describeCond(sel.Where)))
+	}
+	if len(sel.GroupBy) > 0 {
+		var keys []string
+		for _, g := range sel.GroupBy {
+			keys = append(keys, describeExpr(g))
+		}
+		steps = append(steps, fmt.Sprintf("Then, group them by %s.", strings.Join(keys, ", ")))
+	}
+	if sel.Having != nil {
+		steps = append(steps, fmt.Sprintf("Then, keep only groups where %s.", describeCond(sel.Having)))
+	}
+	if len(sel.OrderBy) > 0 {
+		var keys []string
+		for _, o := range sel.OrderBy {
+			dir := "ascending"
+			if o.Desc {
+				dir = "descending"
+			}
+			keys = append(keys, fmt.Sprintf("%s (%s)", describeExpr(o.Expr), dir))
+		}
+		steps = append(steps, fmt.Sprintf("Then, sort the results by %s.", strings.Join(keys, ", ")))
+	}
+	final := "Finally, return "
+	var what []string
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			what = append(what, "every column")
+		case it.TableStar != "":
+			what = append(what, "every column of "+it.TableStar)
+		default:
+			what = append(what, describeExpr(it.Expr))
+		}
+	}
+	steps = append(steps, final+strings.Join(what, " and ")+".")
+	if sel.Limit != nil {
+		steps = append(steps, fmt.Sprintf("Only the first %s rows are returned.", sqlast.PrintExpr(sel.Limit)))
+	}
+	return steps
+}
+
+var aggPhrases = map[string]string{
+	"COUNT": "the count of", "SUM": "the total", "AVG": "the average",
+	"MIN": "the minimum", "MAX": "the maximum",
+}
+
+func describeExpr(e sqlast.Expr) string {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		return "the " + humanize(x.Column)
+	case *sqlast.FuncCall:
+		p, ok := aggPhrases[x.Name]
+		if !ok {
+			return sqlast.PrintExpr(e)
+		}
+		if x.Star {
+			return p + " rows"
+		}
+		if len(x.Args) == 1 {
+			return p + " " + strings.TrimPrefix(describeExpr(x.Args[0]), "the ")
+		}
+		return sqlast.PrintExpr(e)
+	case *sqlast.Literal:
+		return sqlast.PrintExpr(e)
+	default:
+		return sqlast.PrintExpr(e)
+	}
+}
+
+var cmpWords = map[sqlast.BinaryOp]string{
+	sqlast.OpEq: "is", sqlast.OpNeq: "is not", sqlast.OpLt: "is less than",
+	sqlast.OpLte: "is at most", sqlast.OpGt: "is greater than",
+	sqlast.OpGte: "is at least",
+}
+
+func describeCond(e sqlast.Expr) string {
+	switch x := e.(type) {
+	case *sqlast.Binary:
+		switch x.Op {
+		case sqlast.OpAnd:
+			return describeCond(x.L) + " and " + describeCond(x.R)
+		case sqlast.OpOr:
+			return describeCond(x.L) + " or " + describeCond(x.R)
+		default:
+			if w, ok := cmpWords[x.Op]; ok {
+				return describeExpr(x.L) + " " + w + " " + describeExpr(x.R)
+			}
+		}
+	case *sqlast.InExpr:
+		if x.Not {
+			return describeExpr(x.X) + " is not one of the listed values"
+		}
+		return describeExpr(x.X) + " is one of the listed values"
+	case *sqlast.BetweenExpr:
+		return fmt.Sprintf("%s is between %s and %s", describeExpr(x.X), describeExpr(x.Lo), describeExpr(x.Hi))
+	case *sqlast.LikeExpr:
+		return describeExpr(x.X) + " matches " + describeExpr(x.Pattern)
+	case *sqlast.IsNullExpr:
+		if x.Not {
+			return describeExpr(x.X) + " is present"
+		}
+		return describeExpr(x.X) + " is missing"
+	}
+	return sqlast.PrintExpr(e)
+}
+
+// humanize renders an identifier as words.
+func humanize(ident string) string {
+	return strings.ReplaceAll(ident, "_", " ")
+}

@@ -1,0 +1,168 @@
+package assistant
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fisql/internal/dataset/spider"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+	"fisql/internal/sqlparse"
+)
+
+func TestReformulate(t *testing.T) {
+	tests := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT COUNT(*) FROM singer", "Finds the count of rows from singer."},
+		{"SELECT name FROM singer WHERE age > 20",
+			"Finds the name from singer where the age is greater than 20."},
+		{"SELECT name, age FROM singer",
+			"Finds the name and the age from singer."},
+		{"SELECT * FROM singer", "Finds all columns from singer."},
+		{"SELECT AVG(age) FROM singer", "Finds the average age from singer."},
+	}
+	for _, tc := range tests {
+		s, err := sqlparse.ParseSelect(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Reformulate(s); got != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.sql, got, tc.want)
+		}
+	}
+}
+
+func TestExplainStepsFigure4Shape(t *testing.T) {
+	s, err := sqlparse.ParseSelect(
+		"SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := Explain(s)
+	if len(steps) != 3 {
+		t.Fatalf("steps: %v", steps)
+	}
+	if !strings.HasPrefix(steps[0], "First, consider all the hkg dim segment") {
+		t.Errorf("step 1: %q", steps[0])
+	}
+	if !strings.Contains(steps[1], "keep only those where") ||
+		!strings.Contains(steps[1], "'2023-01-01'") {
+		t.Errorf("step 2: %q", steps[1])
+	}
+	if !strings.HasPrefix(steps[2], "Finally, return the count of rows") {
+		t.Errorf("step 3: %q", steps[2])
+	}
+}
+
+func TestExplainCoversAllClauses(t *testing.T) {
+	s, err := sqlparse.ParseSelect(
+		"SELECT country, COUNT(*) FROM singer JOIN concert ON singer.id = concert.singer_id " +
+			"WHERE age > 20 GROUP BY country HAVING COUNT(*) > 1 ORDER BY country ASC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(Explain(s), " | ")
+	for _, want := range []string{
+		"consider all the singer",
+		"match them with their concert",
+		"keep only those where",
+		"group them by",
+		"keep only groups where",
+		"sort the results by",
+		"Finally, return",
+		"first 5 rows",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAskEndToEnd(t *testing.T) {
+	ds, err := spider.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Assistant{
+		Client: llm.NewSim(ds),
+		DS:     ds,
+		Store:  rag.NewStore(ds.Demos),
+		K:      8,
+	}
+	e := ds.Examples[0]
+	ans, err := a.Ask(context.Background(), e.DB, e.Question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.SQL == "" || ans.Reformulation == "" || len(ans.Explanation) == 0 {
+		t.Errorf("incomplete answer: %+v", ans)
+	}
+	if ans.ExecErr != nil {
+		t.Errorf("execution failed: %v", ans.ExecErr)
+	}
+	if ans.Result == nil {
+		t.Error("missing result")
+	}
+}
+
+func TestAskUnknownDatabase(t *testing.T) {
+	ds, err := spider.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Assistant{Client: llm.NewSim(ds), DS: ds}
+	if _, err := a.Ask(context.Background(), "nope", "q?"); err == nil {
+		t.Error("unknown db should error")
+	}
+}
+
+func TestAnswerWithBadSQL(t *testing.T) {
+	ds, err := spider.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Assistant{Client: llm.NewSim(ds), DS: ds}
+	ans := a.Answer("concert_singer", "THIS IS NOT SQL")
+	if ans.ExecErr == nil {
+		t.Error("bad SQL should surface an execution error")
+	}
+	ans = a.Answer("concert_singer", "SELECT missing_column FROM singer")
+	if ans.ExecErr == nil {
+		t.Error("unknown column should surface an execution error")
+	}
+	if ans.Reformulation == "" {
+		t.Error("reformulation should still be produced for parseable SQL")
+	}
+}
+
+func TestAnswerSpans(t *testing.T) {
+	ds, err := spider.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Assistant{Client: llm.NewSim(ds), DS: ds}
+	sql := "SELECT name FROM singer WHERE age > 20 ORDER BY name ASC"
+	ans := a.Answer("concert_singer", sql)
+	if len(ans.Spans) == 0 {
+		t.Fatal("no spans")
+	}
+	found := map[string]string{}
+	for _, sp := range ans.Spans {
+		found[sp.Clause.String()] = sql[sp.Start:sp.End]
+	}
+	if found["WHERE"] != "WHERE age > 20" {
+		t.Errorf("WHERE span: %q", found["WHERE"])
+	}
+	if found["ORDER BY"] != "ORDER BY name ASC" {
+		t.Errorf("ORDER BY span: %q", found["ORDER BY"])
+	}
+	// Non-canonical SQL (spans would not index the displayed text) yields
+	// no spans rather than wrong ones.
+	ans = a.Answer("concert_singer", "select   name from singer")
+	if len(ans.Spans) != 0 {
+		t.Errorf("non-canonical SQL should not carry spans: %+v", ans.Spans)
+	}
+}

@@ -1,0 +1,151 @@
+// Package core implements the paper's primary contribution: the FISQL
+// feedback-incorporation pipeline (§3.3) — feedback-type identification
+// (routing), operation-specific demonstration retrieval, and feedback-aware
+// SQL regeneration — together with its ablation FISQL(-Routing) and the
+// Query-Rewrite baseline of §4.1.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"fisql/internal/dataset"
+	"fisql/internal/feedback"
+	"fisql/internal/llm"
+	"fisql/internal/prompt"
+	"fisql/internal/rag"
+)
+
+// Corrector turns (question, previous SQL, feedback) into a corrected SQL
+// query. Implementations: FISQL (with and without routing) and
+// QueryRewrite.
+type Corrector interface {
+	Name() string
+	Correct(ctx context.Context, db, question, prevSQL string, fb feedback.Feedback) (string, error)
+}
+
+// FISQL is the feedback-infused correction pipeline.
+type FISQL struct {
+	Client llm.Client
+	DS     *dataset.Dataset
+	Store  *rag.Store
+	// K is the number of RAG demonstrations carried into the repair
+	// prompt (as in standard generation).
+	K int
+	// Routing enables the feedback-type identification step; disabling it
+	// yields the paper's FISQL(-Routing) ablation.
+	Routing bool
+	// Highlights passes user highlight spans into the prompt (Table 3).
+	Highlights bool
+	// DynamicDemos selects the routed repair demonstrations by similarity
+	// to the live feedback instead of the fixed per-op set — the paper's
+	// §5 routing extension. Ignored when Routing is off.
+	DynamicDemos int
+}
+
+// Name identifies the method as the paper's tables do.
+func (f *FISQL) Name() string {
+	switch {
+	case !f.Routing:
+		return "FISQL (- Routing)"
+	case f.Highlights:
+		return "FISQL (+ Highlighting)"
+	default:
+		return "FISQL"
+	}
+}
+
+// Route runs the feedback-type identification prompt and returns the
+// predicted operation type.
+func (f *FISQL) Route(ctx context.Context, fbText string) (dataset.Op, error) {
+	resp, err := f.Client.Complete(ctx, llm.Request{Prompt: prompt.Routing(fbText)})
+	if err != nil {
+		return 0, err
+	}
+	op, ok := dataset.ParseOp(strings.TrimSpace(resp.Text))
+	if !ok {
+		return 0, fmt.Errorf("router returned unparseable type %q", resp.Text)
+	}
+	return op, nil
+}
+
+// Correct regenerates the SQL taking the feedback into account (Figure 6
+// prompt, with Figure 5 routed demonstrations when Routing is on).
+func (f *FISQL) Correct(ctx context.Context, db, question, prevSQL string, fb feedback.Feedback) (string, error) {
+	s, ok := f.DS.Schemas[db]
+	if !ok {
+		return "", fmt.Errorf("unknown database %q", db)
+	}
+	var routedOp *dataset.Op
+	var routedDemos []feedback.RepairDemo
+	if f.Routing {
+		op, err := f.Route(ctx, fb.Text)
+		if err != nil {
+			return "", err
+		}
+		routedOp = &op
+		routedDemos = feedback.SelectDemos(op, fb.Text, prevSQL, f.DynamicDemos)
+	}
+	var hl *feedback.Highlight
+	if f.Highlights {
+		hl = fb.Highlight
+	}
+	var demos []prompt.Demo
+	if f.K > 0 && f.Store != nil {
+		for _, hit := range f.Store.Search(question, db, f.K) {
+			demos = append(demos, prompt.Demo{Question: hit.Demo.Question, SQL: hit.Demo.SQL})
+		}
+	}
+	p := prompt.Repair(s, demos, routedDemos, routedOp, question, prevSQL, fb.Text, hl)
+	resp, err := f.Client.Complete(ctx, llm.Request{Prompt: p})
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp.Text), nil
+}
+
+// QueryRewrite is the baseline that paraphrases question+feedback into a
+// new standalone question and regenerates from scratch.
+type QueryRewrite struct {
+	Client llm.Client
+	DS     *dataset.Dataset
+	Store  *rag.Store
+	K      int
+}
+
+// Name identifies the method.
+func (q *QueryRewrite) Name() string { return "Query Rewrite" }
+
+// Rewrite folds the feedback into the question.
+func (q *QueryRewrite) Rewrite(ctx context.Context, question, fbText string) (string, error) {
+	resp, err := q.Client.Complete(ctx, llm.Request{Prompt: prompt.Rewrite(question, fbText)})
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp.Text), nil
+}
+
+// Correct rewrites the question and regenerates SQL with the standard
+// pipeline.
+func (q *QueryRewrite) Correct(ctx context.Context, db, question, prevSQL string, fb feedback.Feedback) (string, error) {
+	s, ok := q.DS.Schemas[db]
+	if !ok {
+		return "", fmt.Errorf("unknown database %q", db)
+	}
+	newQ, err := q.Rewrite(ctx, question, fb.Text)
+	if err != nil {
+		return "", err
+	}
+	var demos []prompt.Demo
+	if q.K > 0 && q.Store != nil {
+		for _, hit := range q.Store.Search(newQ, db, q.K) {
+			demos = append(demos, prompt.Demo{Question: hit.Demo.Question, SQL: hit.Demo.SQL})
+		}
+	}
+	resp, err := q.Client.Complete(ctx, llm.Request{Prompt: prompt.NL2SQL(s, demos, newQ)})
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp.Text), nil
+}

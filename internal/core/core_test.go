@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"fisql/internal/assistant"
+	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/feedback"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+)
+
+var (
+	coreOnce sync.Once
+	coreDS   *dataset.Dataset
+	coreSim  *llm.Sim
+	coreErr  error
+)
+
+func world(t *testing.T) (*dataset.Dataset, *llm.Sim) {
+	t.Helper()
+	coreOnce.Do(func() {
+		coreDS, coreErr = aep.Build()
+		if coreErr == nil {
+			coreSim = llm.NewSim(coreDS)
+		}
+	})
+	if coreErr != nil {
+		t.Fatal(coreErr)
+	}
+	return coreDS, coreSim
+}
+
+func pipeline(t *testing.T, routing bool) (*FISQL, *dataset.Dataset) {
+	ds, sim := world(t)
+	return &FISQL{
+		Client: sim, DS: ds, Store: rag.NewStore(ds.Demos), K: 8, Routing: routing,
+	}, ds
+}
+
+func TestNames(t *testing.T) {
+	f, _ := pipeline(t, true)
+	if f.Name() != "FISQL" {
+		t.Errorf("name: %q", f.Name())
+	}
+	f.Routing = false
+	if f.Name() != "FISQL (- Routing)" {
+		t.Errorf("name: %q", f.Name())
+	}
+	f.Routing = true
+	f.Highlights = true
+	if f.Name() != "FISQL (+ Highlighting)" {
+		t.Errorf("name: %q", f.Name())
+	}
+	qr := &QueryRewrite{}
+	if qr.Name() != "Query Rewrite" {
+		t.Errorf("name: %q", qr.Name())
+	}
+}
+
+func TestRoute(t *testing.T) {
+	f, _ := pipeline(t, true)
+	ctx := context.Background()
+	tests := map[string]dataset.Op{
+		"we are in 2024":                     dataset.OpEdit,
+		"order the names in ascending order": dataset.OpAdd,
+		"do not give descriptions":           dataset.OpRemove,
+		"remove the duplicate entries":       dataset.OpAdd,
+	}
+	for text, want := range tests {
+		op, err := f.Route(ctx, text)
+		if err != nil {
+			t.Fatalf("route %q: %v", text, err)
+		}
+		if op != want {
+			t.Errorf("route %q: %v, want %v", text, op, want)
+		}
+	}
+}
+
+func TestCorrectFixesYearTrap(t *testing.T) {
+	f, ds := pipeline(t, true)
+	ctx := context.Background()
+	var e *dataset.Example
+	for _, cand := range ds.AnnotatedErrors() {
+		tr := cand.Traps[0]
+		if len(cand.Traps) == 1 && tr.Kind == dataset.WrongLiteral &&
+			!tr.Misaligned && !tr.Vague && !tr.GroundingHard &&
+			strings.Contains(strings.ToLower(tr.Column), "time") {
+			e = cand
+			break
+		}
+	}
+	if e == nil {
+		t.Skip("no year-trap example in corpus")
+	}
+	got, err := f.Correct(ctx, e.DB, e.Question, e.WrongSQL(),
+		feedback.Feedback{Text: "we are in 2024"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e.Gold {
+		t.Errorf("got %q\nwant %q", got, e.Gold)
+	}
+}
+
+func TestCorrectUnknownDB(t *testing.T) {
+	f, _ := pipeline(t, true)
+	if _, err := f.Correct(context.Background(), "nope", "q", "SELECT 1", feedback.Feedback{Text: "x"}); err == nil {
+		t.Error("unknown db should error")
+	}
+	qr := &QueryRewrite{Client: nil, DS: f.DS}
+	if _, err := qr.Correct(context.Background(), "nope", "q", "SELECT 1", feedback.Feedback{Text: "x"}); err == nil {
+		t.Error("unknown db should error for rewrite too")
+	}
+}
+
+func TestQueryRewriteFlow(t *testing.T) {
+	ds, sim := world(t)
+	qr := &QueryRewrite{Client: sim, DS: ds, Store: rag.NewStore(ds.Demos), K: 8}
+	ctx := context.Background()
+	newQ, err := qr.Rewrite(ctx, "How many audiences were created in January?", "we are in 2024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(newQ, "How many audiences were created in January") ||
+		!strings.Contains(newQ, "we are in 2024") {
+		t.Errorf("rewrite lost content: %q", newQ)
+	}
+	// Correct returns *some* regenerated SQL without error.
+	got, err := qr.Correct(ctx, "experience_platform",
+		"How many audiences were created in January?",
+		"SELECT COUNT(*) FROM hkg_dim_segment", feedback.Feedback{Text: "we are in 2024"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == "" {
+		t.Error("empty regeneration")
+	}
+}
+
+func TestSessionConversation(t *testing.T) {
+	ds, sim := world(t)
+	store := rag.NewStore(ds.Demos)
+	asst := &assistant.Assistant{Client: sim, DS: ds, Store: store, K: 8}
+	f := &FISQL{Client: sim, DS: ds, Store: store, K: 8, Routing: true}
+	sess := NewSession(asst, f, "experience_platform")
+	ctx := context.Background()
+
+	if _, err := sess.Feedback(ctx, "premature", nil); err == nil {
+		t.Error("feedback before any question should error")
+	}
+
+	ans, err := sess.Ask(ctx, "How many audiences were created in January?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.SQL, "2023") {
+		t.Fatalf("expected the year trap to fire, got %q", ans.SQL)
+	}
+	ans, err = sess.Feedback(ctx, "we are in 2024", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.SQL, "2024-01-01") {
+		t.Errorf("feedback not applied: %q", ans.SQL)
+	}
+	if sess.SQL() != ans.SQL {
+		t.Error("session SQL not updated")
+	}
+	h := sess.History()
+	if len(h) != 4 {
+		t.Fatalf("history length: %d", len(h))
+	}
+	wantRoles := []string{"user", "assistant", "feedback", "assistant"}
+	for i, r := range wantRoles {
+		if h[i].Role != r {
+			t.Errorf("turn %d role: %q, want %q", i, h[i].Role, r)
+		}
+	}
+}

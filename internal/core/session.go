@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"fisql/internal/assistant"
+	"fisql/internal/feedback"
+)
+
+// Session is one interactive conversation with the Assistant on a single
+// database: ask a question, inspect the four outputs, then iterate with
+// natural-language feedback (optionally grounded by a highlight) until the
+// query matches intent — the Figure 4 loop.
+type Session struct {
+	Assistant *assistant.Assistant
+	Corrector Corrector
+	DB        string
+
+	question string
+	sql      string
+	history  []Turn
+}
+
+// Turn records one exchange in the session.
+type Turn struct {
+	Role   string // "user", "feedback" or "assistant"
+	Text   string
+	Answer *assistant.Answer // set on assistant turns
+}
+
+// NewSession starts a session against one database.
+func NewSession(a *assistant.Assistant, c Corrector, db string) *Session {
+	return &Session{Assistant: a, Corrector: c, DB: db}
+}
+
+// History returns the conversation so far.
+func (s *Session) History() []Turn { return s.history }
+
+// SQL returns the current query, empty before the first question.
+func (s *Session) SQL() string { return s.sql }
+
+// Ask poses a fresh question, replacing any previous query context.
+func (s *Session) Ask(ctx context.Context, question string) (*assistant.Answer, error) {
+	ans, err := s.Assistant.Ask(ctx, s.DB, question)
+	if err != nil {
+		return nil, err
+	}
+	s.question = question
+	s.sql = ans.SQL
+	s.history = append(s.history,
+		Turn{Role: "user", Text: question},
+		Turn{Role: "assistant", Text: ans.SQL, Answer: ans})
+	return ans, nil
+}
+
+// Feedback applies user feedback to the current query and re-answers.
+func (s *Session) Feedback(ctx context.Context, text string, hl *feedback.Highlight) (*assistant.Answer, error) {
+	if s.sql == "" {
+		return nil, fmt.Errorf("no query to give feedback on; ask a question first")
+	}
+	fb := feedback.Feedback{Text: text, Highlight: hl}
+	sql, err := s.Corrector.Correct(ctx, s.DB, s.question, s.sql, fb)
+	if err != nil {
+		return nil, err
+	}
+	s.sql = sql
+	ans := s.Assistant.Answer(s.DB, sql)
+	s.history = append(s.history,
+		Turn{Role: "feedback", Text: text},
+		Turn{Role: "assistant", Text: ans.SQL, Answer: ans})
+	return ans, nil
+}

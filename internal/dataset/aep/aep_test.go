@@ -1,0 +1,139 @@
+package aep
+
+import (
+	"testing"
+
+	"fisql/internal/dataset"
+	"fisql/internal/engine"
+)
+
+var built *dataset.Dataset
+
+func ds(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if built == nil {
+		var err error
+		built, err = Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+	}
+	return built
+}
+
+func TestCorpusSize(t *testing.T) {
+	d := ds(t)
+	if got := len(d.Examples); got != 200 {
+		t.Fatalf("examples: %d, want 200", got)
+	}
+}
+
+func TestZeroShotErrorCount(t *testing.T) {
+	d := ds(t)
+	if got := len(d.Errors()); got != 152 {
+		t.Fatalf("trapped: %d, want 152 (24%% zero-shot accuracy)", got)
+	}
+}
+
+func TestOneShotFailureCounts(t *testing.T) {
+	d := ds(t)
+	ragErrors := 0
+	for _, e := range d.Errors() {
+		covered := true
+		for _, tr := range e.Traps {
+			if !tr.DemoCovered {
+				covered = false
+			}
+		}
+		if !covered {
+			ragErrors++
+		}
+	}
+	if ragErrors != 54 {
+		t.Errorf("one-shot failures: %d, want 54", ragErrors)
+	}
+	if got := len(d.AnnotatedErrors()); got != 53 {
+		t.Errorf("annotated: %d, want 53", got)
+	}
+}
+
+func TestQuotaComposition(t *testing.T) {
+	d := ds(t)
+	var twoTrap, good, rewrite, gh, misaligned, vague int
+	for _, e := range d.AnnotatedErrors() {
+		if len(e.Traps) == 2 {
+			twoTrap++
+			continue
+		}
+		tr := e.Traps[0]
+		switch {
+		case tr.GroundingHard:
+			gh++
+		case tr.Misaligned:
+			misaligned++
+		case tr.Vague:
+			vague++
+		default:
+			good++
+			if tr.RewriteFixable {
+				rewrite++
+			}
+		}
+	}
+	if twoTrap != 4 || good != 36 || rewrite != 19 || gh != 1 || misaligned != 6 || vague != 6 {
+		t.Errorf("composition: twoTrap=%d good=%d rewrite=%d gh=%d misaligned=%d vague=%d",
+			twoTrap, good, rewrite, gh, misaligned, vague)
+	}
+}
+
+func TestAllSQLExecutesAndTrapsBite(t *testing.T) {
+	d := ds(t)
+	for _, e := range d.Examples {
+		ex := engine.NewExecutor(d.DBs[e.DB])
+		gold, err := ex.Query(e.Gold)
+		if err != nil {
+			t.Fatalf("%s gold: %v", e.ID, err)
+		}
+		if len(e.Traps) == 0 {
+			continue
+		}
+		wrong, err := ex.Query(e.WrongSQL())
+		if err != nil {
+			t.Fatalf("%s wrong: %v", e.ID, err)
+		}
+		if engine.EqualResults(gold, wrong) {
+			t.Fatalf("%s: trap does not change execution", e.ID)
+		}
+	}
+}
+
+func TestJargonTrapPresent(t *testing.T) {
+	d := ds(t)
+	found := false
+	for _, e := range d.Examples {
+		for _, tr := range e.Traps {
+			if tr.Kind == dataset.WrongTable {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("expected at least one closed-domain WrongTable trap")
+	}
+}
+
+func TestNoDemoLeaks(t *testing.T) {
+	d := ds(t)
+	for _, e := range d.Errors() {
+		for _, tr := range e.Traps {
+			if tr.DemoCovered {
+				continue
+			}
+			for _, demo := range d.Demos {
+				if dataset.ContainsPhrase(demo.Question, tr.Phrase) {
+					t.Fatalf("demo %q leaks phrase %q", demo.Question, tr.Phrase)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package dataset defines the benchmark model shared by the SPIDER-like and
+// Experience-Platform corpora: examples with gold SQL, planted ambiguity
+// traps, and the demonstration pools used for retrieval-augmented prompting.
+//
+// A *trap* is a concrete misunderstanding planted in an example: the naive
+// schema-linking lexicon resolves some question phrase incorrectly, so a
+// model without disambiguating context generates a wrong query (the trap's
+// perturbed SQL). Traps carry everything downstream stages need — the
+// feedback operation that corrects them, the clause they live in, and the
+// annotator-behaviour flags that drive the paper's residual error analysis.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"fisql/internal/engine"
+	"fisql/internal/schema"
+	"fisql/internal/sqlast"
+	"fisql/internal/sqlparse"
+)
+
+// Op is the feedback operation taxonomy of the paper (Table 1).
+type Op int
+
+// Feedback operations.
+const (
+	OpAdd Op = iota
+	OpRemove
+	OpEdit
+)
+
+// String names the operation as the paper does.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "Add"
+	case OpRemove:
+		return "Remove"
+	case OpEdit:
+		return "Edit"
+	}
+	return "?op?"
+}
+
+// ParseOp parses an operation name (case-insensitive).
+func ParseOp(s string) (Op, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "add":
+		return OpAdd, true
+	case "remove":
+		return OpRemove, true
+	case "edit":
+		return OpEdit, true
+	}
+	return 0, false
+}
+
+// TrapKind enumerates the concrete misunderstanding patterns the generators
+// plant. Each kind maps onto one feedback operation.
+type TrapKind int
+
+// Trap kinds.
+const (
+	// WrongLiteral: a literal in WHERE is wrong (e.g. year 2023 vs 2024).
+	WrongLiteral TrapKind = iota
+	// WrongColumn: a projected column is wrong (singer name vs song name).
+	WrongColumn
+	// WrongAggregate: the aggregate function is wrong (COUNT vs SUM ...).
+	WrongAggregate
+	// WrongTable: the FROM table is wrong (datasets vs audiences).
+	WrongTable
+	// MissingOrderBy: the gold ORDER BY was omitted.
+	MissingOrderBy
+	// MissingFilter: a gold WHERE conjunct was omitted.
+	MissingFilter
+	// MissingDistinct: the gold DISTINCT was omitted.
+	MissingDistinct
+	// ExtraColumn: a spurious column was projected.
+	ExtraColumn
+	// ExtraFilter: a spurious WHERE conjunct was added.
+	ExtraFilter
+)
+
+// String names the kind.
+func (k TrapKind) String() string {
+	switch k {
+	case WrongLiteral:
+		return "wrong-literal"
+	case WrongColumn:
+		return "wrong-column"
+	case WrongAggregate:
+		return "wrong-aggregate"
+	case WrongTable:
+		return "wrong-table"
+	case MissingOrderBy:
+		return "missing-order-by"
+	case MissingFilter:
+		return "missing-filter"
+	case MissingDistinct:
+		return "missing-distinct"
+	case ExtraColumn:
+		return "extra-column"
+	case ExtraFilter:
+		return "extra-filter"
+	}
+	return "?trap?"
+}
+
+// Op returns the feedback operation that corrects this kind of trap.
+func (k TrapKind) Op() Op {
+	switch k {
+	case WrongLiteral, WrongColumn, WrongAggregate, WrongTable:
+		return OpEdit
+	case MissingOrderBy, MissingFilter, MissingDistinct:
+		return OpAdd
+	default:
+		return OpRemove
+	}
+}
+
+// Trap is one planted misunderstanding.
+type Trap struct {
+	Kind TrapKind
+	// Phrase is the ambiguous question phrase that triggers the trap. A
+	// prompt containing a demonstration with this phrase disambiguates it.
+	Phrase string
+	// Clause locates the error in the printed SQL (for highlights).
+	Clause sqlast.Clause
+	// Payload, interpreted per kind:
+	//   WrongLiteral:  Old/New are the literal texts (wrong/correct).
+	//   WrongColumn:   Old/New are column names; Table is their table.
+	//   WrongAggregate:Old/New are aggregate function names.
+	//   WrongTable:    Old/New are table names.
+	//   MissingOrderBy:Column is the order key, New is "ASC" or "DESC".
+	//   MissingFilter: Column/New are the filter column and value text.
+	//   MissingDistinct: no payload.
+	//   ExtraColumn:   Column is the spurious projected column.
+	//   ExtraFilter:   Column is the spurious filter column.
+	Old, New string
+	Column   string
+	Table    string
+
+	// DemoCovered marks traps whose phrase is covered by the demonstration
+	// pool, so retrieval-augmented prompting avoids them.
+	DemoCovered bool
+
+	// Annotator behaviour flags (paper §4.2 error analysis):
+	// Misaligned — the user's feedback describes a change that does not
+	// actually correct the query (cause (c)).
+	Misaligned bool
+	// Vague — the feedback carries no actionable edit (cause (b)).
+	Vague bool
+	// AmbiguousOp — the feedback's operation type is misread by keyword
+	// heuristics but correctly classified by the few-shot router.
+	AmbiguousOp bool
+	// GroundingHard — the SQL contains multiple plausible edit sites, so
+	// un-grounded repair picks the wrong one; a highlight resolves it.
+	GroundingHard bool
+	// RewriteFixable — folding the feedback into the question text
+	// disambiguates the original phrase, so the Query-Rewrite baseline
+	// regenerates correctly.
+	RewriteFixable bool
+
+	// DecoyColumn/DecoyValue parameterize misaligned feedback: the
+	// annotator asks for a filter on this (irrelevant) column instead of
+	// describing the real fix.
+	DecoyColumn string
+	DecoyValue  string
+}
+
+// Example is one benchmark item.
+type Example struct {
+	ID       string
+	DB       string
+	Question string
+	// Gold is the canonical gold SQL.
+	Gold string
+	// Traps lists planted misunderstandings (empty means the naive model
+	// answers correctly). At most two traps per example.
+	Traps []Trap
+	// Variants maps a bitmask of *unfixed* traps to the SQL a model in
+	// that state produces. Variants[0] == Gold; the full mask is the
+	// initial naive generation.
+	Variants map[uint8]string
+	// Annotatable marks errors for which the simulated annotator can
+	// express feedback (the paper annotated 101 of 243 SPIDER errors).
+	Annotatable bool
+}
+
+// FullMask returns the bitmask with every trap unfixed.
+func (e *Example) FullMask() uint8 {
+	return uint8(1<<len(e.Traps)) - 1
+}
+
+// WrongSQL returns the naive generation (all traps unfixed); for untrapped
+// examples it is the gold SQL.
+func (e *Example) WrongSQL() string {
+	if len(e.Traps) == 0 {
+		return e.Gold
+	}
+	return e.Variants[e.FullMask()]
+}
+
+// SQLFor returns the SQL with the given set of unfixed traps.
+func (e *Example) SQLFor(mask uint8) (string, bool) {
+	if mask == 0 {
+		return e.Gold, true
+	}
+	s, ok := e.Variants[mask]
+	return s, ok
+}
+
+// FixedIn reports whether trap i appears corrected in the given SQL. The
+// check is structural so it works even on SQL the repair engine produced
+// rather than a stored variant.
+func (e *Example) FixedIn(i int, sel *sqlast.SelectStmt) bool {
+	if sel == nil {
+		return false
+	}
+	t := e.Traps[i]
+	text := sqlast.Print(sel)
+	switch t.Kind {
+	case WrongLiteral:
+		// Substring semantics so a year trap ('2023-01-01' and
+		// '2023-02-01' both wrong) reads as one logical edit: Old="2023",
+		// New="2024". Realize verifies the check is unambiguous for the
+		// example before accepting the trap.
+		return !strings.Contains(text, t.Old) && strings.Contains(text, t.New)
+	case WrongColumn:
+		return selectsColumn(sel, t.New) && !selectsColumn(sel, t.Old)
+	case WrongAggregate:
+		return usesAggregate(sel, t.New) && !usesAggregate(sel, t.Old)
+	case WrongTable:
+		return usesTable(sel, t.New) && !usesTable(sel, t.Old)
+	case MissingOrderBy:
+		for _, ob := range sel.OrderBy {
+			if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && strings.EqualFold(cr.Column, t.Column) {
+				return ob.Desc == (t.New == "DESC")
+			}
+		}
+		return false
+	case MissingFilter:
+		return strings.Contains(text, t.New) && filtersColumn(sel, t.Column)
+	case MissingDistinct:
+		return sel.Distinct
+	case ExtraColumn:
+		return !selectsColumn(sel, t.Column)
+	case ExtraFilter:
+		return !filtersColumn(sel, t.Column)
+	}
+	return false
+}
+
+// UnfixedMask computes which traps remain unfixed in the given SQL text.
+func (e *Example) UnfixedMask(sql string) uint8 {
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return e.FullMask()
+	}
+	var mask uint8
+	for i := range e.Traps {
+		if !e.FixedIn(i, sel) {
+			mask |= 1 << i
+		}
+	}
+	return mask
+}
+
+func selectsColumn(sel *sqlast.SelectStmt, col string) bool {
+	for _, it := range sel.Items {
+		match := false
+		sqlast.Walk(it.Expr, func(x sqlast.Expr) bool {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && strings.EqualFold(cr.Column, col) {
+				match = true
+				return false
+			}
+			return true
+		})
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func usesAggregate(sel *sqlast.SelectStmt, name string) bool {
+	found := false
+	for _, it := range sel.Items {
+		sqlast.Walk(it.Expr, func(x sqlast.Expr) bool {
+			if fc, ok := x.(*sqlast.FuncCall); ok && strings.EqualFold(fc.Name, name) {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+func usesTable(sel *sqlast.SelectStmt, name string) bool {
+	if sel.From == nil {
+		return false
+	}
+	if strings.EqualFold(sel.From.First.Name, name) {
+		return true
+	}
+	for _, j := range sel.From.Joins {
+		if strings.EqualFold(j.Source.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func filtersColumn(sel *sqlast.SelectStmt, col string) bool {
+	found := false
+	sqlast.Walk(sel.Where, func(x sqlast.Expr) bool {
+		if cr, ok := x.(*sqlast.ColumnRef); ok && strings.EqualFold(cr.Column, col) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Demo is one (question, SQL) demonstration pair in the retrieval pool.
+type Demo struct {
+	DB       string
+	Question string
+	SQL      string
+	// Phrases lists trap phrases this demonstration disambiguates.
+	Phrases []string
+}
+
+// Dataset is a complete benchmark: schemas, loaded databases, NL lexicons,
+// examples and the demonstration pool.
+type Dataset struct {
+	Name     string
+	Schemas  map[string]*schema.Schema
+	DBs      map[string]*engine.Database
+	Lexicons map[string]*schema.Lexicon
+	Examples []*Example
+	Demos    []Demo
+
+	byQuestion map[string]*Example
+}
+
+// New creates an empty dataset.
+func New(name string) *Dataset {
+	return &Dataset{
+		Name:       name,
+		Schemas:    make(map[string]*schema.Schema),
+		DBs:        make(map[string]*engine.Database),
+		Lexicons:   make(map[string]*schema.Lexicon),
+		byQuestion: make(map[string]*Example),
+	}
+}
+
+// AddSchema registers a schema, builds its lexicon and creates its (empty)
+// database.
+func (d *Dataset) AddSchema(s *schema.Schema) (*engine.Database, error) {
+	if _, dup := d.Schemas[s.Name]; dup {
+		return nil, fmt.Errorf("duplicate schema %q", s.Name)
+	}
+	db := engine.NewDatabase(s.Name)
+	if err := db.LoadScript(s.DDL()); err != nil {
+		return nil, fmt.Errorf("schema %s: %w", s.Name, err)
+	}
+	d.Schemas[s.Name] = s
+	d.DBs[s.Name] = db
+	d.Lexicons[s.Name] = schema.NewLexicon(s)
+	return db, nil
+}
+
+// AddExample registers an example.
+func (d *Dataset) AddExample(e *Example) {
+	d.Examples = append(d.Examples, e)
+	d.byQuestion[schema.Normalize(e.Question)] = e
+}
+
+// ExampleByQuestion finds an example by its (normalized) question text.
+func (d *Dataset) ExampleByQuestion(q string) (*Example, bool) {
+	e, ok := d.byQuestion[schema.Normalize(q)]
+	return e, ok
+}
+
+// Errors returns the examples the naive model gets wrong (those with traps).
+func (d *Dataset) Errors() []*Example {
+	var out []*Example
+	for _, e := range d.Examples {
+		if len(e.Traps) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AnnotatedErrors returns trapped examples with annotatable feedback — the
+// paper's evaluation population.
+func (d *Dataset) AnnotatedErrors() []*Example {
+	var out []*Example
+	for _, e := range d.Errors() {
+		if e.Annotatable {
+			out = append(out, e)
+		}
+	}
+	return out
+}

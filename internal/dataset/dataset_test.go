@@ -1,0 +1,288 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"fisql/internal/schema"
+	"fisql/internal/sqlparse"
+)
+
+func testSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "testdb",
+		Tables: []schema.Table{
+			{
+				Name: "singer", NL: []string{"singers"},
+				PrimaryKey: []string{"singer_id"},
+				Columns: []schema.Column{
+					{Name: "singer_id", Type: "INT"},
+					{Name: "name", Type: "TEXT", NL: []string{"name"}},
+					{Name: "song_name", Type: "TEXT", NL: []string{"song name"}},
+					{Name: "country", Type: "TEXT", NL: []string{"country"}},
+					{Name: "age", Type: "INT", NL: []string{"age"}},
+					{Name: "joined_date", Type: "DATE", NL: []string{"joined date"}},
+				},
+			},
+		},
+	}
+}
+
+func testGen(t *testing.T) *Gen {
+	t.Helper()
+	ds := New("test")
+	g, err := NewGen(ds, testSchema(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Populate(30); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOpStringsAndParse(t *testing.T) {
+	for _, op := range []Op{OpAdd, OpRemove, OpEdit} {
+		back, ok := ParseOp(op.String())
+		if !ok || back != op {
+			t.Errorf("roundtrip %v failed", op)
+		}
+	}
+	if _, ok := ParseOp("frobnicate"); ok {
+		t.Error("garbage op parsed")
+	}
+}
+
+func TestTrapKindOps(t *testing.T) {
+	tests := map[TrapKind]Op{
+		WrongLiteral:    OpEdit,
+		WrongColumn:     OpEdit,
+		WrongAggregate:  OpEdit,
+		WrongTable:      OpEdit,
+		MissingOrderBy:  OpAdd,
+		MissingFilter:   OpAdd,
+		MissingDistinct: OpAdd,
+		ExtraColumn:     OpRemove,
+		ExtraFilter:     OpRemove,
+	}
+	for k, want := range tests {
+		if k.Op() != want {
+			t.Errorf("%v.Op() = %v, want %v", k, k.Op(), want)
+		}
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	g1 := testGen(t)
+	g2 := testGen(t)
+	t1, _ := g1.DB.Table("singer")
+	t2, _ := g2.DB.Table("singer")
+	if len(t1.Rows) != len(t2.Rows) {
+		t.Fatal("row counts differ between identically-seeded populations")
+	}
+	for i := range t1.Rows {
+		for j := range t1.Rows[i] {
+			if t1.Rows[i][j].Key() != t2.Rows[i][j].Key() {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPopulateColumnSemantics(t *testing.T) {
+	g := testGen(t)
+	tab, _ := g.DB.Table("singer")
+	for i, row := range tab.Rows {
+		if row[0].I != int64(i+1) {
+			t.Fatalf("primary key not sequential: row %d has id %v", i, row[0])
+		}
+		if row[5].T != 0 && len(row[5].S) != 10 {
+			t.Fatalf("date column malformed: %q", row[5].S)
+		}
+	}
+}
+
+func TestRealizeUntrapped(t *testing.T) {
+	g := testGen(t)
+	tab := g.Schema.Table("singer")
+	c := g.CountAll(tab)
+	e := g.Realize(c, nil)
+	if e == nil {
+		t.Fatal("realize failed")
+	}
+	if len(e.Traps) != 0 || e.WrongSQL() != e.Gold {
+		t.Errorf("untrapped example misbuilt: %+v", e)
+	}
+}
+
+func TestRealizeTrapped(t *testing.T) {
+	g := testGen(t)
+	tab := g.Schema.Table("singer")
+	c := g.FilterEq(tab, *tab.Column("name"), *tab.Column("country"))
+	if c == nil {
+		t.Fatal("candidate not built")
+	}
+	e := g.Realize(c, c.Perturbs[:1])
+	if e == nil {
+		t.Fatal("realize with trap failed")
+	}
+	if e.WrongSQL() == e.Gold {
+		t.Error("wrong SQL equals gold")
+	}
+	if e.FullMask() != 1 {
+		t.Errorf("full mask: %b", e.FullMask())
+	}
+	sql, ok := e.SQLFor(0)
+	if !ok || sql != e.Gold {
+		t.Error("SQLFor(0) should be gold")
+	}
+	if _, ok := e.SQLFor(2); ok {
+		t.Error("SQLFor out-of-range mask should fail")
+	}
+}
+
+func TestUnfixedMaskTransitions(t *testing.T) {
+	g := testGen(t)
+	tab := g.Schema.Table("singer")
+	c := g.FilterEq(tab, *tab.Column("name"), *tab.Column("country"))
+	e := g.Realize(c, c.Perturbs[:1])
+	if e == nil {
+		t.Fatal("realize failed")
+	}
+	if m := e.UnfixedMask(e.WrongSQL()); m != 1 {
+		t.Errorf("wrong SQL mask: %b", m)
+	}
+	if m := e.UnfixedMask(e.Gold); m != 0 {
+		t.Errorf("gold mask: %b", m)
+	}
+	if m := e.UnfixedMask("NOT SQL AT ALL"); m != e.FullMask() {
+		t.Errorf("unparseable SQL should report full mask, got %b", m)
+	}
+}
+
+func TestFixedInPerKind(t *testing.T) {
+	g := testGen(t)
+	tab := g.Schema.Table("singer")
+	candidates := []*Candidate{
+		g.ListDistinct(tab, *tab.Column("country")),
+		g.OrderList(tab, *tab.Column("name"), *tab.Column("age"), true),
+		g.Superlative(tab, *tab.Column("song_name"), *tab.Column("age"), false),
+		g.CountFilterCmp(tab, *tab.Column("age")),
+	}
+	for _, c := range candidates {
+		if c == nil {
+			t.Fatal("candidate not built")
+		}
+		for pi := range c.Perturbs {
+			e := g.Realize(c, c.Perturbs[pi:pi+1])
+			if e == nil {
+				continue // some perturbations legitimately fail verification
+			}
+			goldSel, err := sqlparse.ParseSelect(e.Gold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !e.FixedIn(0, goldSel) {
+				t.Errorf("%v: gold not detected as fixed (q=%s)", e.Traps[0].Kind, e.Question)
+			}
+			wrongSel, err := sqlparse.ParseSelect(e.WrongSQL())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.FixedIn(0, wrongSel) {
+				t.Errorf("%v: wrong SQL detected as fixed", e.Traps[0].Kind)
+			}
+		}
+	}
+}
+
+func TestContainsPhrase(t *testing.T) {
+	if !ContainsPhrase("How many Singers are there?", "how many singers") {
+		t.Error("case-insensitive containment failed")
+	}
+	if ContainsPhrase("anything", "") {
+		t.Error("empty phrase must not match")
+	}
+	if ContainsPhrase("list the name", "song name") {
+		t.Error("non-substring matched")
+	}
+}
+
+func TestDatasetLookups(t *testing.T) {
+	g := testGen(t)
+	tab := g.Schema.Table("singer")
+	c := g.CountAll(tab)
+	e := g.Realize(c, c.Perturbs[:1])
+	if e == nil {
+		t.Fatal("realize failed")
+	}
+	e.ID = "x-1"
+	g.DS.AddExample(e)
+	got, ok := g.DS.ExampleByQuestion("HOW MANY   singers are there?")
+	if !ok || got != e {
+		t.Error("question lookup should normalize")
+	}
+	if len(g.DS.Errors()) != 1 {
+		t.Error("errors should include the trapped example")
+	}
+	if len(g.DS.AnnotatedErrors()) != 0 {
+		t.Error("unannotated example must not appear in annotated errors")
+	}
+	e.Annotatable = true
+	if len(g.DS.AnnotatedErrors()) != 1 {
+		t.Error("annotated example missing")
+	}
+}
+
+func TestDuplicateSchemaRejected(t *testing.T) {
+	ds := New("test")
+	if _, err := NewGen(ds, testSchema(), rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.AddSchema(testSchema()); err == nil {
+		t.Fatal("duplicate schema should error")
+	}
+}
+
+func TestCoverDemoCarriesPhrases(t *testing.T) {
+	g := testGen(t)
+	tab := g.Schema.Table("singer")
+	c := g.CountAll(tab)
+	e := g.Realize(c, c.Perturbs[:1])
+	if e == nil {
+		t.Fatal("realize failed")
+	}
+	d := CoverDemo(e, c.Paraphrase)
+	if d.SQL != e.Gold || len(d.Phrases) != 1 {
+		t.Errorf("cover demo: %+v", d)
+	}
+	if !ContainsPhrase(d.Question, e.Traps[0].Phrase) {
+		t.Errorf("paraphrase %q does not carry phrase %q", d.Question, e.Traps[0].Phrase)
+	}
+}
+
+func TestQuotasArithmetic(t *testing.T) {
+	q := Quotas{Total: 100, Covered: 10, TwoTrap: 5, SingleGood: 20,
+		GroundingHard: 1, Misaligned: 3, Vague: 2, Unannotated: 9}
+	if q.Trapped() != 50 {
+		t.Errorf("trapped: %d", q.Trapped())
+	}
+	if q.Errors() != 40 {
+		t.Errorf("errors: %d", q.Errors())
+	}
+}
+
+func TestCompatibleTraps(t *testing.T) {
+	if !compatibleTraps(WrongLiteral, ExtraFilter) || !compatibleTraps(ExtraFilter, WrongLiteral) {
+		t.Error("the allowlisted pair must be compatible both ways")
+	}
+	if compatibleTraps(WrongLiteral, MissingFilter) {
+		t.Error("a dropped WHERE clause cannot coexist with a literal edit")
+	}
+	if compatibleTraps(WrongColumn, ExtraColumn) {
+		t.Error("column swap corrupts the extra-column trap")
+	}
+}
+
+// newRng returns the shared deterministic RNG used by template tests.
+func newRng() *rand.Rand { return rand.New(rand.NewSource(7)) }

@@ -1,0 +1,69 @@
+package dataset
+
+// Value pools for deterministic data population. The generators index into
+// these with a seeded RNG, so the same seed always yields the same corpus.
+
+var firstNames = []string{
+	"Joe", "Timbaland", "Justin", "Rose", "John", "Maria", "Wei", "Aisha",
+	"Carlos", "Elena", "Pierre", "Yuki", "Omar", "Ingrid", "Ravi", "Sofia",
+	"Liam", "Nina", "Hugo", "Priya", "Mateo", "Zara", "Felix", "Amara",
+	"Oscar", "Lena", "Diego", "Hana", "Viktor", "Chloe", "Ivan", "Leila",
+}
+
+var lastNames = []string{
+	"Sharp", "Brown", "White", "Nizinik", "King", "Garcia", "Chen", "Okafor",
+	"Martinez", "Petrov", "Dubois", "Tanaka", "Hassan", "Larsen", "Patel",
+	"Rossi", "Murphy", "Kowalski", "Silva", "Novak", "Schmidt", "Ali",
+	"Johansson", "Moreau", "Santos", "Weber", "Nakamura", "Costa", "Byrne",
+}
+
+var countries = []string{
+	"France", "United States", "Netherlands", "Japan", "Brazil", "Germany",
+	"India", "Canada", "Spain", "Nigeria", "Australia", "Mexico", "Sweden",
+	"South Korea", "Italy", "Egypt", "Argentina", "Poland", "Kenya", "Norway",
+}
+
+var cities = []string{
+	"Paris", "New York", "Amsterdam", "Tokyo", "Sao Paulo", "Berlin",
+	"Mumbai", "Toronto", "Madrid", "Lagos", "Sydney", "Mexico City",
+	"Stockholm", "Seoul", "Rome", "Cairo", "Buenos Aires", "Warsaw",
+	"Nairobi", "Oslo", "Lyon", "Osaka", "Munich", "Chicago", "Valencia",
+}
+
+var wordPool = []string{
+	"Aurora", "Breeze", "Cascade", "Drift", "Ember", "Fable", "Glimmer",
+	"Harbor", "Inlet", "Juniper", "Keystone", "Lumen", "Meadow", "Nimbus",
+	"Opal", "Prairie", "Quartz", "Ridge", "Summit", "Thicket", "Umber",
+	"Vista", "Willow", "Zephyr", "Beacon", "Cinder", "Dune", "Echo",
+}
+
+var themes = []string{
+	"Free choice", "Bleeding Love", "Wide Awake", "Happy Tonight",
+	"Party All Night", "Midnight Run", "Golden Hour", "Neon Lights",
+	"Acoustic Set", "Retro Wave",
+}
+
+var genres = []string{
+	"Pop", "Rock", "Jazz", "Classical", "Hip Hop", "Electronic", "Folk",
+	"Country", "Blues", "Reggae",
+}
+
+var statuses = []string{"active", "inactive", "draft", "archived"}
+
+var months = []string{
+	"January", "February", "March", "April", "May", "June", "July",
+	"August", "September", "October", "November", "December",
+}
+
+// MonthNumber returns the 1-based month number for a month name, or 0.
+func MonthNumber(name string) int {
+	for i, m := range months {
+		if m == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Months exposes the month-name pool.
+func Months() []string { return months }

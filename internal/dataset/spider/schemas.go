@@ -1,0 +1,322 @@
+// Package spider builds the synthetic SPIDER-like benchmark: 20 databases
+// with common-sense schemas and 1034 dev questions, mirroring the scale and
+// template families of the SPIDER validation set the paper evaluates on.
+package spider
+
+import "fisql/internal/schema"
+
+// c declares a column; nl lists its natural-language phrases (first is
+// canonical).
+func c(name, typ string, nl ...string) schema.Column {
+	if len(nl) == 0 {
+		nl = []string{name}
+	}
+	return schema.Column{Name: name, Type: typ, NL: nl}
+}
+
+func fk(col, refTable, refCol string) schema.ForeignKey {
+	return schema.ForeignKey{Column: col, RefTable: refTable, RefColumn: refCol}
+}
+
+// Schemas returns the 20 database schemas of the benchmark.
+func Schemas() []*schema.Schema {
+	return []*schema.Schema{
+		{Name: "concert_singer", Tables: []schema.Table{
+			{Name: "stadium", NL: []string{"stadiums"}, PrimaryKey: []string{"stadium_id"}, Columns: []schema.Column{
+				c("stadium_id", "INT"), c("location", "TEXT", "location"), c("name", "TEXT", "name"),
+				c("capacity", "INT", "capacity"), c("average_attendance", "INT", "average attendance"),
+			}},
+			{Name: "singer", NL: []string{"singers"}, PrimaryKey: []string{"singer_id"}, Columns: []schema.Column{
+				c("singer_id", "INT"), c("name", "TEXT", "name"), c("age", "INT", "age"),
+				c("country", "TEXT", "country"), c("song_name", "TEXT", "song name"),
+				c("song_release_year", "TEXT", "song release year"),
+			}},
+			{Name: "concert", NL: []string{"concerts"}, PrimaryKey: []string{"concert_id"},
+				ForeignKeys: []schema.ForeignKey{fk("stadium_id", "stadium", "stadium_id")},
+				Columns: []schema.Column{
+					c("concert_id", "INT"), c("concert_name", "TEXT", "concert name"),
+					c("theme", "TEXT", "theme"), c("stadium_id", "INT"), c("year", "INT", "year"),
+				}},
+		}},
+		{Name: "pets", Tables: []schema.Table{
+			{Name: "student", NL: []string{"students"}, PrimaryKey: []string{"student_id"}, Columns: []schema.Column{
+				c("student_id", "INT"), c("name", "TEXT", "name"), c("age", "INT", "age"),
+				c("major", "TEXT", "major"), c("city", "TEXT", "home city"),
+			}},
+			{Name: "pet", NL: []string{"pets"}, PrimaryKey: []string{"pet_id"},
+				ForeignKeys: []schema.ForeignKey{fk("owner_id", "student", "student_id")},
+				Columns: []schema.Column{
+					c("pet_id", "INT"), c("owner_id", "INT"), c("pet_type", "TEXT", "pet type"),
+					c("pet_age", "INT", "pet age"), c("weight", "REAL", "weight"),
+				}},
+		}},
+		{Name: "flights", Tables: []schema.Table{
+			{Name: "airline", NL: []string{"airlines"}, PrimaryKey: []string{"airline_id"}, Columns: []schema.Column{
+				c("airline_id", "INT"), c("airline_name", "TEXT", "airline name"),
+				c("country", "TEXT", "country"), c("fleet_size", "INT", "fleet size"),
+			}},
+			{Name: "airport", NL: []string{"airports"}, PrimaryKey: []string{"airport_id"}, Columns: []schema.Column{
+				c("airport_id", "INT"), c("airport_name", "TEXT", "airport name"),
+				c("city", "TEXT", "city"), c("passenger_count", "INT", "passenger count"),
+			}},
+			{Name: "flight", NL: []string{"flights"}, PrimaryKey: []string{"flight_id"},
+				ForeignKeys: []schema.ForeignKey{fk("airline_id", "airline", "airline_id"), fk("origin_id", "airport", "airport_id")},
+				Columns: []schema.Column{
+					c("flight_id", "INT"), c("airline_id", "INT"), c("origin_id", "INT"),
+					c("distance", "INT", "distance"), c("departure_date", "DATE", "departure date"),
+					c("price", "REAL", "ticket price"),
+				}},
+		}},
+		{Name: "world", Tables: []schema.Table{
+			{Name: "country", NL: []string{"countries"}, PrimaryKey: []string{"country_id"}, Columns: []schema.Column{
+				c("country_id", "INT"), c("country_name", "TEXT", "country name"),
+				c("continent", "TEXT", "continent"), c("population", "INT", "population"),
+				c("surface_area", "REAL", "surface area"), c("gnp", "REAL", "gnp"),
+			}},
+			{Name: "city", NL: []string{"cities"}, PrimaryKey: []string{"city_id"},
+				ForeignKeys: []schema.ForeignKey{fk("country_id", "country", "country_id")},
+				Columns: []schema.Column{
+					c("city_id", "INT"), c("city_name", "TEXT", "city name"),
+					c("country_id", "INT"), c("city_population", "INT", "city population"),
+				}},
+			{Name: "spoken_language", NL: []string{"spoken languages"}, PrimaryKey: []string{"language_id"},
+				ForeignKeys: []schema.ForeignKey{fk("country_id", "country", "country_id")},
+				Columns: []schema.Column{
+					c("language_id", "INT"), c("country_id", "INT"),
+					c("language", "TEXT", "language"), c("percentage", "REAL", "percentage of speakers"),
+				}},
+		}},
+		{Name: "employees", Tables: []schema.Table{
+			{Name: "department", NL: []string{"departments"}, PrimaryKey: []string{"department_id"}, Columns: []schema.Column{
+				c("department_id", "INT"), c("department_name", "TEXT", "department name"),
+				c("budget", "REAL", "budget"), c("location_city", "TEXT", "location city"),
+			}},
+			{Name: "employee", NL: []string{"employees"}, PrimaryKey: []string{"employee_id"},
+				ForeignKeys: []schema.ForeignKey{fk("department_id", "department", "department_id")},
+				Columns: []schema.Column{
+					c("employee_id", "INT"), c("employee_name", "TEXT", "employee name"),
+					c("department_id", "INT"), c("salary", "REAL", "salary"),
+					c("hire_date", "DATE", "hire date"), c("job_title", "TEXT", "job title"),
+				}},
+		}},
+		{Name: "orders", Tables: []schema.Table{
+			{Name: "customer", NL: []string{"customers"}, PrimaryKey: []string{"customer_id"}, Columns: []schema.Column{
+				c("customer_id", "INT"), c("customer_name", "TEXT", "customer name"),
+				c("email", "TEXT", "email"), c("customer_city", "TEXT", "customer city"),
+			}},
+			{Name: "product", NL: []string{"products"}, PrimaryKey: []string{"product_id"}, Columns: []schema.Column{
+				c("product_id", "INT"), c("product_name", "TEXT", "product name"),
+				c("category", "TEXT", "category"), c("unit_price", "REAL", "unit price"),
+				c("stock_quantity", "INT", "stock quantity"),
+			}},
+			{Name: "purchase_order", NL: []string{"orders"}, PrimaryKey: []string{"order_id"},
+				ForeignKeys: []schema.ForeignKey{fk("customer_id", "customer", "customer_id"), fk("product_id", "product", "product_id")},
+				Columns: []schema.Column{
+					c("order_id", "INT"), c("customer_id", "INT"), c("product_id", "INT"),
+					c("order_date", "DATE", "order date"), c("quantity", "INT", "quantity"),
+					c("total_amount", "REAL", "total amount"),
+				}},
+		}},
+		{Name: "courses", Tables: []schema.Table{
+			{Name: "instructor", NL: []string{"instructors"}, PrimaryKey: []string{"instructor_id"}, Columns: []schema.Column{
+				c("instructor_id", "INT"), c("instructor_name", "TEXT", "instructor name"),
+				c("office_city", "TEXT", "office city"), c("years_experience", "INT", "years of experience"),
+			}},
+			{Name: "course", NL: []string{"courses"}, PrimaryKey: []string{"course_id"},
+				ForeignKeys: []schema.ForeignKey{fk("instructor_id", "instructor", "instructor_id")},
+				Columns: []schema.Column{
+					c("course_id", "INT"), c("course_title", "TEXT", "course title"),
+					c("instructor_id", "INT"), c("credits", "INT", "credits"),
+					c("enrollment_count", "INT", "enrollment count"),
+				}},
+		}},
+		{Name: "movies", Tables: []schema.Table{
+			{Name: "director", NL: []string{"directors"}, PrimaryKey: []string{"director_id"}, Columns: []schema.Column{
+				c("director_id", "INT"), c("director_name", "TEXT", "director name"),
+				c("nationality", "TEXT", "nationality"), c("birth_year", "INT", "birth year"),
+			}},
+			{Name: "movie", NL: []string{"movies"}, PrimaryKey: []string{"movie_id"},
+				ForeignKeys: []schema.ForeignKey{fk("director_id", "director", "director_id")},
+				Columns: []schema.Column{
+					c("movie_id", "INT"), c("movie_title", "TEXT", "movie title"),
+					c("director_id", "INT"), c("release_year", "INT", "release year"),
+					c("box_office", "REAL", "box office gross"), c("genre", "TEXT", "genre"),
+				}},
+		}},
+		{Name: "hospital", Tables: []schema.Table{
+			{Name: "doctor", NL: []string{"doctors"}, PrimaryKey: []string{"doctor_id"}, Columns: []schema.Column{
+				c("doctor_id", "INT"), c("doctor_name", "TEXT", "doctor name"),
+				c("specialty", "TEXT", "specialty"), c("years_practicing", "INT", "years practicing"),
+			}},
+			{Name: "patient", NL: []string{"patients"}, PrimaryKey: []string{"patient_id"}, Columns: []schema.Column{
+				c("patient_id", "INT"), c("patient_name", "TEXT", "patient name"),
+				c("patient_age", "INT", "patient age"), c("home_city", "TEXT", "home city"),
+			}},
+			{Name: "appointment", NL: []string{"appointments"}, PrimaryKey: []string{"appointment_id"},
+				ForeignKeys: []schema.ForeignKey{fk("doctor_id", "doctor", "doctor_id"), fk("patient_id", "patient", "patient_id")},
+				Columns: []schema.Column{
+					c("appointment_id", "INT"), c("doctor_id", "INT"), c("patient_id", "INT"),
+					c("appointment_date", "DATE", "appointment date"), c("fee", "REAL", "fee"),
+				}},
+		}},
+		{Name: "library", Tables: []schema.Table{
+			{Name: "author", NL: []string{"authors"}, PrimaryKey: []string{"author_id"}, Columns: []schema.Column{
+				c("author_id", "INT"), c("author_name", "TEXT", "author name"),
+				c("home_country", "TEXT", "home country"), c("books_written", "INT", "number of books written"),
+			}},
+			{Name: "book", NL: []string{"books"}, PrimaryKey: []string{"book_id"},
+				ForeignKeys: []schema.ForeignKey{fk("author_id", "author", "author_id")},
+				Columns: []schema.Column{
+					c("book_id", "INT"), c("book_title", "TEXT", "book title"),
+					c("author_id", "INT"), c("publish_year", "INT", "publish year"),
+					c("page_count", "INT", "page count"),
+				}},
+			{Name: "loan", NL: []string{"loans"}, PrimaryKey: []string{"loan_id"},
+				ForeignKeys: []schema.ForeignKey{fk("book_id", "book", "book_id")},
+				Columns: []schema.Column{
+					c("loan_id", "INT"), c("book_id", "INT"),
+					c("loan_date", "DATE", "loan date"), c("days_kept", "INT", "days kept"),
+				}},
+		}},
+		{Name: "restaurants", Tables: []schema.Table{
+			{Name: "restaurant", NL: []string{"restaurants"}, PrimaryKey: []string{"restaurant_id"}, Columns: []schema.Column{
+				c("restaurant_id", "INT"), c("restaurant_name", "TEXT", "restaurant name"),
+				c("cuisine", "TEXT", "cuisine"), c("rest_city", "TEXT", "city"),
+				c("seating_capacity", "INT", "seating capacity"),
+			}},
+			{Name: "dish", NL: []string{"dishes"}, PrimaryKey: []string{"dish_id"},
+				ForeignKeys: []schema.ForeignKey{fk("restaurant_id", "restaurant", "restaurant_id")},
+				Columns: []schema.Column{
+					c("dish_id", "INT"), c("dish_name", "TEXT", "dish name"),
+					c("restaurant_id", "INT"), c("dish_price", "REAL", "price"),
+					c("calories", "INT", "calories"),
+				}},
+		}},
+		{Name: "museums", Tables: []schema.Table{
+			{Name: "museum", NL: []string{"museums"}, PrimaryKey: []string{"museum_id"}, Columns: []schema.Column{
+				c("museum_id", "INT"), c("museum_name", "TEXT", "museum name"),
+				c("museum_city", "TEXT", "city"), c("annual_visitors", "INT", "annual visitors"),
+				c("founded_year", "INT", "founded year"),
+			}},
+			{Name: "exhibit", NL: []string{"exhibits"}, PrimaryKey: []string{"exhibit_id"},
+				ForeignKeys: []schema.ForeignKey{fk("museum_id", "museum", "museum_id")},
+				Columns: []schema.Column{
+					c("exhibit_id", "INT"), c("exhibit_title", "TEXT", "exhibit title"),
+					c("museum_id", "INT"), c("artifact_count", "INT", "artifact count"),
+					c("exhibit_theme", "TEXT", "theme"),
+				}},
+		}},
+		{Name: "soccer", Tables: []schema.Table{
+			{Name: "team", NL: []string{"teams"}, PrimaryKey: []string{"team_id"}, Columns: []schema.Column{
+				c("team_id", "INT"), c("team_name", "TEXT", "team name"),
+				c("home_city", "TEXT", "home city"), c("points", "INT", "points"),
+				c("founded_year", "INT", "founded year"),
+			}},
+			{Name: "player", NL: []string{"players"}, PrimaryKey: []string{"player_id"},
+				ForeignKeys: []schema.ForeignKey{fk("team_id", "team", "team_id")},
+				Columns: []schema.Column{
+					c("player_id", "INT"), c("player_name", "TEXT", "player name"),
+					c("team_id", "INT"), c("goals_scored", "INT", "goals scored"),
+					c("player_age", "INT", "age"), c("position_played", "TEXT", "position"),
+				}},
+		}},
+		{Name: "bikes", Tables: []schema.Table{
+			{Name: "station", NL: []string{"stations"}, PrimaryKey: []string{"station_id"}, Columns: []schema.Column{
+				c("station_id", "INT"), c("station_name", "TEXT", "station name"),
+				c("dock_count", "INT", "dock count"), c("station_city", "TEXT", "city"),
+			}},
+			{Name: "trip", NL: []string{"trips"}, PrimaryKey: []string{"trip_id"},
+				ForeignKeys: []schema.ForeignKey{fk("start_station_id", "station", "station_id")},
+				Columns: []schema.Column{
+					c("trip_id", "INT"), c("start_station_id", "INT"),
+					c("duration_minutes", "INT", "duration in minutes"),
+					c("trip_date", "DATE", "trip date"),
+				}},
+		}},
+		{Name: "music_store", Tables: []schema.Table{
+			{Name: "album", NL: []string{"albums"}, PrimaryKey: []string{"album_id"}, Columns: []schema.Column{
+				c("album_id", "INT"), c("album_title", "TEXT", "album title"),
+				c("artist_name", "TEXT", "artist name"), c("album_year", "INT", "album year"),
+				c("list_price", "REAL", "list price"),
+			}},
+			{Name: "track", NL: []string{"tracks"}, PrimaryKey: []string{"track_id"},
+				ForeignKeys: []schema.ForeignKey{fk("album_id", "album", "album_id")},
+				Columns: []schema.Column{
+					c("track_id", "INT"), c("track_title", "TEXT", "track title"),
+					c("album_id", "INT"), c("duration_seconds", "INT", "duration in seconds"),
+					c("play_count", "INT", "play count"),
+				}},
+		}},
+		{Name: "real_estate", Tables: []schema.Table{
+			{Name: "agent", NL: []string{"agents"}, PrimaryKey: []string{"agent_id"}, Columns: []schema.Column{
+				c("agent_id", "INT"), c("agent_name", "TEXT", "agent name"),
+				c("agency_city", "TEXT", "agency city"), c("commission_rate", "REAL", "commission rate"),
+			}},
+			{Name: "property", NL: []string{"properties"}, PrimaryKey: []string{"property_id"},
+				ForeignKeys: []schema.ForeignKey{fk("agent_id", "agent", "agent_id")},
+				Columns: []schema.Column{
+					c("property_id", "INT"), c("street_address", "TEXT", "street address"),
+					c("agent_id", "INT"), c("asking_price", "REAL", "asking price"),
+					c("bedroom_count", "INT", "number of bedrooms"), c("listing_date", "DATE", "listing date"),
+				}},
+		}},
+		{Name: "vehicles", Tables: []schema.Table{
+			{Name: "maker", NL: []string{"car makers"}, PrimaryKey: []string{"maker_id"}, Columns: []schema.Column{
+				c("maker_id", "INT"), c("maker_name", "TEXT", "maker name"),
+				c("headquarters_country", "TEXT", "headquarters country"),
+				c("annual_production", "INT", "annual production"),
+			}},
+			{Name: "model", NL: []string{"car models"}, PrimaryKey: []string{"model_id"},
+				ForeignKeys: []schema.ForeignKey{fk("maker_id", "maker", "maker_id")},
+				Columns: []schema.Column{
+					c("model_id", "INT"), c("model_name", "TEXT", "model name"),
+					c("maker_id", "INT"), c("horsepower", "INT", "horsepower"),
+					c("mpg", "REAL", "fuel economy"), c("model_year", "INT", "model year"),
+				}},
+		}},
+		{Name: "weather", Tables: []schema.Table{
+			{Name: "weather_station", NL: []string{"weather stations"}, PrimaryKey: []string{"station_id"}, Columns: []schema.Column{
+				c("station_id", "INT"), c("station_label", "TEXT", "station label"),
+				c("region", "TEXT", "region"), c("elevation", "INT", "elevation"),
+			}},
+			{Name: "reading", NL: []string{"readings"}, PrimaryKey: []string{"reading_id"},
+				ForeignKeys: []schema.ForeignKey{fk("station_id", "weather_station", "station_id")},
+				Columns: []schema.Column{
+					c("reading_id", "INT"), c("station_id", "INT"),
+					c("reading_date", "DATE", "reading date"), c("temperature", "REAL", "temperature"),
+					c("rainfall", "REAL", "rainfall"),
+				}},
+		}},
+		{Name: "network", Tables: []schema.Table{
+			{Name: "user_account", NL: []string{"users"}, PrimaryKey: []string{"user_id"}, Columns: []schema.Column{
+				c("user_id", "INT"), c("handle", "TEXT", "handle"),
+				c("follower_count", "INT", "follower count"), c("join_year", "INT", "join year"),
+				c("account_city", "TEXT", "city"),
+			}},
+			{Name: "post", NL: []string{"posts"}, PrimaryKey: []string{"post_id"},
+				ForeignKeys: []schema.ForeignKey{fk("user_id", "user_account", "user_id")},
+				Columns: []schema.Column{
+					c("post_id", "INT"), c("user_id", "INT"),
+					c("like_count", "INT", "like count"), c("post_date", "DATE", "post date"),
+					c("topic", "TEXT", "topic"),
+				}},
+		}},
+		{Name: "shipping", Tables: []schema.Table{
+			{Name: "carrier", NL: []string{"carriers"}, PrimaryKey: []string{"carrier_id"}, Columns: []schema.Column{
+				c("carrier_id", "INT"), c("carrier_name", "TEXT", "carrier name"),
+				c("base_country", "TEXT", "base country"), c("truck_count", "INT", "truck count"),
+			}},
+			{Name: "warehouse", NL: []string{"warehouses"}, PrimaryKey: []string{"warehouse_id"}, Columns: []schema.Column{
+				c("warehouse_id", "INT"), c("warehouse_city", "TEXT", "city"),
+				c("storage_capacity", "INT", "storage capacity"),
+			}},
+			{Name: "shipment", NL: []string{"shipments"}, PrimaryKey: []string{"shipment_id"},
+				ForeignKeys: []schema.ForeignKey{fk("carrier_id", "carrier", "carrier_id"), fk("warehouse_id", "warehouse", "warehouse_id")},
+				Columns: []schema.Column{
+					c("shipment_id", "INT"), c("carrier_id", "INT"), c("warehouse_id", "INT"),
+					c("ship_date", "DATE", "ship date"), c("weight_kg", "REAL", "weight in kilograms"),
+					c("declared_value", "REAL", "declared value"),
+				}},
+		}},
+	}
+}

@@ -1,0 +1,216 @@
+package spider
+
+import (
+	"testing"
+
+	"fisql/internal/dataset"
+	"fisql/internal/engine"
+	"fisql/internal/sqlparse"
+)
+
+var built *dataset.Dataset
+
+func ds(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if built == nil {
+		var err error
+		built, err = Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+	}
+	return built
+}
+
+func TestCorpusSize(t *testing.T) {
+	d := ds(t)
+	if got := len(d.Examples); got != 1034 {
+		t.Fatalf("examples: %d, want 1034", got)
+	}
+	if got := len(d.Schemas); got != 20 {
+		t.Fatalf("schemas: %d, want 20", got)
+	}
+}
+
+func TestZeroShotErrorCount(t *testing.T) {
+	d := ds(t)
+	if got := len(d.Errors()); got != 325 {
+		t.Fatalf("trapped examples: %d, want 325 (zero-shot accuracy 68.6%%)", got)
+	}
+}
+
+func TestRAGErrorAndAnnotationCounts(t *testing.T) {
+	d := ds(t)
+	ragErrors := 0
+	for _, e := range d.Errors() {
+		covered := true
+		for _, tr := range e.Traps {
+			if !tr.DemoCovered {
+				covered = false
+			}
+		}
+		if !covered {
+			ragErrors++
+		}
+	}
+	if ragErrors != 243 {
+		t.Errorf("RAG errors: %d, want 243", ragErrors)
+	}
+	if got := len(d.AnnotatedErrors()); got != 101 {
+		t.Errorf("annotated errors: %d, want 101", got)
+	}
+}
+
+func TestQuotaComposition(t *testing.T) {
+	d := ds(t)
+	var twoTrap, good, ambiguous, rewrite, misaligned, vague int
+	for _, e := range d.AnnotatedErrors() {
+		if len(e.Traps) == 2 {
+			twoTrap++
+			continue
+		}
+		tr := e.Traps[0]
+		switch {
+		case tr.Misaligned:
+			misaligned++
+		case tr.Vague:
+			vague++
+		default:
+			good++
+			if tr.AmbiguousOp {
+				ambiguous++
+			}
+			if tr.RewriteFixable {
+				rewrite++
+			}
+		}
+	}
+	if twoTrap != 20 || good != 45 || ambiguous != 1 || rewrite != 17 || misaligned != 20 || vague != 16 {
+		t.Errorf("composition: twoTrap=%d good=%d ambiguous=%d rewrite=%d misaligned=%d vague=%d",
+			twoTrap, good, ambiguous, rewrite, misaligned, vague)
+	}
+}
+
+func TestAllSQLExecutes(t *testing.T) {
+	d := ds(t)
+	for _, e := range d.Examples {
+		db := d.DBs[e.DB]
+		ex := engine.NewExecutor(db)
+		if _, err := ex.Query(e.Gold); err != nil {
+			t.Fatalf("%s gold %q: %v", e.ID, e.Gold, err)
+		}
+		for mask, sql := range e.Variants {
+			if _, err := ex.Query(sql); err != nil {
+				t.Fatalf("%s variant %b %q: %v", e.ID, mask, sql, err)
+			}
+		}
+	}
+}
+
+func TestTrappedVariantsDifferFromGold(t *testing.T) {
+	d := ds(t)
+	for _, e := range d.Errors() {
+		db := d.DBs[e.DB]
+		ex := engine.NewExecutor(db)
+		gold, err := ex.Query(e.Gold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong, err := ex.Query(e.WrongSQL())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if engine.EqualResults(gold, wrong) {
+			t.Fatalf("%s: wrong SQL executes identically to gold\n gold: %s\nwrong: %s",
+				e.ID, e.Gold, e.WrongSQL())
+		}
+	}
+}
+
+func TestFixedInConsistency(t *testing.T) {
+	d := ds(t)
+	for _, e := range d.Errors() {
+		goldSel, err := sqlparse.ParseSelect(e.Gold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range e.Traps {
+			if !e.FixedIn(i, goldSel) {
+				t.Errorf("%s: trap %d not detected as fixed in gold", e.ID, i)
+			}
+		}
+		if m := e.UnfixedMask(e.WrongSQL()); m != e.FullMask() {
+			t.Errorf("%s: wrong SQL unfixed mask %b, want %b", e.ID, m, e.FullMask())
+		}
+	}
+}
+
+func TestNoDemoLeaksUncoveredPhrases(t *testing.T) {
+	d := ds(t)
+	for _, e := range d.Errors() {
+		for _, tr := range e.Traps {
+			if tr.DemoCovered {
+				continue
+			}
+			for _, demo := range d.Demos {
+				if demo.DB != e.DB {
+					continue
+				}
+				if dataset.ContainsPhrase(demo.Question, tr.Phrase) {
+					t.Fatalf("demo %q leaks phrase %q of %s", demo.Question, tr.Phrase, e.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestCoveredTrapsHaveCoveringDemo(t *testing.T) {
+	d := ds(t)
+	for _, e := range d.Errors() {
+		for _, tr := range e.Traps {
+			if !tr.DemoCovered {
+				continue
+			}
+			found := false
+			for _, demo := range d.Demos {
+				if demo.DB == e.DB && dataset.ContainsPhrase(demo.Question, tr.Phrase) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: covered trap %q has no covering demo", e.ID, tr.Phrase)
+			}
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	d1, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Examples) != len(d2.Examples) {
+		t.Fatal("nondeterministic example count")
+	}
+	for i := range d1.Examples {
+		if d1.Examples[i].Question != d2.Examples[i].Question || d1.Examples[i].Gold != d2.Examples[i].Gold {
+			t.Fatalf("example %d differs between builds", i)
+		}
+	}
+}
+
+func TestQuestionsUnique(t *testing.T) {
+	d := ds(t)
+	seen := map[string]bool{}
+	for _, e := range d.Examples {
+		if seen[e.Question] {
+			t.Fatalf("duplicate question %q", e.Question)
+		}
+		seen[e.Question] = true
+	}
+}

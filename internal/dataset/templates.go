@@ -1,0 +1,689 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"fisql/internal/engine"
+	"fisql/internal/schema"
+	"fisql/internal/sqlast"
+)
+
+// Question templates. Each constructor builds a Candidate: a question, its
+// gold query, a paraphrase for covering demonstrations, and the set of
+// perturbations (traps) that can be planted in it. Constructors return nil
+// when the schema/data cannot support the template.
+
+func colRef(table, name string) *sqlast.ColumnRef {
+	return &sqlast.ColumnRef{Table: table, Column: name}
+}
+
+func bareCol(name string) *sqlast.ColumnRef { return &sqlast.ColumnRef{Column: name} }
+
+func litFor(v engine.Value) *sqlast.Literal {
+	switch v.T {
+	case engine.TypeInt, engine.TypeFloat:
+		return sqlast.Num(v.String())
+	case engine.TypeBool:
+		return sqlast.Bool(v.B)
+	default:
+		return sqlast.Str(v.String())
+	}
+}
+
+// quoteVal renders a value the way questions mention it.
+func quoteVal(v engine.Value) string {
+	switch v.T {
+	case engine.TypeInt, engine.TypeFloat:
+		return v.String()
+	default:
+		return "'" + v.String() + "'"
+	}
+}
+
+func from(table string) *sqlast.FromClause {
+	return &sqlast.FromClause{First: sqlast.TableSource{Name: table}}
+}
+
+func phraseOf(nl []string, fallback string) string {
+	if len(nl) > 0 {
+		return nl[0]
+	}
+	return fallback
+}
+
+// columnsOfType returns columns whose engine type matches want, excluding
+// key columns (ids are poor question subjects).
+func columnsOfType(t *schema.Table, want engine.Type) []schema.Column {
+	var out []schema.Column
+	for _, c := range t.Columns {
+		if engine.TypeFromSQL(c.Type) != want {
+			continue
+		}
+		lower := strings.ToLower(c.Name)
+		if strings.HasSuffix(lower, "id") || strings.Contains(lower, "_id") {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// sampleDistinctFrom samples a value from the column that differs from ref.
+func (g *Gen) sampleDistinctFrom(table, column string, ref engine.Value) (engine.Value, engine.Value, bool) {
+	for i := 0; i < 40; i++ {
+		_, v, ok := g.SampleValue(table, column)
+		if !ok {
+			continue
+		}
+		if eq, known := engine.Equal(ref, v); known && !eq {
+			return ref, v, true
+		}
+	}
+	return engine.Value{}, engine.Value{}, false
+}
+
+// sampleDistinct samples two different values from a column.
+func (g *Gen) sampleDistinct(table, column string) (a, b engine.Value, ok bool) {
+	var first engine.Value
+	haveFirst := false
+	for i := 0; i < 40; i++ {
+		_, v, s := g.SampleValue(table, column)
+		if !s {
+			continue
+		}
+		if !haveFirst {
+			first = v
+			haveFirst = true
+			continue
+		}
+		if eq, known := engine.Equal(first, v); known && !eq {
+			return first, v, true
+		}
+	}
+	return engine.Value{}, engine.Value{}, false
+}
+
+// ----------------------------------------------------------------------------
+
+// CountAll: "How many {table} are there?"
+func (g *Gen) CountAll(t *schema.Table) *Candidate {
+	tp := t.Phrase()
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.FuncCall{Name: "COUNT", Star: true}}},
+		From:  from(t.Name),
+	}
+	c := &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("How many %s are there?", tp),
+		Paraphrase: fmt.Sprintf("Count how many %s are there in total.", tp),
+		Gold:       gold,
+	}
+	if nums := columnsOfType(t, engine.TypeInt); len(nums) > 0 {
+		num := nums[g.Rng.Intn(len(nums))]
+		c.Perturbs = append(c.Perturbs, Perturb{
+			Trap: Trap{
+				Kind:   WrongAggregate,
+				Phrase: fmt.Sprintf("how many %s are there", tp),
+				Clause: sqlast.ClauseSelect,
+				Old:    "SUM", New: "COUNT",
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Items[0].Expr = &sqlast.FuncCall{Name: "SUM", Args: []sqlast.Expr{bareCol(num.Name)}}
+			},
+		})
+	}
+	return c
+}
+
+// ListCol: "List the {col} of all {table}."
+func (g *Gen) ListCol(t *schema.Table, c schema.Column) *Candidate {
+	tp, cp := t.Phrase(), phraseOf(c.NL, c.Name)
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(c.Name)}},
+		From:  from(t.Name),
+	}
+	cand := &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("List the %s of all %s.", cp, tp),
+		Paraphrase: fmt.Sprintf("Please show the %s of all %s in the data.", cp, tp),
+		Gold:       gold,
+	}
+	phrase := fmt.Sprintf("the %s of all %s", cp, tp)
+	for _, sib := range columnsOfType(t, engine.TypeFromSQL(c.Type)) {
+		if strings.EqualFold(sib.Name, c.Name) {
+			continue
+		}
+		sib := sib
+		cand.Perturbs = append(cand.Perturbs,
+			Perturb{
+				Trap: Trap{
+					Kind: WrongColumn, Phrase: phrase, Clause: sqlast.ClauseSelect,
+					Old: sib.Name, New: c.Name, Table: t.Name,
+				},
+				Apply: func(s *sqlast.SelectStmt) { s.Items[0].Expr = bareCol(sib.Name) },
+			},
+			Perturb{
+				Trap: Trap{
+					Kind: ExtraColumn, Phrase: phrase, Clause: sqlast.ClauseSelect,
+					Column: sib.Name, Table: t.Name,
+				},
+				Apply: func(s *sqlast.SelectStmt) {
+					s.Items = append(s.Items, sqlast.SelectItem{Expr: bareCol(sib.Name)})
+				},
+			})
+		break
+	}
+	return cand
+}
+
+// ListDistinct: "List all the different {col} of {table}."
+func (g *Gen) ListDistinct(t *schema.Table, c schema.Column) *Candidate {
+	tp, cp := t.Phrase(), phraseOf(c.NL, c.Name)
+	gold := &sqlast.SelectStmt{
+		Distinct: true,
+		Items:    []sqlast.SelectItem{{Expr: bareCol(c.Name)}},
+		From:     from(t.Name),
+	}
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("List all the different %s of %s.", cp, tp),
+		Paraphrase: fmt.Sprintf("Give me all the different %s of %s without repeats.", cp, tp),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind:   MissingDistinct,
+				Phrase: fmt.Sprintf("different %s of %s", cp, tp),
+				Clause: sqlast.ClauseSelect,
+			},
+			Apply: func(s *sqlast.SelectStmt) { s.Distinct = false },
+		}},
+	}
+}
+
+// FilterEq: "Show the {proj} of the {table} whose {filter} is {v}."
+func (g *Gen) FilterEq(t *schema.Table, proj, filter schema.Column) *Candidate {
+	tp := t.Phrase()
+	pp, fp := phraseOf(proj.NL, proj.Name), phraseOf(filter.NL, filter.Name)
+	v1, v2, ok := g.sampleDistinct(t.Name, filter.Name)
+	if !ok {
+		return nil
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(proj.Name)}},
+		From:  from(t.Name),
+		Where: &sqlast.Binary{Op: sqlast.OpEq, L: bareCol(filter.Name), R: litFor(v1)},
+	}
+	cand := &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("Show the %s of the %s whose %s is %s.", pp, tp, fp, quoteVal(v1)),
+		Paraphrase: fmt.Sprintf("What is the %s of the %s whose %s is %s?", pp, tp, fp, quoteVal(v1)),
+		Gold:       gold,
+	}
+	phrase := fmt.Sprintf("the %s of the %s whose %s is %s", pp, tp, fp, quoteVal(v1))
+	cand.Perturbs = append(cand.Perturbs,
+		Perturb{
+			Trap: Trap{
+				Kind: WrongLiteral, Phrase: phrase, Clause: sqlast.ClauseWhere,
+				Old: v2.String(), New: v1.String(), Column: filter.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Where.(*sqlast.Binary).R = litFor(v2)
+			},
+		},
+		Perturb{
+			Trap: Trap{
+				Kind: MissingFilter, Phrase: phrase, Clause: sqlast.ClauseWhere,
+				Column: filter.Name, New: v1.String(),
+			},
+			Apply: func(s *sqlast.SelectStmt) { s.Where = nil },
+		},
+	)
+	// Extra spurious filter on a third column.
+	for _, extra := range t.Columns {
+		if strings.EqualFold(extra.Name, filter.Name) || strings.EqualFold(extra.Name, proj.Name) {
+			continue
+		}
+		_, ev, ok := g.SampleValue(t.Name, extra.Name)
+		if !ok {
+			continue
+		}
+		extra := extra
+		cand.Perturbs = append(cand.Perturbs, Perturb{
+			Trap: Trap{
+				Kind: ExtraFilter, Phrase: phrase, Clause: sqlast.ClauseWhere,
+				Column: extra.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Where = &sqlast.Binary{Op: sqlast.OpAnd, L: s.Where,
+					R: &sqlast.Binary{Op: sqlast.OpEq, L: bareCol(extra.Name), R: litFor(ev)}}
+			},
+		})
+		break
+	}
+	return cand
+}
+
+// FilterTwo: "Show the {proj} of the {table} whose {fA} is {vA} and whose
+// {fB} is {vB}." Used for grounding-hard traps: two literal comparisons.
+func (g *Gen) FilterTwo(t *schema.Table, proj, fA, fB schema.Column) *Candidate {
+	tp := t.Phrase()
+	pp := phraseOf(proj.NL, proj.Name)
+	ap, bp := phraseOf(fA.NL, fA.Name), phraseOf(fB.NL, fB.Name)
+	// Take both filter values from one concrete row, so the gold query is
+	// non-empty: a mis-grounded edit then cannot coincidentally match gold
+	// by both returning zero rows.
+	tbl, ok := g.DB.Table(t.Name)
+	if !ok || len(tbl.Rows) == 0 {
+		return nil
+	}
+	row := tbl.Rows[g.Rng.Intn(len(tbl.Rows))]
+	ai, bi := tbl.ColumnIndex(fA.Name), tbl.ColumnIndex(fB.Name)
+	if ai < 0 || bi < 0 {
+		return nil
+	}
+	va, vb1 := row[ai], row[bi]
+	if va.IsNull() || vb1.IsNull() {
+		return nil
+	}
+	_, vb2, ok := g.sampleDistinctFrom(t.Name, fB.Name, vb1)
+	if !ok {
+		return nil
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(proj.Name)}},
+		From:  from(t.Name),
+		Where: &sqlast.Binary{Op: sqlast.OpAnd,
+			L: &sqlast.Binary{Op: sqlast.OpEq, L: bareCol(fA.Name), R: litFor(va)},
+			R: &sqlast.Binary{Op: sqlast.OpEq, L: bareCol(fB.Name), R: litFor(vb1)},
+		},
+	}
+	phrase := fmt.Sprintf("the %s of the %s whose %s is %s and whose %s is %s",
+		pp, tp, ap, quoteVal(va), bp, quoteVal(vb1))
+	return &Candidate{
+		DB: g.Schema.Name,
+		Question: fmt.Sprintf("Show the %s of the %s whose %s is %s and whose %s is %s.",
+			pp, tp, ap, quoteVal(va), bp, quoteVal(vb1)),
+		Paraphrase: fmt.Sprintf("Find the %s of the %s whose %s is %s and whose %s is %s.",
+			pp, tp, ap, quoteVal(va), bp, quoteVal(vb1)),
+		Gold: gold,
+		Hint: HintGroundingHard,
+		Perturbs: []Perturb{{
+			// The wrong literal is in the SECOND comparison; un-grounded
+			// repair that only knows the new value edits the first one.
+			Trap: Trap{
+				Kind: WrongLiteral, Phrase: phrase, Clause: sqlast.ClauseWhere,
+				Old: vb2.String(), New: vb1.String(), Column: fB.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Where.(*sqlast.Binary).R.(*sqlast.Binary).R = litFor(vb2)
+			},
+		}},
+	}
+}
+
+// CountFilterCmp: "How many {table} have a {col} greater than {v}?"
+func (g *Gen) CountFilterCmp(t *schema.Table, c schema.Column) *Candidate {
+	tp, cp := t.Phrase(), phraseOf(c.NL, c.Name)
+	v1, v2, ok := g.sampleDistinct(t.Name, c.Name)
+	if !ok {
+		return nil
+	}
+	if engine.Compare(v1, v2) > 0 {
+		v1, v2 = v2, v1
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.FuncCall{Name: "COUNT", Star: true}}},
+		From:  from(t.Name),
+		Where: &sqlast.Binary{Op: sqlast.OpGt, L: bareCol(c.Name), R: litFor(v1)},
+	}
+	phrase := fmt.Sprintf("%s have a %s greater than %s", tp, cp, v1.String())
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("How many %s have a %s greater than %s?", tp, cp, v1.String()),
+		Paraphrase: fmt.Sprintf("Tell me how many %s have a %s greater than %s.", tp, cp, v1.String()),
+		Gold:       gold,
+		Perturbs: []Perturb{
+			{
+				Trap: Trap{
+					Kind: WrongLiteral, Phrase: phrase, Clause: sqlast.ClauseWhere,
+					Old: v2.String(), New: v1.String(), Column: c.Name,
+				},
+				Apply: func(s *sqlast.SelectStmt) { s.Where.(*sqlast.Binary).R = litFor(v2) },
+			},
+			{
+				Trap: Trap{
+					Kind: MissingFilter, Phrase: phrase, Clause: sqlast.ClauseWhere,
+					// Old records the comparison shape so the annotator
+					// phrases the filter correctly ("greater than").
+					Column: c.Name, New: v1.String(), Old: "gt",
+				},
+				Apply: func(s *sqlast.SelectStmt) { s.Where = nil },
+			},
+		},
+	}
+}
+
+var aggWords = map[string]string{
+	"AVG": "average", "SUM": "total", "MIN": "minimum", "MAX": "maximum", "COUNT": "count",
+}
+
+// AggCol: "What is the {average|total|minimum|maximum} {col} of {table}?"
+func (g *Gen) AggCol(t *schema.Table, c schema.Column, agg string) *Candidate {
+	tp, cp := t.Phrase(), phraseOf(c.NL, c.Name)
+	word := aggWords[agg]
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.FuncCall{Name: agg, Args: []sqlast.Expr{bareCol(c.Name)}}}},
+		From:  from(t.Name),
+	}
+	// The wrong aggregate swaps for a different one.
+	var wrong string
+	switch agg {
+	case "AVG":
+		wrong = "SUM"
+	case "SUM":
+		wrong = "AVG"
+	case "MIN":
+		wrong = "MAX"
+	default:
+		wrong = "MIN"
+	}
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("What is the %s %s of the %s?", word, cp, tp),
+		Paraphrase: fmt.Sprintf("Compute the %s %s of the %s, please.", word, cp, tp),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind:   WrongAggregate,
+				Phrase: fmt.Sprintf("the %s %s of the %s", word, cp, tp),
+				Clause: sqlast.ClauseSelect,
+				Old:    wrong, New: agg,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Items[0].Expr.(*sqlast.FuncCall).Name = wrong
+			},
+		}},
+	}
+}
+
+// Superlative: "What is the {proj} of the {table} with the {highest|lowest}
+// {key}?" using the MIN/MAX subquery form from the paper's Figure 7.
+func (g *Gen) Superlative(t *schema.Table, proj, key schema.Column, max bool) *Candidate {
+	tp := t.Phrase()
+	pp, kp := phraseOf(proj.NL, proj.Name), phraseOf(key.NL, key.Name)
+	agg, word := "MAX", "highest"
+	if !max {
+		agg, word = "MIN", "lowest"
+	}
+	sub := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.FuncCall{Name: agg, Args: []sqlast.Expr{bareCol(key.Name)}}}},
+		From:  from(t.Name),
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(proj.Name)}},
+		From:  from(t.Name),
+		Where: &sqlast.Binary{Op: sqlast.OpEq, L: bareCol(key.Name), R: &sqlast.SubqueryExpr{Sub: sub}},
+	}
+	wrongAgg := "MIN"
+	if !max {
+		wrongAgg = "MAX"
+	}
+	cand := &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("What is the %s of the %s with the %s %s?", pp, tp, word, kp),
+		Paraphrase: fmt.Sprintf("Please give the %s of the %s with the %s %s.", pp, tp, word, kp),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind:   WrongAggregate,
+				Phrase: fmt.Sprintf("the %s of the %s with the %s %s", pp, tp, word, kp),
+				Clause: sqlast.ClauseWhere,
+				Old:    wrongAgg, New: agg,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				b := s.Where.(*sqlast.Binary)
+				b.R.(*sqlast.SubqueryExpr).Sub.Items[0].Expr.(*sqlast.FuncCall).Name = wrongAgg
+			},
+		}},
+	}
+	// Wrong projected column (the paper's Figure 7: singer name instead of
+	// song name).
+	for _, sib := range columnsOfType(t, engine.TypeFromSQL(proj.Type)) {
+		if strings.EqualFold(sib.Name, proj.Name) || strings.EqualFold(sib.Name, key.Name) {
+			continue
+		}
+		sib := sib
+		cand.Perturbs = append(cand.Perturbs, Perturb{
+			Trap: Trap{
+				Kind:   WrongColumn,
+				Phrase: fmt.Sprintf("the %s of the %s with the %s %s", pp, tp, word, kp),
+				Clause: sqlast.ClauseSelect,
+				Old:    sib.Name, New: proj.Name, Table: t.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) { s.Items[0].Expr = bareCol(sib.Name) },
+		})
+		break
+	}
+	return cand
+}
+
+// OrderList: "List the {proj} of the {table} sorted by {key} in
+// {ascending|descending} order."
+func (g *Gen) OrderList(t *schema.Table, proj, key schema.Column, desc bool) *Candidate {
+	tp := t.Phrase()
+	pp, kp := phraseOf(proj.NL, proj.Name), phraseOf(key.NL, key.Name)
+	dir, dirWord := "ASC", "ascending"
+	if desc {
+		dir, dirWord = "DESC", "descending"
+	}
+	gold := &sqlast.SelectStmt{
+		Items:   []sqlast.SelectItem{{Expr: bareCol(proj.Name)}},
+		From:    from(t.Name),
+		OrderBy: []sqlast.OrderItem{{Expr: bareCol(key.Name), Desc: desc}},
+	}
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("List the %s of the %s sorted by %s in %s order.", pp, tp, kp, dirWord),
+		Paraphrase: fmt.Sprintf("Show the %s of the %s sorted by %s in %s order please.", pp, tp, kp, dirWord),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind:   MissingOrderBy,
+				Phrase: fmt.Sprintf("the %s of the %s sorted by %s in %s order", pp, tp, kp, dirWord),
+				Clause: sqlast.ClauseOrderBy,
+				Column: key.Name, New: dir,
+			},
+			Apply: func(s *sqlast.SelectStmt) { s.OrderBy = nil },
+		}},
+	}
+}
+
+// GroupCount: "For each {col}, how many {table} are there?"
+func (g *Gen) GroupCount(t *schema.Table, c schema.Column) *Candidate {
+	tp, cp := t.Phrase(), phraseOf(c.NL, c.Name)
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{
+			{Expr: bareCol(c.Name)},
+			{Expr: &sqlast.FuncCall{Name: "COUNT", Star: true}},
+		},
+		From:    from(t.Name),
+		GroupBy: []sqlast.Expr{bareCol(c.Name)},
+	}
+	cand := &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("For each %s, count the number of %s.", cp, tp),
+		Paraphrase: fmt.Sprintf("For each %s, count the number of %s, please.", cp, tp),
+		Gold:       gold,
+	}
+	if nums := columnsOfType(t, engine.TypeInt); len(nums) > 0 {
+		num := nums[g.Rng.Intn(len(nums))]
+		cand.Perturbs = append(cand.Perturbs, Perturb{
+			Trap: Trap{
+				Kind:   WrongAggregate,
+				Phrase: fmt.Sprintf("for each %s, count the number of %s", cp, tp),
+				Clause: sqlast.ClauseSelect,
+				Old:    "SUM", New: "COUNT",
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Items[1].Expr = &sqlast.FuncCall{Name: "SUM", Args: []sqlast.Expr{bareCol(num.Name)}}
+			},
+		})
+	}
+	return cand
+}
+
+// Having: "Which {col} appear in more than {n} {table}?"
+func (g *Gen) Having(t *schema.Table, c schema.Column, n, wrongN int) *Candidate {
+	tp, cp := t.Phrase(), phraseOf(c.NL, c.Name)
+	gold := &sqlast.SelectStmt{
+		Items:   []sqlast.SelectItem{{Expr: bareCol(c.Name)}},
+		From:    from(t.Name),
+		GroupBy: []sqlast.Expr{bareCol(c.Name)},
+		Having: &sqlast.Binary{Op: sqlast.OpGt,
+			L: &sqlast.FuncCall{Name: "COUNT", Star: true},
+			R: sqlast.Num(fmt.Sprint(n))},
+	}
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("Which %s appear in more than %d %s?", cp, n, tp),
+		Paraphrase: fmt.Sprintf("Tell me which %s appear in more than %d %s.", cp, n, tp),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind:   WrongLiteral,
+				Phrase: fmt.Sprintf("which %s appear in more than %d %s", cp, n, tp),
+				Clause: sqlast.ClauseHaving,
+				Old:    fmt.Sprint(wrongN), New: fmt.Sprint(n), Column: cp,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Having.(*sqlast.Binary).R = sqlast.Num(fmt.Sprint(wrongN))
+			},
+		}},
+	}
+}
+
+// JoinList: "Show the {c1} of each {t1} together with the {c2} of its {t2}."
+// t1 must have a foreign key into t2.
+func (g *Gen) JoinList(t1 *schema.Table, c1 schema.Column, t2 *schema.Table, c2 schema.Column, fk schema.ForeignKey) *Candidate {
+	tp1, tp2 := t1.Phrase(), t2.Phrase()
+	p1, p2 := phraseOf(c1.NL, c1.Name), phraseOf(c2.NL, c2.Name)
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{
+			{Expr: colRef(t1.Name, c1.Name)},
+			{Expr: colRef(t2.Name, c2.Name)},
+		},
+		From: &sqlast.FromClause{
+			First: sqlast.TableSource{Name: t1.Name},
+			Joins: []sqlast.Join{{
+				Type:   sqlast.JoinInner,
+				Source: sqlast.TableSource{Name: t2.Name},
+				On: &sqlast.Binary{Op: sqlast.OpEq,
+					L: colRef(t1.Name, fk.Column),
+					R: colRef(t2.Name, fk.RefColumn)},
+			}},
+		},
+	}
+	cand := &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("Show the %s of each %s together with the %s of its %s.", p1, tp1, p2, tp2),
+		Paraphrase: fmt.Sprintf("Please show the %s of each %s together with the %s of its %s.", p1, tp1, p2, tp2),
+		Gold:       gold,
+	}
+	phrase := fmt.Sprintf("the %s of each %s together with the %s of its %s", p1, tp1, p2, tp2)
+	for _, sib := range columnsOfType(t2, engine.TypeFromSQL(c2.Type)) {
+		if strings.EqualFold(sib.Name, c2.Name) {
+			continue
+		}
+		sib := sib
+		cand.Perturbs = append(cand.Perturbs,
+			Perturb{
+				Trap: Trap{
+					Kind: WrongColumn, Phrase: phrase, Clause: sqlast.ClauseSelect,
+					Old: sib.Name, New: c2.Name, Table: t2.Name,
+				},
+				Apply: func(s *sqlast.SelectStmt) { s.Items[1].Expr = colRef(t2.Name, sib.Name) },
+			},
+			Perturb{
+				Trap: Trap{
+					Kind: ExtraColumn, Phrase: phrase, Clause: sqlast.ClauseSelect,
+					Column: sib.Name, Table: t2.Name,
+				},
+				Apply: func(s *sqlast.SelectStmt) {
+					s.Items = append(s.Items, sqlast.SelectItem{Expr: colRef(t2.Name, sib.Name)})
+				},
+			})
+		break
+	}
+	return cand
+}
+
+// CreatedIn is the paper's running example: "How many {table} were created
+// in {month}?" with the year left implicit. The gold query assumes the
+// current year (2024); the naive model assumes 2023 — the Figure 4 trap.
+func (g *Gen) CreatedIn(t *schema.Table, dateCol schema.Column, month string, goldYear, wrongYear int) *Candidate {
+	tp := t.Phrase()
+	m := MonthNumber(month)
+	if m == 0 {
+		return nil
+	}
+	startOf := func(year, month int) string {
+		if month > 12 {
+			year, month = year+1, 1
+		}
+		return fmt.Sprintf("%04d-%02d-01", year, month)
+	}
+	rangeWhere := func(year int) sqlast.Expr {
+		return &sqlast.Binary{Op: sqlast.OpAnd,
+			L: &sqlast.Binary{Op: sqlast.OpGte, L: bareCol(dateCol.Name), R: sqlast.Str(startOf(year, m))},
+			R: &sqlast.Binary{Op: sqlast.OpLt, L: bareCol(dateCol.Name), R: sqlast.Str(startOf(year, m+1))},
+		}
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.FuncCall{Name: "COUNT", Star: true}, Alias: "createdCount"}},
+		From:  from(t.Name),
+		Where: rangeWhere(goldYear),
+	}
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("How many %s were created in %s?", tp, month),
+		Paraphrase: fmt.Sprintf("Count how many %s were created in %s, please.", tp, month),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind:   WrongLiteral,
+				Phrase: fmt.Sprintf("%s were created in %s", tp, month),
+				Clause: sqlast.ClauseWhere,
+				Old:    fmt.Sprint(wrongYear), New: fmt.Sprint(goldYear),
+				Column: dateCol.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) { s.Where = rangeWhere(wrongYear) },
+		}},
+	}
+}
+
+// WrongTablePair: "{question about items}" where two tables are plausible
+// resolutions of the same phrase (closed-domain jargon). The gold counts
+// rows in the right table; the trap counts the wrong one. Both tables need
+// a comparable shape only in that COUNT(*) works everywhere.
+func (g *Gen) WrongTablePair(right, wrong *schema.Table, jargon string) *Candidate {
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.FuncCall{Name: "COUNT", Star: true}}},
+		From:  from(right.Name),
+	}
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("How many %s do we have?", jargon),
+		Paraphrase: fmt.Sprintf("Tell me how many %s do we have right now.", jargon),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind:   WrongTable,
+				Phrase: fmt.Sprintf("how many %s do we have", jargon),
+				Clause: sqlast.ClauseFrom,
+				Old:    wrong.Name, New: right.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) { s.From.First.Name = wrong.Name },
+		}},
+	}
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"fisql/internal/engine"
+	"fisql/internal/schema"
+	"fisql/internal/sqlast"
+)
+
+// Additional template families: IN-lists, LIKE prefixes, join-with-filter
+// and NOT-IN anti-joins. They broaden the corpus's SQL surface (the SPIDER
+// template diversity the paper evaluates on) and supply extra trappable and
+// clean candidates.
+
+// InList: "Show the {proj} of {table} whose {col} is {v1} or {v2}."
+func (g *Gen) InList(t *schema.Table, proj, filter schema.Column) *Candidate {
+	tp := t.Phrase()
+	pp, fp := phraseOf(proj.NL, proj.Name), phraseOf(filter.NL, filter.Name)
+	v1, v2, ok := g.sampleDistinct(t.Name, filter.Name)
+	if !ok {
+		return nil
+	}
+	_, v3, ok := g.sampleDistinctFrom(t.Name, filter.Name, v1)
+	if !ok {
+		return nil
+	}
+	if eq, _ := engine.Equal(v2, v3); eq {
+		return nil
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(proj.Name)}},
+		From:  from(t.Name),
+		Where: &sqlast.InExpr{X: bareCol(filter.Name), List: []sqlast.Expr{litFor(v1), litFor(v2)}},
+	}
+	phrase := fmt.Sprintf("the %s of the %s whose %s is %s or %s", pp, tp, fp, quoteVal(v1), quoteVal(v2))
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("Show the %s of the %s whose %s is %s or %s.", pp, tp, fp, quoteVal(v1), quoteVal(v2)),
+		Paraphrase: fmt.Sprintf("Find the %s of the %s whose %s is %s or %s.", pp, tp, fp, quoteVal(v1), quoteVal(v2)),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			// The naive reading swaps the second list member for a value
+			// the user never asked about.
+			Trap: Trap{
+				Kind: WrongLiteral, Phrase: phrase, Clause: sqlast.ClauseWhere,
+				Old: v3.String(), New: v2.String(), Column: filter.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Where.(*sqlast.InExpr).List[1] = litFor(v3)
+			},
+		}},
+	}
+}
+
+// LikePrefix: "Show the {proj} of {table} whose {col} starts with '{P}'."
+func (g *Gen) LikePrefix(t *schema.Table, proj, filter schema.Column) *Candidate {
+	tp := t.Phrase()
+	pp, fp := phraseOf(proj.NL, proj.Name), phraseOf(filter.NL, filter.Name)
+	_, v, ok := g.SampleValue(t.Name, filter.Name)
+	if !ok || v.T != engine.TypeText || v.S == "" {
+		return nil
+	}
+	prefix := strings.ToUpper(v.S[:1])
+	wrongPrefix := "Z"
+	if prefix == "Z" {
+		wrongPrefix = "Q"
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(proj.Name)}},
+		From:  from(t.Name),
+		Where: &sqlast.LikeExpr{X: bareCol(filter.Name), Pattern: sqlast.Str(prefix + "%")},
+	}
+	phrase := fmt.Sprintf("the %s of the %s whose %s starts with '%s'", pp, tp, fp, prefix)
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("Show the %s of the %s whose %s starts with '%s'.", pp, tp, fp, prefix),
+		Paraphrase: fmt.Sprintf("Give the %s of the %s whose %s starts with '%s'.", pp, tp, fp, prefix),
+		Gold:       gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind: WrongLiteral, Phrase: phrase, Clause: sqlast.ClauseWhere,
+				Old: wrongPrefix + "%", New: prefix + "%", Column: filter.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) {
+				s.Where.(*sqlast.LikeExpr).Pattern = sqlast.Str(wrongPrefix + "%")
+			},
+		}},
+	}
+}
+
+// JoinFilter: "Show the {childCol} of the {child} whose {parent} {parentCol}
+// is {v}." — a join plus a filter on the joined table.
+func (g *Gen) JoinFilter(child *schema.Table, childCol schema.Column, parent *schema.Table, filterCol schema.Column, fk schema.ForeignKey) *Candidate {
+	cp := phraseOf(childCol.NL, childCol.Name)
+	fp := phraseOf(filterCol.NL, filterCol.Name)
+	ctp, ptp := child.Phrase(), parent.Phrase()
+	v1, v2, ok := g.sampleDistinct(parent.Name, filterCol.Name)
+	if !ok {
+		return nil
+	}
+	where := func(v engine.Value) sqlast.Expr {
+		return &sqlast.Binary{Op: sqlast.OpEq, L: colRef(parent.Name, filterCol.Name), R: litFor(v)}
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: colRef(child.Name, childCol.Name)}},
+		From: &sqlast.FromClause{
+			First: sqlast.TableSource{Name: child.Name},
+			Joins: []sqlast.Join{{
+				Type:   sqlast.JoinInner,
+				Source: sqlast.TableSource{Name: parent.Name},
+				On: &sqlast.Binary{Op: sqlast.OpEq,
+					L: colRef(child.Name, fk.Column),
+					R: colRef(parent.Name, fk.RefColumn)},
+			}},
+		},
+		Where: where(v1),
+	}
+	phrase := fmt.Sprintf("the %s of the %s whose %s %s is %s", cp, ctp, ptp, fp, quoteVal(v1))
+	return &Candidate{
+		DB: g.Schema.Name,
+		Question: fmt.Sprintf("Show the %s of the %s whose %s %s is %s.",
+			cp, ctp, ptp, fp, quoteVal(v1)),
+		Paraphrase: fmt.Sprintf("List the %s of the %s whose %s %s is %s.",
+			cp, ctp, ptp, fp, quoteVal(v1)),
+		Gold: gold,
+		Perturbs: []Perturb{{
+			Trap: Trap{
+				Kind: WrongLiteral, Phrase: phrase, Clause: sqlast.ClauseWhere,
+				Old: v2.String(), New: v1.String(), Column: filterCol.Name, Table: parent.Name,
+			},
+			Apply: func(s *sqlast.SelectStmt) { s.Where = where(v2) },
+		}},
+	}
+}
+
+// NotIn: "List the {parentCol} of {parent} that have no {child}." — an
+// anti-join; generated untrapped (the clean-example pool benefits from
+// harder SQL shapes too).
+func (g *Gen) NotIn(parent *schema.Table, parentCol schema.Column, child *schema.Table, fk schema.ForeignKey) *Candidate {
+	pp := phraseOf(parentCol.NL, parentCol.Name)
+	ptp, ctp := parent.Phrase(), child.Phrase()
+	sub := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(fk.Column)}},
+		From:  from(child.Name),
+	}
+	gold := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: bareCol(parentCol.Name)}},
+		From:  from(parent.Name),
+		Where: &sqlast.InExpr{X: bareCol(fk.RefColumn), Not: true, Sub: sub},
+	}
+	return &Candidate{
+		DB:         g.Schema.Name,
+		Question:   fmt.Sprintf("List the %s of the %s that have no %s.", pp, ptp, ctp),
+		Paraphrase: fmt.Sprintf("Which %s have no %s? Give their %s.", ptp, ctp, pp),
+		Gold:       gold,
+	}
+}

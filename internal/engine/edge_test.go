@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases and less-traveled executor paths.
+
+func TestTableStarProjection(t *testing.T) {
+	res := mustQuery(t, testDB(t), `
+SELECT singer.* FROM singer JOIN singer_in_concert ON singer.id = singer_in_concert.singer_id
+WHERE singer_in_concert.concert_id = 1`)
+	if len(res.Columns) != 6 {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+}
+
+func TestTableStarUnknownTable(t *testing.T) {
+	if _, err := NewExecutor(testDB(t)).Query("SELECT nope.* FROM singer"); err == nil {
+		t.Fatal("unknown table star should error")
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM singer CROSS JOIN stadium")
+	if res.Rows[0][0].I != 6*5 {
+		t.Fatalf("cross join count: %v", res.Rows[0][0])
+	}
+	// Comma syntax is an implicit cross join.
+	res = mustQuery(t, db, "SELECT COUNT(*) FROM singer, stadium")
+	if res.Rows[0][0].I != 30 {
+		t.Fatalf("comma join count: %v", res.Rows[0][0])
+	}
+}
+
+func TestDerivedTableWithAliasLookup(t *testing.T) {
+	res := mustQuery(t, testDB(t),
+		"SELECT older.name FROM (SELECT name, age FROM singer WHERE age > 40) AS older ORDER BY older.age DESC")
+	if len(res.Rows) != 3 || res.Rows[0][0].S != "Joe Sharp" {
+		t.Fatalf("got %v", res.Rows)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	res := mustQuery(t, testDB(t), "SELECT 1 + 2, 'x'")
+	if res.Rows[0][0].I != 3 || res.Rows[0][1].S != "x" {
+		t.Fatalf("got %v", res.Rows[0])
+	}
+}
+
+func TestUnionAllKeepsDuplicates(t *testing.T) {
+	res := mustQuery(t, testDB(t),
+		"SELECT country FROM singer WHERE age < 30 UNION ALL SELECT country FROM singer WHERE age < 35")
+	if len(res.Rows) != 2+3 {
+		t.Fatalf("union all rows: %d", len(res.Rows))
+	}
+}
+
+func TestOrderByAfterUnion(t *testing.T) {
+	res := mustQuery(t, testDB(t),
+		"SELECT name FROM singer WHERE age > 45 UNION SELECT name FROM singer WHERE age < 30 ORDER BY name ASC")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if strings.ToLower(res.Rows[i-1][0].S) > strings.ToLower(res.Rows[i][0].S) {
+			t.Fatalf("not sorted: %v", res.Rows)
+		}
+	}
+}
+
+func TestMixedCompoundChain(t *testing.T) {
+	res := mustQuery(t, testDB(t),
+		"SELECT country FROM singer UNION SELECT country FROM singer WHERE age > 100 EXCEPT SELECT country FROM singer WHERE country = 'France'")
+	for _, row := range res.Rows {
+		if row[0].S == "France" {
+			t.Fatal("EXCEPT did not remove France")
+		}
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	res := mustQuery(t, testDB(t), "SELECT 1 / 0, 5 % 0")
+	if !res.Rows[0][0].IsNull() || !res.Rows[0][1].IsNull() {
+		t.Fatalf("division by zero: %v", res.Rows[0])
+	}
+}
+
+func TestNegativeLimitReturnsAll(t *testing.T) {
+	res := mustQuery(t, testDB(t), "SELECT id FROM singer LIMIT -1")
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+}
+
+func TestOffsetPastEnd(t *testing.T) {
+	res := mustQuery(t, testDB(t), "SELECT id FROM singer LIMIT 5 OFFSET 100")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	// Global aggregation with HAVING filters the single group.
+	res := mustQuery(t, testDB(t), "SELECT COUNT(*) FROM singer HAVING COUNT(*) > 100")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, testDB(t), "SELECT COUNT(*) FROM singer HAVING COUNT(*) > 2")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 6 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestInListLiteral(t *testing.T) {
+	res := mustQuery(t, testDB(t),
+		"SELECT COUNT(*) FROM singer WHERE country IN ('France', 'Netherlands')")
+	if res.Rows[0][0].I != 5 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+	res = mustQuery(t, testDB(t),
+		"SELECT COUNT(*) FROM singer WHERE country NOT IN ('France', 'Netherlands')")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestCorrelatedScalarSubquery(t *testing.T) {
+	res := mustQuery(t, testDB(t), `
+SELECT name FROM singer AS s
+WHERE (SELECT COUNT(*) FROM singer_in_concert WHERE singer_in_concert.singer_id = s.id) >= 3`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Justin Brown" {
+		t.Fatalf("got %v", res.Rows)
+	}
+}
+
+func TestCaseWithoutElseYieldsNull(t *testing.T) {
+	res := mustQuery(t, testDB(t),
+		"SELECT CASE WHEN age > 100 THEN 'old' END FROM singer WHERE id = 1")
+	if !res.Rows[0][0].IsNull() {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestNotOperator(t *testing.T) {
+	res := mustQuery(t, testDB(t), "SELECT COUNT(*) FROM singer WHERE NOT country = 'France'")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestNegationInProjection(t *testing.T) {
+	res := mustQuery(t, testDB(t), "SELECT -age FROM singer WHERE id = 1")
+	if res.Rows[0][0].I != -52 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestBareAliasResolutionInOrderBy(t *testing.T) {
+	res := mustQuery(t, testDB(t),
+		"SELECT name AS n, age AS a FROM singer ORDER BY a DESC LIMIT 1")
+	if res.Rows[0][0].S != "Joe Sharp" {
+		t.Fatalf("got %v", res.Rows)
+	}
+	if res.Columns[0] != "n" || res.Columns[1] != "a" {
+		t.Fatalf("alias columns: %v", res.Columns)
+	}
+}
+
+func TestLoadScriptErrors(t *testing.T) {
+	db := NewDatabase("bad")
+	for _, script := range []string{
+		"NOT SQL",
+		"INSERT INTO missing VALUES (1)",
+		"CREATE TABLE t (a INT); INSERT INTO t (nope) VALUES (1)",
+		"CREATE TABLE t2 (a INT); INSERT INTO t2 VALUES (1, 2)",
+		"CREATE TABLE t3 (a INT); INSERT INTO t3 VALUES ('x')",
+	} {
+		if err := db.LoadScript(script); err == nil {
+			t.Errorf("script %q should fail", script)
+		}
+	}
+}
+
+func TestInsertNullAndBool(t *testing.T) {
+	db := NewDatabase("nb")
+	if err := db.LoadScript(`
+CREATE TABLE t (a INT, b BOOL, c TEXT);
+INSERT INTO t VALUES (NULL, TRUE, 'x'), (-3, FALSE, NULL);`); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Table("t")
+	if !tab.Rows[0][0].IsNull() || !tab.Rows[0][1].B {
+		t.Errorf("row 0: %v", tab.Rows[0])
+	}
+	if tab.Rows[1][0].I != -3 || tab.Rows[1][1].B || !tab.Rows[1][2].IsNull() {
+		t.Errorf("row 1: %v", tab.Rows[1])
+	}
+}
+
+func TestJoinResultCap(t *testing.T) {
+	db := NewDatabase("cap")
+	script := "CREATE TABLE big (x INT);"
+	if err := db.LoadScript(script); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Table("big")
+	for i := 0; i < 3000; i++ {
+		tab.Rows = append(tab.Rows, []Value{Int(int64(i))})
+	}
+	ex := NewExecutor(db)
+	ex.maxRows = 10000
+	if _, err := ex.Query("SELECT COUNT(*) FROM big AS a CROSS JOIN big AS b"); err == nil {
+		t.Fatal("cartesian blowup should hit the row cap")
+	}
+}

@@ -1,0 +1,1150 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fisql/internal/sqlast"
+	"fisql/internal/sqlparse"
+)
+
+// Executor runs SELECT statements against one database. An Executor is not
+// safe for concurrent use; they are cheap, so create one per goroutine.
+type Executor struct {
+	db *Database
+	// maxRows caps intermediate join sizes to guard against accidental
+	// cartesian blowups from generated queries.
+	maxRows int
+	// lastProjected holds the projection context of the most recent
+	// execCore call, consumed immediately by orderRows.
+	lastProjected []projected
+}
+
+// NewExecutor returns an executor over db.
+func NewExecutor(db *Database) *Executor {
+	return &Executor{db: db, maxRows: 2_000_000}
+}
+
+// Query parses and executes a SELECT given as text.
+func (ex *Executor) Query(sql string) (*Result, error) {
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Select(sel)
+}
+
+// Select executes a parsed SELECT.
+func (ex *Executor) Select(sel *sqlast.SelectStmt) (*Result, error) {
+	return ex.execSelect(sel, nil)
+}
+
+// ----------------------------------------------------------------------------
+// Row environments
+
+// binding exposes one table source's columns under its alias.
+type binding struct {
+	alias string // lowercase alias or table name
+	cols  []string
+	vals  []Value
+}
+
+// rowEnv is the scope an expression evaluates in: the current row's
+// bindings, chained to the enclosing query's scope for correlated
+// subqueries.
+type rowEnv struct {
+	bindings []binding
+	outer    *rowEnv
+}
+
+// lookup resolves a (possibly qualified) column reference.
+func (env *rowEnv) lookup(table, col string) (Value, error) {
+	for e := env; e != nil; e = e.outer {
+		if table != "" {
+			for _, b := range e.bindings {
+				if b.alias == strings.ToLower(table) {
+					for i, c := range b.cols {
+						if strings.EqualFold(c, col) {
+							return b.vals[i], nil
+						}
+					}
+					return Value{}, fmt.Errorf("column %s.%s not found", table, col)
+				}
+			}
+			continue // alias might belong to an outer scope
+		}
+		found := false
+		var v Value
+		for _, b := range e.bindings {
+			for i, c := range b.cols {
+				if strings.EqualFold(c, col) {
+					if found {
+						return Value{}, fmt.Errorf("ambiguous column %q", col)
+					}
+					found = true
+					v = b.vals[i]
+				}
+			}
+		}
+		if found {
+			return v, nil
+		}
+	}
+	if table != "" {
+		return Value{}, fmt.Errorf("unknown table or alias %q", table)
+	}
+	return Value{}, fmt.Errorf("unknown column %q", col)
+}
+
+// ----------------------------------------------------------------------------
+// FROM evaluation
+
+// sourceRows materializes one table source as a binding list per row.
+func (ex *Executor) sourceRows(ts sqlast.TableSource, outer *rowEnv) (alias string, cols []string, rows [][]Value, err error) {
+	if ts.Sub != nil {
+		res, err := ex.execSelect(ts.Sub, outer)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		alias = strings.ToLower(ts.Alias)
+		if alias == "" {
+			alias = "subquery"
+		}
+		return alias, res.Columns, res.Rows, nil
+	}
+	t, ok := ex.db.Table(ts.Name)
+	if !ok {
+		return "", nil, nil, fmt.Errorf("unknown table %q", ts.Name)
+	}
+	alias = strings.ToLower(ts.Alias)
+	if alias == "" {
+		alias = strings.ToLower(ts.Name)
+	}
+	cols = make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = c.Name
+	}
+	return alias, cols, t.Rows, nil
+}
+
+// fromRows evaluates the FROM clause into a slice of row environments.
+func (ex *Executor) fromRows(from *sqlast.FromClause, outer *rowEnv) ([]*rowEnv, error) {
+	if from == nil {
+		return []*rowEnv{{outer: outer}}, nil
+	}
+	alias, cols, rows, err := ex.sourceRows(from.First, outer)
+	if err != nil {
+		return nil, err
+	}
+	envs := make([]*rowEnv, 0, len(rows))
+	for _, r := range rows {
+		envs = append(envs, &rowEnv{
+			bindings: []binding{{alias: alias, cols: cols, vals: r}},
+			outer:    outer,
+		})
+	}
+	for _, j := range from.Joins {
+		jAlias, jCols, jRows, err := ex.sourceRows(j.Source, outer)
+		if err != nil {
+			return nil, err
+		}
+		joined := make([]*rowEnv, 0, len(envs))
+		for _, left := range envs {
+			matched := false
+			for _, r := range jRows {
+				cand := &rowEnv{
+					bindings: append(append([]binding{}, left.bindings...),
+						binding{alias: jAlias, cols: jCols, vals: r}),
+					outer: outer,
+				}
+				if j.On != nil {
+					ok, err := ex.evalBool(j.On, cand, nil)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				matched = true
+				joined = append(joined, cand)
+				if len(joined) > ex.maxRows {
+					return nil, fmt.Errorf("join result exceeds %d rows", ex.maxRows)
+				}
+			}
+			if !matched && j.Type == sqlast.JoinLeft {
+				nulls := make([]Value, len(jCols))
+				for i := range nulls {
+					nulls[i] = Null()
+				}
+				joined = append(joined, &rowEnv{
+					bindings: append(append([]binding{}, left.bindings...),
+						binding{alias: jAlias, cols: jCols, vals: nulls}),
+					outer: outer,
+				})
+			}
+		}
+		envs = joined
+	}
+	return envs, nil
+}
+
+// ----------------------------------------------------------------------------
+// Expression evaluation
+
+// evalCtx carries the optional aggregate group: when non-nil, aggregate
+// function calls evaluate over these rows instead of erroring.
+type evalCtx struct {
+	group []*rowEnv
+}
+
+func (ex *Executor) evalBool(e sqlast.Expr, env *rowEnv, ctx *evalCtx) (bool, error) {
+	v, err := ex.eval(e, env, ctx)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+func (ex *Executor) eval(e sqlast.Expr, env *rowEnv, ctx *evalCtx) (Value, error) {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		return env.lookup(x.Table, x.Column)
+	case *sqlast.Literal:
+		switch x.Kind {
+		case sqlast.LitNull:
+			return Null(), nil
+		case sqlast.LitBool:
+			return Bool(x.Text == "TRUE"), nil
+		case sqlast.LitString:
+			return Text(x.Text), nil
+		case sqlast.LitNumber:
+			if strings.Contains(x.Text, ".") {
+				f, err := strconv.ParseFloat(x.Text, 64)
+				if err != nil {
+					return Value{}, fmt.Errorf("bad number %q", x.Text)
+				}
+				return Float(f), nil
+			}
+			i, err := strconv.ParseInt(x.Text, 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("bad number %q", x.Text)
+			}
+			return Int(i), nil
+		}
+		return Value{}, fmt.Errorf("bad literal kind %d", x.Kind)
+	case *sqlast.Binary:
+		return ex.evalBinary(x, env, ctx)
+	case *sqlast.Unary:
+		v, err := ex.eval(x.X, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case sqlast.OpNot:
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return Bool(!v.Truthy()), nil
+		case sqlast.OpNeg:
+			switch v.T {
+			case TypeInt:
+				return Int(-v.I), nil
+			case TypeFloat:
+				return Float(-v.F), nil
+			case TypeNull:
+				return Null(), nil
+			}
+			return Value{}, fmt.Errorf("cannot negate %s", v.T)
+		}
+		return Value{}, fmt.Errorf("bad unary op %d", x.Op)
+	case *sqlast.FuncCall:
+		return ex.evalFunc(x, env, ctx)
+	case *sqlast.InExpr:
+		return ex.evalIn(x, env, ctx)
+	case *sqlast.BetweenExpr:
+		v, err := ex.eval(x.X, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := ex.eval(x.Lo, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := ex.eval(x.Hi, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null(), nil
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		if x.Not {
+			in = !in
+		}
+		return Bool(in), nil
+	case *sqlast.LikeExpr:
+		v, err := ex.eval(x.X, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		pat, err := ex.eval(x.Pattern, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() || pat.IsNull() {
+			return Null(), nil
+		}
+		m := likeMatch(v.String(), pat.String())
+		if x.Not {
+			m = !m
+		}
+		return Bool(m), nil
+	case *sqlast.IsNullExpr:
+		v, err := ex.eval(x.X, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		isNull := v.IsNull()
+		if x.Not {
+			isNull = !isNull
+		}
+		return Bool(isNull), nil
+	case *sqlast.ExistsExpr:
+		res, err := ex.execSelect(x.Sub, env)
+		if err != nil {
+			return Value{}, err
+		}
+		exists := len(res.Rows) > 0
+		if x.Not {
+			exists = !exists
+		}
+		return Bool(exists), nil
+	case *sqlast.SubqueryExpr:
+		res, err := ex.execSelect(x.Sub, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(res.Rows) == 0 {
+			return Null(), nil
+		}
+		if len(res.Columns) != 1 {
+			return Value{}, fmt.Errorf("scalar subquery returned %d columns", len(res.Columns))
+		}
+		if len(res.Rows) > 1 {
+			return Value{}, fmt.Errorf("scalar subquery returned %d rows", len(res.Rows))
+		}
+		return res.Rows[0][0], nil
+	case *sqlast.CaseExpr:
+		for _, w := range x.Whens {
+			ok, err := ex.evalBool(w.When, env, ctx)
+			if err != nil {
+				return Value{}, err
+			}
+			if ok {
+				return ex.eval(w.Then, env, ctx)
+			}
+		}
+		if x.Else != nil {
+			return ex.eval(x.Else, env, ctx)
+		}
+		return Null(), nil
+	}
+	return Value{}, fmt.Errorf("unsupported expression %T", e)
+}
+
+func (ex *Executor) evalBinary(x *sqlast.Binary, env *rowEnv, ctx *evalCtx) (Value, error) {
+	// AND/OR get three-valued logic with short-circuiting.
+	if x.Op == sqlast.OpAnd || x.Op == sqlast.OpOr {
+		l, err := ex.eval(x.L, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == sqlast.OpAnd && !l.IsNull() && !l.Truthy() {
+			return Bool(false), nil
+		}
+		if x.Op == sqlast.OpOr && !l.IsNull() && l.Truthy() {
+			return Bool(true), nil
+		}
+		r, err := ex.eval(x.R, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsNull() || r.IsNull() {
+			// a AND NULL is NULL unless a is false (handled above);
+			// a OR NULL is NULL unless a is true (handled above).
+			if x.Op == sqlast.OpAnd && !r.IsNull() && !r.Truthy() {
+				return Bool(false), nil
+			}
+			if x.Op == sqlast.OpOr && !r.IsNull() && r.Truthy() {
+				return Bool(true), nil
+			}
+			return Null(), nil
+		}
+		if x.Op == sqlast.OpAnd {
+			return Bool(l.Truthy() && r.Truthy()), nil
+		}
+		return Bool(l.Truthy() || r.Truthy()), nil
+	}
+	l, err := ex.eval(x.L, env, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ex.eval(x.R, env, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case sqlast.OpEq, sqlast.OpNeq, sqlast.OpLt, sqlast.OpLte, sqlast.OpGt, sqlast.OpGte:
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		c := Compare(l, r)
+		switch x.Op {
+		case sqlast.OpEq:
+			return Bool(c == 0), nil
+		case sqlast.OpNeq:
+			return Bool(c != 0), nil
+		case sqlast.OpLt:
+			return Bool(c < 0), nil
+		case sqlast.OpLte:
+			return Bool(c <= 0), nil
+		case sqlast.OpGt:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case sqlast.OpAdd, sqlast.OpSub, sqlast.OpMul, sqlast.OpDiv, sqlast.OpMod:
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return Value{}, fmt.Errorf("arithmetic on non-numeric values %s, %s", l.T, r.T)
+		}
+		bothInt := l.T == TypeInt && r.T == TypeInt
+		switch x.Op {
+		case sqlast.OpAdd:
+			if bothInt {
+				return Int(l.I + r.I), nil
+			}
+			return Float(lf + rf), nil
+		case sqlast.OpSub:
+			if bothInt {
+				return Int(l.I - r.I), nil
+			}
+			return Float(lf - rf), nil
+		case sqlast.OpMul:
+			if bothInt {
+				return Int(l.I * r.I), nil
+			}
+			return Float(lf * rf), nil
+		case sqlast.OpDiv:
+			if rf == 0 {
+				return Null(), nil
+			}
+			return Float(lf / rf), nil
+		default: // OpMod
+			if !bothInt || r.I == 0 {
+				return Null(), nil
+			}
+			return Int(l.I % r.I), nil
+		}
+	}
+	return Value{}, fmt.Errorf("bad binary op %d", x.Op)
+}
+
+func (ex *Executor) evalIn(x *sqlast.InExpr, env *rowEnv, ctx *evalCtx) (Value, error) {
+	v, err := ex.eval(x.X, env, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	var candidates []Value
+	if x.Sub != nil {
+		res, err := ex.execSelect(x.Sub, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(res.Columns) != 1 {
+			return Value{}, fmt.Errorf("IN subquery returned %d columns", len(res.Columns))
+		}
+		for _, row := range res.Rows {
+			candidates = append(candidates, row[0])
+		}
+	} else {
+		for _, le := range x.List {
+			c, err := ex.eval(le, env, ctx)
+			if err != nil {
+				return Value{}, err
+			}
+			candidates = append(candidates, c)
+		}
+	}
+	sawNull := false
+	for _, c := range candidates {
+		eq, known := Equal(v, c)
+		if !known {
+			sawNull = true
+			continue
+		}
+		if eq {
+			return Bool(!x.Not), nil
+		}
+	}
+	if sawNull {
+		return Null(), nil
+	}
+	return Bool(x.Not), nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively.
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Aggregates
+
+func isAggregateName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// hasAggregate reports whether e contains an aggregate call outside
+// subqueries.
+func hasAggregate(e sqlast.Expr) bool {
+	found := false
+	sqlast.Walk(e, func(n sqlast.Expr) bool {
+		switch x := n.(type) {
+		case *sqlast.FuncCall:
+			if isAggregateName(x.Name) {
+				found = true
+				return false
+			}
+		case *sqlast.SubqueryExpr, *sqlast.ExistsExpr:
+			return false // do not descend into subqueries
+		case *sqlast.InExpr:
+			if x.Sub != nil {
+				sqlast.Walk(x.X, func(m sqlast.Expr) bool {
+					if fc, ok := m.(*sqlast.FuncCall); ok && isAggregateName(fc.Name) {
+						found = true
+						return false
+					}
+					return true
+				})
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (ex *Executor) evalFunc(x *sqlast.FuncCall, env *rowEnv, ctx *evalCtx) (Value, error) {
+	if isAggregateName(x.Name) {
+		if ctx == nil || ctx.group == nil {
+			return Value{}, fmt.Errorf("aggregate %s used outside aggregation context", x.Name)
+		}
+		return ex.evalAggregate(x, ctx.group)
+	}
+	// Scalar functions.
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ex.eval(a, env, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "LENGTH":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("LENGTH takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Int(int64(len(args[0].String()))), nil
+	case "LOWER":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("LOWER takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Text(strings.ToLower(args[0].String())), nil
+	case "UPPER":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("UPPER takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Text(strings.ToUpper(args[0].String())), nil
+	case "ABS":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("ABS takes 1 argument")
+		}
+		switch args[0].T {
+		case TypeNull:
+			return Null(), nil
+		case TypeInt:
+			if args[0].I < 0 {
+				return Int(-args[0].I), nil
+			}
+			return args[0], nil
+		case TypeFloat:
+			if args[0].F < 0 {
+				return Float(-args[0].F), nil
+			}
+			return args[0], nil
+		}
+		return Value{}, fmt.Errorf("ABS of non-numeric value")
+	}
+	return Value{}, fmt.Errorf("unknown function %q", x.Name)
+}
+
+func (ex *Executor) evalAggregate(x *sqlast.FuncCall, group []*rowEnv) (Value, error) {
+	// COUNT(*) counts rows; everything else evaluates the argument per row
+	// and skips NULLs.
+	if x.Star {
+		if x.Name != "COUNT" {
+			return Value{}, fmt.Errorf("%s(*) is not valid", x.Name)
+		}
+		return Int(int64(len(group))), nil
+	}
+	if len(x.Args) != 1 {
+		return Value{}, fmt.Errorf("%s takes 1 argument", x.Name)
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, env := range group {
+		v, err := ex.eval(x.Args[0], env, nil)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if x.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch x.Name {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return Value{}, fmt.Errorf("%s of non-numeric value", x.Name)
+			}
+			if v.T != TypeInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if x.Name == "AVG" {
+			return Float(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return Int(int64(sum)), nil
+		}
+		return Float(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Value{}, fmt.Errorf("unknown aggregate %q", x.Name)
+}
+
+// ----------------------------------------------------------------------------
+// SELECT execution
+
+func (ex *Executor) execSelect(sel *sqlast.SelectStmt, outer *rowEnv) (*Result, error) {
+	res, err := ex.execCore(sel, outer)
+	if err != nil {
+		return nil, err
+	}
+	// Set operations combine projected row sets.
+	for c := sel.Compound; c != nil; {
+		right, err := ex.execCore(c.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Columns) != len(res.Columns) {
+			return nil, fmt.Errorf("%s arms have %d vs %d columns", c.Op, len(res.Columns), len(right.Columns))
+		}
+		res.Rows = combineSetOp(c.Op, res.Rows, right.Rows)
+		c = c.Right.Compound
+	}
+	if sel.Compound != nil {
+		switch sel.Compound.Op {
+		case sqlast.SetUnion, sqlast.SetIntersect, sqlast.SetExcept:
+			res.Rows = dedupeRows(res.Rows)
+		}
+	}
+	// ORDER BY over the final projected rows.
+	if len(sel.OrderBy) > 0 {
+		if err := ex.orderRows(sel, res); err != nil {
+			return nil, err
+		}
+		res.Ordered = true
+	}
+	// LIMIT / OFFSET.
+	if sel.Limit != nil {
+		lim, err := ex.eval(sel.Limit, &rowEnv{outer: outer}, nil)
+		if err != nil {
+			return nil, err
+		}
+		off := int64(0)
+		if sel.Offset != nil {
+			ov, err := ex.eval(sel.Offset, &rowEnv{outer: outer}, nil)
+			if err != nil {
+				return nil, err
+			}
+			off = ov.I
+		}
+		n, _ := lim.AsFloat()
+		limit := int(n)
+		start := int(off)
+		if start > len(res.Rows) {
+			start = len(res.Rows)
+		}
+		end := start + limit
+		if limit < 0 || end > len(res.Rows) {
+			end = len(res.Rows)
+		}
+		res.Rows = res.Rows[start:end]
+	}
+	return res, nil
+}
+
+func combineSetOp(op sqlast.SetOp, a, b [][]Value) [][]Value {
+	switch op {
+	case sqlast.SetUnion, sqlast.SetUnionAll:
+		return append(a, b...)
+	case sqlast.SetIntersect:
+		keys := map[string]bool{}
+		for _, r := range b {
+			keys[rowKey(r)] = true
+		}
+		var out [][]Value
+		for _, r := range a {
+			if keys[rowKey(r)] {
+				out = append(out, r)
+			}
+		}
+		return out
+	case sqlast.SetExcept:
+		keys := map[string]bool{}
+		for _, r := range b {
+			keys[rowKey(r)] = true
+		}
+		var out [][]Value
+		for _, r := range a {
+			if !keys[rowKey(r)] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return a
+}
+
+func dedupeRows(rows [][]Value) [][]Value {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		k := rowKey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// projected carries an output row together with the environment/group it was
+// produced from, so ORDER BY can evaluate arbitrary expressions.
+type projected struct {
+	row   []Value
+	env   *rowEnv
+	group []*rowEnv
+}
+
+// execCore runs one SELECT arm (no set ops, no order/limit) and stashes the
+// per-row evaluation context in the result for ORDER BY.
+func (ex *Executor) execCore(sel *sqlast.SelectStmt, outer *rowEnv) (*Result, error) {
+	projRows, cols, err := ex.project(sel, outer)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols}
+	for _, p := range projRows {
+		res.Rows = append(res.Rows, p.row)
+	}
+	ex.lastProjected = projRows
+	return res, nil
+}
+
+func (ex *Executor) orderRows(sel *sqlast.SelectStmt, res *Result) error {
+	projRows := ex.lastProjected
+	if len(projRows) != len(res.Rows) {
+		// Set operations changed the row set; order on output columns only.
+		projRows = nil
+	}
+	type sortRow struct {
+		row  []Value
+		keys []Value
+	}
+	rows := make([]sortRow, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i].row = r
+		rows[i].keys = make([]Value, len(sel.OrderBy))
+		for k, ob := range sel.OrderBy {
+			v, err := ex.orderKey(ob.Expr, sel, res, r, projRows, i)
+			if err != nil {
+				return err
+			}
+			rows[i].keys[k] = v
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, ob := range sel.OrderBy {
+			c := Compare(rows[i].keys[k], rows[j].keys[k])
+			if c != 0 {
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	for i := range rows {
+		res.Rows[i] = rows[i].row
+	}
+	return nil
+}
+
+// orderKey evaluates one ORDER BY key for row i.
+func (ex *Executor) orderKey(e sqlast.Expr, sel *sqlast.SelectStmt, res *Result, row []Value, projRows []projected, i int) (Value, error) {
+	// Ordinal: ORDER BY 2.
+	if lit, ok := e.(*sqlast.Literal); ok && lit.Kind == sqlast.LitNumber {
+		n, err := strconv.Atoi(lit.Text)
+		if err == nil && n >= 1 && n <= len(row) {
+			return row[n-1], nil
+		}
+	}
+	// Output column / alias match.
+	if cr, ok := e.(*sqlast.ColumnRef); ok && cr.Table == "" {
+		for j, c := range res.Columns {
+			if strings.EqualFold(c, cr.Column) {
+				return row[j], nil
+			}
+		}
+	}
+	// Expression match against a select item (e.g. ORDER BY COUNT(*)).
+	want := sqlast.PrintExpr(e)
+	for j, it := range sel.Items {
+		if it.Expr != nil && sqlast.PrintExpr(it.Expr) == want && j < len(row) {
+			return row[j], nil
+		}
+	}
+	// General expression over the source row/group.
+	if projRows != nil && i < len(projRows) {
+		p := projRows[i]
+		var ctx *evalCtx
+		if p.group != nil {
+			ctx = &evalCtx{group: p.group}
+		}
+		return ex.eval(e, p.env, ctx)
+	}
+	return Value{}, fmt.Errorf("cannot resolve ORDER BY expression %s", want)
+}
+
+// project evaluates FROM/WHERE/GROUP BY/HAVING and the select list.
+func (ex *Executor) project(sel *sqlast.SelectStmt, outer *rowEnv) ([]projected, []string, error) {
+	envs, err := ex.fromRows(sel.From, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sel.Where != nil {
+		kept := envs[:0]
+		for _, env := range envs {
+			ok, err := ex.evalBool(sel.Where, env, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				kept = append(kept, env)
+			}
+		}
+		envs = kept
+	}
+
+	aggregated := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !aggregated {
+		for _, it := range sel.Items {
+			if it.Expr != nil && hasAggregate(it.Expr) {
+				aggregated = true
+				break
+			}
+		}
+	}
+	if !aggregated {
+		for _, ob := range sel.OrderBy {
+			if hasAggregate(ob.Expr) && len(sel.GroupBy) > 0 {
+				aggregated = true
+				break
+			}
+		}
+	}
+
+	cols := ex.outputColumns(sel, envs)
+
+	var out []projected
+	if aggregated {
+		groups, reps, err := ex.groupRows(sel, envs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for gi, group := range groups {
+			ctx := &evalCtx{group: group}
+			rep := reps[gi]
+			if sel.Having != nil {
+				ok, err := ex.evalBool(sel.Having, rep, ctx)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			row, err := ex.projectRow(sel, rep, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, projected{row: row, env: rep, group: group})
+		}
+	} else {
+		for _, env := range envs {
+			row, err := ex.projectRow(sel, env, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, projected{row: row, env: env})
+		}
+	}
+
+	if sel.Distinct {
+		seen := map[string]bool{}
+		kept := out[:0]
+		for _, p := range out {
+			k := rowKey(p.row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, p)
+		}
+		out = kept
+	}
+	return out, cols, nil
+}
+
+// groupRows partitions envs by the GROUP BY key. With no GROUP BY the whole
+// input is a single group (global aggregation). Returns groups plus one
+// representative env per group.
+func (ex *Executor) groupRows(sel *sqlast.SelectStmt, envs []*rowEnv) ([][]*rowEnv, []*rowEnv, error) {
+	if len(sel.GroupBy) == 0 {
+		rep := &rowEnv{}
+		if len(envs) > 0 {
+			rep = envs[0]
+		}
+		return [][]*rowEnv{envs}, []*rowEnv{rep}, nil
+	}
+	index := map[string]int{}
+	var groups [][]*rowEnv
+	var reps []*rowEnv
+	for _, env := range envs {
+		var kb strings.Builder
+		for _, g := range sel.GroupBy {
+			v, err := ex.eval(g, env, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, nil)
+			reps = append(reps, env)
+		}
+		groups[gi] = append(groups[gi], env)
+	}
+	return groups, reps, nil
+}
+
+// projectRow evaluates the select list for one row/group.
+func (ex *Executor) projectRow(sel *sqlast.SelectStmt, env *rowEnv, ctx *evalCtx) ([]Value, error) {
+	var row []Value
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			for _, b := range env.bindings {
+				row = append(row, b.vals...)
+			}
+		case it.TableStar != "":
+			found := false
+			for _, b := range env.bindings {
+				if b.alias == strings.ToLower(it.TableStar) {
+					row = append(row, b.vals...)
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("unknown table %q in %s.*", it.TableStar, it.TableStar)
+			}
+		default:
+			v, err := ex.eval(it.Expr, env, ctx)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+	}
+	return row, nil
+}
+
+// outputColumns derives the result header.
+func (ex *Executor) outputColumns(sel *sqlast.SelectStmt, envs []*rowEnv) []string {
+	var cols []string
+	var sample *rowEnv
+	if len(envs) > 0 {
+		sample = envs[0]
+	}
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			if sample != nil {
+				for _, b := range sample.bindings {
+					cols = append(cols, b.cols...)
+				}
+			} else if schema := ex.starColumns(sel); schema != nil {
+				cols = append(cols, schema...)
+			} else {
+				cols = append(cols, "*")
+			}
+		case it.TableStar != "":
+			added := false
+			if sample != nil {
+				for _, b := range sample.bindings {
+					if b.alias == strings.ToLower(it.TableStar) {
+						cols = append(cols, b.cols...)
+						added = true
+					}
+				}
+			}
+			if !added {
+				if t, ok := ex.db.Table(it.TableStar); ok {
+					for _, c := range t.Columns {
+						cols = append(cols, c.Name)
+					}
+				} else {
+					cols = append(cols, it.TableStar+".*")
+				}
+			}
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if cr, ok := it.Expr.(*sqlast.ColumnRef); ok {
+				cols = append(cols, cr.Column)
+			} else {
+				cols = append(cols, sqlast.PrintExpr(it.Expr))
+			}
+		}
+	}
+	return cols
+}
+
+// starColumns derives the SELECT * header from the catalog when the row set
+// is empty (so headers stay stable regardless of data).
+func (ex *Executor) starColumns(sel *sqlast.SelectStmt) []string {
+	if sel.From == nil || sel.From.First.Name == "" {
+		return nil
+	}
+	var cols []string
+	add := func(name string) bool {
+		t, ok := ex.db.Table(name)
+		if !ok {
+			return false
+		}
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name)
+		}
+		return true
+	}
+	if !add(sel.From.First.Name) {
+		return nil
+	}
+	for _, j := range sel.From.Joins {
+		if j.Source.Name == "" || !add(j.Source.Name) {
+			return nil
+		}
+	}
+	return cols
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+)
+
+// Result is the output of executing a SELECT.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Ordered is true when the query had an ORDER BY, in which case row
+	// order is significant for equality.
+	Ordered bool
+}
+
+// rowKey renders one row as a canonical string.
+func rowKey(row []Value) string {
+	var sb strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			sb.WriteByte('\x1f')
+		}
+		sb.WriteString(v.Key())
+	}
+	return sb.String()
+}
+
+// Fingerprint returns a canonical rendering of the result's data: ordered
+// rows joined in order, unordered rows joined after sorting. Column names
+// are excluded — execution-accuracy compares data, not header spelling.
+func (r *Result) Fingerprint() string {
+	keys := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		keys[i] = rowKey(row)
+	}
+	if !r.Ordered {
+		sort.Strings(keys)
+	}
+	return strings.Join(keys, "\x1e")
+}
+
+// EqualResults implements the execution-match metric: identical column
+// count, identical row multiset — compared in order as soon as either side
+// imposed an ORDER BY. The asymmetric case matters: a prediction that drops
+// the gold query's ORDER BY must count as wrong, exactly as in SPIDER-style
+// execution-accuracy harnesses. Engine row order is deterministic, so the
+// comparison is well-defined for the unordered side too.
+func EqualResults(a, b *Result) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Columns) != len(b.Columns) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	ordered := a.Ordered || b.Ordered
+	ka := make([]string, len(a.Rows))
+	kb := make([]string, len(b.Rows))
+	for i := range a.Rows {
+		ka[i] = rowKey(a.Rows[i])
+		kb[i] = rowKey(b.Rows[i])
+	}
+	if !ordered {
+		sort.Strings(ka)
+		sort.Strings(kb)
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	// If exactly one side imposed an order, the multiset comparison above
+	// is the fair one (the unordered side may legally return any order).
+	return true
+}
+
+// Format renders the result as an aligned text table for CLI/chat display.
+func (r *Result) Format() string {
+	if len(r.Rows) == 0 {
+		return "(no rows)"
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.String()
+			cells[i][j] = s
+			if j < len(widths) && len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for j, s := range vals {
+			if j > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(s)
+			for k := len(s); k < widths[j]; k++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for j, w := range widths {
+		if j > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,248 @@
+// Package engine is an in-memory relational engine: a catalog of typed
+// tables plus an executor for the sqlast SELECT surface. It exists so the
+// evaluation harness can measure *execution accuracy* — the paper's metric —
+// by really running gold and predicted SQL and comparing result sets.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type is the dynamic type of a Value.
+type Type int
+
+// Value types. Dates are stored as TEXT in ISO form (YYYY-MM-DD), which
+// makes lexicographic comparison agree with chronological order.
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeFloat
+	TypeText
+	TypeBool
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "REAL"
+	case TypeText:
+		return "TEXT"
+	case TypeBool:
+		return "BOOL"
+	}
+	return "?type?"
+}
+
+// Value is a dynamically typed SQL value.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+// Constructors.
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{T: TypeNull} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{T: TypeInt, I: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{T: TypeFloat, F: f} }
+
+// Text returns a text value.
+func Text(s string) Value { return Value{T: TypeText, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{T: TypeBool, B: b} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.T == TypeNull }
+
+// Truthy reports whether v counts as true in a filter. NULL is not true.
+func (v Value) Truthy() bool {
+	switch v.T {
+	case TypeBool:
+		return v.B
+	case TypeInt:
+		return v.I != 0
+	case TypeFloat:
+		return v.F != 0
+	case TypeText:
+		return v.S != ""
+	}
+	return false
+}
+
+// AsFloat converts numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.T {
+	case TypeInt:
+		return float64(v.I), true
+	case TypeFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// String renders the value the way result tables display it.
+func (v Value) String() string {
+	switch v.T {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeText:
+		return v.S
+	case TypeBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	}
+	return "?value?"
+}
+
+// Key renders the value as a canonical map key. Integers and integral floats
+// collapse to the same key so that e.g. COUNT results compare equal across
+// numeric types.
+func (v Value) Key() string {
+	switch v.T {
+	case TypeNull:
+		return "\x00N"
+	case TypeInt:
+		return "#" + strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		if v.F == float64(int64(v.F)) {
+			return "#" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "#" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeText:
+		return "s" + v.S
+	case TypeBool:
+		if v.B {
+			return "#1"
+		}
+		return "#0"
+	}
+	return "?"
+}
+
+// Compare orders two values: -1, 0, +1. NULL sorts before everything.
+// Numeric types compare numerically across int/float/bool; text compares
+// lexicographically (case-insensitive, matching common collations used by
+// NL2SQL evaluation harnesses). Mixed text/number falls back to the string
+// rendering.
+func Compare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	af, aok := a.numeric()
+	bf, bok := b.numeric()
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, bs := a.String(), b.String()
+	al, bl := strings.ToLower(as), strings.ToLower(bs)
+	switch {
+	case al < bl:
+		return -1
+	case al > bl:
+		return 1
+	default:
+		return strings.Compare(as, bs)
+	}
+}
+
+func (v Value) numeric() (float64, bool) {
+	switch v.T {
+	case TypeInt:
+		return float64(v.I), true
+	case TypeFloat:
+		return v.F, true
+	case TypeBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Equal reports SQL equality (NULL never equals anything, including NULL).
+// The second result is false when the comparison involves NULL.
+func Equal(a, b Value) (eq, known bool) {
+	if a.IsNull() || b.IsNull() {
+		return false, false
+	}
+	return Compare(a, b) == 0, true
+}
+
+// ParseLiteral converts literal source text into a Value of the named
+// column type. Used when loading INSERT fixtures.
+func ParseLiteral(text string, t Type) (Value, error) {
+	switch t {
+	case TypeInt:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad int literal %q: %w", text, err)
+		}
+		return Int(i), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad float literal %q: %w", text, err)
+		}
+		return Float(f), nil
+	case TypeBool:
+		switch strings.ToUpper(text) {
+		case "TRUE", "1":
+			return Bool(true), nil
+		case "FALSE", "0":
+			return Bool(false), nil
+		}
+		return Value{}, fmt.Errorf("bad bool literal %q", text)
+	default:
+		return Text(text), nil
+	}
+}
+
+// TypeFromSQL maps a CREATE TABLE type name onto an engine type.
+func TypeFromSQL(name string) Type {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER":
+		return TypeInt
+	case "REAL", "FLOAT":
+		return TypeFloat
+	case "BOOL", "BOOLEAN":
+		return TypeBool
+	default: // TEXT, VARCHAR, DATE, anything else
+		return TypeText
+	}
+}

@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/feedback"
+)
+
+// Error analysis tooling. The paper's §4.2 attributes residual errors to
+// three causes: (a) queries with multiple errors needing multiple feedback
+// rounds, (b) feedback the approach cannot interpret, and (c) feedback
+// misaligned with the needed correction. This file quantifies that
+// attribution for any method run, and reports the router's confusion
+// matrix.
+
+// Cause labels a residual error's reason.
+type Cause int
+
+// Residual-error causes (§4.2).
+const (
+	// CauseCorrected marks instances that were fixed (no residual error).
+	CauseCorrected Cause = iota
+	// CauseMultiError — the query carried several errors; one round fixed
+	// at most one of them (paper cause (a)).
+	CauseMultiError
+	// CauseUninterpretable — the feedback carried no actionable edit
+	// (paper cause (b)).
+	CauseUninterpretable
+	// CauseMisaligned — the feedback asked for a change that does not
+	// correct the query (paper cause (c)).
+	CauseMisaligned
+	// CauseEditFailed — the feedback was aligned but the method's edit
+	// missed (wrong operation type, wrong grounding).
+	CauseEditFailed
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseCorrected:
+		return "corrected"
+	case CauseMultiError:
+		return "multiple errors (a)"
+	case CauseUninterpretable:
+		return "uninterpretable feedback (b)"
+	case CauseMisaligned:
+		return "misaligned feedback (c)"
+	case CauseEditFailed:
+		return "edit misapplied"
+	}
+	return "?cause?"
+}
+
+// Analysis tallies one method's outcome per cause.
+type Analysis struct {
+	Method string
+	N      int
+	Counts map[Cause]int
+}
+
+// AnalyzeCorrection runs one feedback round for every annotated error and
+// attributes each residual failure to its cause, using the corpus's trap
+// annotations as ground truth.
+func AnalyzeCorrection(ctx context.Context, corrector core.Corrector, ds *dataset.Dataset, errs []GenResult) (Analysis, error) {
+	annot := NewAnnotator(ds)
+	out := Analysis{Method: corrector.Name(), Counts: map[Cause]int{}}
+	for _, ge := range errs {
+		e := ge.Example
+		fb, ok := annot.Annotate(e, ge.SQL, 1, false)
+		if !ok {
+			continue
+		}
+		out.N++
+		next, err := corrector.Correct(ctx, e.DB, e.Question, ge.SQL, fb)
+		if err != nil {
+			return Analysis{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if Match(ds.DBs[e.DB], e.Gold, next) {
+			out.Counts[CauseCorrected]++
+			continue
+		}
+		tr := e.Traps[fb.TrapIndex]
+		switch {
+		case tr.Vague:
+			out.Counts[CauseUninterpretable]++
+		case tr.Misaligned:
+			out.Counts[CauseMisaligned]++
+		case len(e.Traps) > 1:
+			out.Counts[CauseMultiError]++
+		default:
+			out.Counts[CauseEditFailed]++
+		}
+	}
+	return out, nil
+}
+
+// PrintAnalysis renders the cause breakdown.
+func PrintAnalysis(w io.Writer, a Analysis) {
+	fmt.Fprintf(w, "§4.2 — residual error analysis, %s (n=%d)\n", a.Method, a.N)
+	fmt.Fprintln(w, strings.Repeat("-", 52))
+	for _, c := range []Cause{CauseCorrected, CauseMultiError, CauseUninterpretable, CauseMisaligned, CauseEditFailed} {
+		n := a.Counts[c]
+		fmt.Fprintf(w, "%-30s %4d (%5.1f%%)\n", c, n, 100*float64(n)/float64(max(a.N, 1)))
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Router confusion matrix
+
+// RouterReport compares predicted operation types against ground truth over
+// all annotated feedback of a corpus.
+type RouterReport struct {
+	// Confusion[true][predicted] counts instances.
+	Confusion map[dataset.Op]map[dataset.Op]int
+	Total     int
+	Correct   int
+}
+
+// Accuracy returns the router's overall accuracy in percent.
+func (r RouterReport) Accuracy() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Correct) / float64(r.Total)
+}
+
+// RunRouterReport classifies every annotated error's round-1 feedback with
+// the given classifier.
+func RunRouterReport(ds *dataset.Dataset, classify func(string) dataset.Op) RouterReport {
+	annot := NewAnnotator(ds)
+	rep := RouterReport{Confusion: map[dataset.Op]map[dataset.Op]int{}}
+	for _, e := range ds.AnnotatedErrors() {
+		fb, ok := annot.Annotate(e, e.WrongSQL(), 1, false)
+		if !ok {
+			continue
+		}
+		got := classify(fb.Text)
+		if rep.Confusion[fb.Op] == nil {
+			rep.Confusion[fb.Op] = map[dataset.Op]int{}
+		}
+		rep.Confusion[fb.Op][got]++
+		rep.Total++
+		if got == fb.Op {
+			rep.Correct++
+		}
+	}
+	return rep
+}
+
+// PrintRouterReport renders two classifiers' confusion matrices side by
+// side.
+func PrintRouterReport(w io.Writer, name string, rep RouterReport) {
+	fmt.Fprintf(w, "Feedback-type classification — %s (accuracy %.1f%%)\n", name, rep.Accuracy())
+	ops := []dataset.Op{dataset.OpAdd, dataset.OpRemove, dataset.OpEdit}
+	fmt.Fprintf(w, "%-10s", "true\\pred")
+	for _, p := range ops {
+		fmt.Fprintf(w, "%8s", p)
+	}
+	fmt.Fprintln(w)
+	for _, tr := range ops {
+		fmt.Fprintf(w, "%-10s", tr)
+		for _, p := range ops {
+			fmt.Fprintf(w, "%8d", rep.Confusion[tr][p])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ClassifierRouted adapts the router classifier for RunRouterReport.
+func ClassifierRouted(text string) dataset.Op { return feedback.ClassifyRouted(text) }
+
+// ClassifierNaive adapts the naive classifier for RunRouterReport.
+func ClassifierNaive(text string) dataset.Op { return feedback.ClassifyNaive(text) }

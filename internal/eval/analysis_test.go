@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/rag"
+)
+
+func TestAnalyzeCorrectionSpider(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	res, _, err := RunGeneration(ctx, w.client, w.spider, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := rag.NewStore(w.spider.Demos)
+	method := &core.FISQL{Client: w.client, DS: w.spider, Store: store, K: 8, Routing: true}
+	a, err := AnalyzeCorrection(ctx, method, w.spider, Errors(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 101 {
+		t.Fatalf("n: %d", a.N)
+	}
+	// The attribution must reproduce the corpus quotas: 45 corrected, 20
+	// multi-error, 16 uninterpretable, 20 misaligned, 0 edit-failures
+	// (routing resolves the ambiguous one).
+	want := map[Cause]int{
+		CauseCorrected:       45,
+		CauseMultiError:      20,
+		CauseUninterpretable: 16,
+		CauseMisaligned:      20,
+		CauseEditFailed:      0,
+	}
+	for cause, n := range want {
+		if a.Counts[cause] != n {
+			t.Errorf("%v: got %d, want %d", cause, a.Counts[cause], n)
+		}
+	}
+
+	// Without routing, exactly one extra failure shifts into the
+	// edit-misapplied bucket (the op-ambiguous feedback).
+	noRouting := &core.FISQL{Client: w.client, DS: w.spider, Store: store, K: 8, Routing: false}
+	a2, err := AnalyzeCorrection(ctx, noRouting, w.spider, Errors(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Counts[CauseEditFailed] != 1 || a2.Counts[CauseCorrected] != 44 {
+		t.Errorf("no-routing analysis: corrected=%d editFailed=%d",
+			a2.Counts[CauseCorrected], a2.Counts[CauseEditFailed])
+	}
+}
+
+func TestPrintAnalysis(t *testing.T) {
+	var sb strings.Builder
+	PrintAnalysis(&sb, Analysis{Method: "FISQL", N: 101, Counts: map[Cause]int{
+		CauseCorrected: 45, CauseMultiError: 20,
+	}})
+	out := sb.String()
+	for _, want := range []string{"FISQL", "corrected", "multiple errors (a)", "45", "20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRouterReport(t *testing.T) {
+	w := getWorld(t)
+	routed := RunRouterReport(w.spider, ClassifierRouted)
+	naive := RunRouterReport(w.spider, ClassifierNaive)
+	if routed.Total != 101 || naive.Total != 101 {
+		t.Fatalf("totals: %d, %d", routed.Total, naive.Total)
+	}
+	if routed.Accuracy() <= naive.Accuracy() {
+		t.Errorf("router should beat the naive classifier: %.1f vs %.1f",
+			routed.Accuracy(), naive.Accuracy())
+	}
+	// The single designed confusion: the naive classifier reads the
+	// dedup request (true Add) as a Remove.
+	if naive.Confusion[dataset.OpAdd][dataset.OpRemove] == 0 {
+		t.Error("expected the Add→Remove confusion in the naive matrix")
+	}
+	if routed.Confusion[dataset.OpAdd][dataset.OpRemove] != 0 {
+		t.Error("router should not confuse dedup requests")
+	}
+	var sb strings.Builder
+	PrintRouterReport(&sb, "router", routed)
+	if !strings.Contains(sb.String(), "true\\pred") {
+		t.Errorf("report header missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/llm"
+)
+
+// Per-trap-kind correction breakdown and per-method cost accounting —
+// analysis beyond the paper's headline tables.
+
+// KindBreakdown tallies correction outcomes per trap kind.
+type KindBreakdown struct {
+	Method string
+	// Rows maps trap kind → (corrected, total) over single-trap annotated
+	// errors (multi-trap examples are reported under "multi").
+	Rows map[string]Accuracy
+}
+
+// RunKindBreakdown runs one feedback round per annotated error and buckets
+// the outcome by the trap kind the feedback targeted.
+func RunKindBreakdown(ctx context.Context, corrector core.Corrector, ds *dataset.Dataset, errs []GenResult) (KindBreakdown, error) {
+	annot := NewAnnotator(ds)
+	out := KindBreakdown{Method: corrector.Name(), Rows: map[string]Accuracy{}}
+	for _, ge := range errs {
+		e := ge.Example
+		fb, ok := annot.Annotate(e, ge.SQL, 1, false)
+		if !ok {
+			continue
+		}
+		key := "multi"
+		if len(e.Traps) == 1 {
+			key = e.Traps[0].Kind.String()
+		}
+		row := out.Rows[key]
+		row.Total++
+		next, err := corrector.Correct(ctx, e.DB, e.Question, ge.SQL, fb)
+		if err != nil {
+			return KindBreakdown{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if Match(ds.DBs[e.DB], e.Gold, next) {
+			row.Correct++
+		}
+		out.Rows[key] = row
+	}
+	return out, nil
+}
+
+// PrintKindBreakdown renders the per-kind table, sorted by kind name.
+func PrintKindBreakdown(w io.Writer, b KindBreakdown) {
+	fmt.Fprintf(w, "Correction rate by error kind — %s\n", b.Method)
+	fmt.Fprintln(w, strings.Repeat("-", 52))
+	keys := make([]string, 0, len(b.Rows))
+	for k := range b.Rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		row := b.Rows[k]
+		fmt.Fprintf(w, "%-22s %3d/%-3d (%5.1f%%)\n", k, row.Correct, row.Total, row.Pct())
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Cost accounting
+
+// Cost reports a method's LLM usage over one correction run.
+type Cost struct {
+	Method           string
+	Instances        int
+	Calls            int
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// CallsPerInstance returns the average LLM calls per feedback instance.
+func (c Cost) CallsPerInstance() float64 {
+	if c.Instances == 0 {
+		return 0
+	}
+	return float64(c.Calls) / float64(c.Instances)
+}
+
+// MeasureCost wraps the corrector-builder with metering and runs one
+// correction round, reporting usage. build receives the metered client and
+// must construct the method over it.
+func MeasureCost(ctx context.Context, client llm.Client, ds *dataset.Dataset,
+	errs []GenResult, build func(llm.Client) core.Corrector) (Cost, CorrectionResult, error) {
+	stats := &llm.Stats{}
+	metered := &llm.Metered{Inner: client, Stats: stats}
+	method := build(metered)
+	res, err := RunCorrection(ctx, method, ds, errs, CorrectionOptions{Rounds: 1})
+	if err != nil {
+		return Cost{}, CorrectionResult{}, err
+	}
+	pt, ct := stats.Tokens()
+	return Cost{
+		Method:           method.Name(),
+		Instances:        res.N,
+		Calls:            stats.Calls(),
+		PromptTokens:     pt,
+		CompletionTokens: ct,
+	}, res, nil
+}
+
+// PrintCosts renders the method-cost comparison.
+func PrintCosts(w io.Writer, costs []Cost) {
+	fmt.Fprintln(w, "LLM cost per correction round")
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	fmt.Fprintf(w, "%-22s %6s %12s %14s %12s\n", "Method", "calls", "calls/inst", "prompt toks", "compl toks")
+	for _, c := range costs {
+		fmt.Fprintf(w, "%-22s %6d %12.2f %14d %12d\n",
+			c.Method, c.Calls, c.CallsPerInstance(), c.PromptTokens, c.CompletionTokens)
+	}
+}

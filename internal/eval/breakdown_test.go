@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fisql/internal/core"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+)
+
+func TestKindBreakdownSpider(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	res, _, err := RunGeneration(ctx, w.client, w.spider, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := rag.NewStore(w.spider.Demos)
+	method := &core.FISQL{Client: w.client, DS: w.spider, Store: store, K: 8, Routing: true}
+	b, err := RunKindBreakdown(ctx, method, w.spider, Errors(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, corrected int
+	for _, row := range b.Rows {
+		total += row.Total
+		corrected += row.Correct
+	}
+	if total != 101 {
+		t.Errorf("total: %d", total)
+	}
+	if corrected != 45 {
+		t.Errorf("corrected: %d", corrected)
+	}
+	// Multi-trap examples never complete in one round.
+	if multi := b.Rows["multi"]; multi.Total != 20 || multi.Correct != 0 {
+		t.Errorf("multi bucket: %+v", multi)
+	}
+	var sb strings.Builder
+	PrintKindBreakdown(&sb, b)
+	if !strings.Contains(sb.String(), "multi") {
+		t.Errorf("printout missing multi row:\n%s", sb.String())
+	}
+}
+
+func TestMeasureCost(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	res, _, err := RunGeneration(ctx, w.client, w.spider, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Errors(res)
+	store := rag.NewStore(w.spider.Demos)
+
+	fisqlCost, fisqlRes, err := MeasureCost(ctx, w.client, w.spider, errs, func(c llm.Client) core.Corrector {
+		return &core.FISQL{Client: c, DS: w.spider, Store: store, K: 8, Routing: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRouteCost, _, err := MeasureCost(ctx, w.client, w.spider, errs, func(c llm.Client) core.Corrector {
+		return &core.FISQL{Client: c, DS: w.spider, Store: store, K: 8, Routing: false}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fisqlRes.N != 101 {
+		t.Fatalf("instances: %d", fisqlRes.N)
+	}
+	// Routing costs exactly one extra LLM call per instance.
+	if got := fisqlCost.CallsPerInstance() - noRouteCost.CallsPerInstance(); got < 0.99 || got > 1.01 {
+		t.Errorf("routing call overhead: %.2f calls/instance, want ~1", got)
+	}
+	if fisqlCost.PromptTokens <= noRouteCost.PromptTokens {
+		t.Error("routing should add prompt tokens (router prompt + demos)")
+	}
+	var sb strings.Builder
+	PrintCosts(&sb, []Cost{fisqlCost, noRouteCost})
+	if !strings.Contains(sb.String(), "calls/inst") {
+		t.Errorf("cost printout malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/dataset/spider"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+)
+
+// The calibration tests run the full pipeline end-to-end — real prompts,
+// real retrieval, real simulated-model parsing, real execution-accuracy —
+// and compare against the paper's reported numbers (see EXPERIMENTS.md).
+
+type world struct {
+	spider *dataset.Dataset
+	aep    *dataset.Dataset
+	client llm.Client
+}
+
+var (
+	worldOnce sync.Once
+	theWorld  *world
+	worldErr  error
+)
+
+func getWorld(t *testing.T) *world {
+	t.Helper()
+	worldOnce.Do(func() {
+		sp, err := spider.Build()
+		if err != nil {
+			worldErr = err
+			return
+		}
+		ae, err := aep.Build()
+		if err != nil {
+			worldErr = err
+			return
+		}
+		theWorld = &world{spider: sp, aep: ae, client: llm.NewSim(sp, ae)}
+	})
+	if worldErr != nil {
+		t.Fatalf("world: %v", worldErr)
+	}
+	return theWorld
+}
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %.2f, want %.2f (±%.1f)", name, got, want, tol)
+	}
+}
+
+func TestFigure2ZeroShotAccuracy(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	_, spAcc, err := RunGeneration(ctx, w.client, w.spider, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "SPIDER zero-shot accuracy", spAcc.Pct(), 68.6, 1.0)
+
+	_, aepAcc, err := RunGeneration(ctx, w.client, w.aep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "AEP zero-shot accuracy", aepAcc.Pct(), 24.0, 1.0)
+}
+
+func TestSection41ErrorCollection(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	spRes, spAcc, err := RunGeneration(ctx, w.client, w.spider, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spErrs := Errors(spRes)
+	if len(spErrs) != 243 {
+		t.Errorf("SPIDER Assistant errors: %d, want 243", len(spErrs))
+	}
+	if spAcc.Correct != 1034-243 {
+		t.Errorf("SPIDER Assistant accuracy: %v", spAcc)
+	}
+	annotated := 0
+	for _, ge := range spErrs {
+		if ge.Example.Annotatable {
+			annotated++
+		}
+	}
+	if annotated != 101 {
+		t.Errorf("annotated SPIDER errors: %d, want 101", annotated)
+	}
+
+	aepRes, _, err := RunGeneration(ctx, w.client, w.aep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aepErrs := Errors(aepRes)
+	if len(aepErrs) != 54 {
+		t.Errorf("AEP Assistant errors: %d, want 54", len(aepErrs))
+	}
+}
+
+// table2 computes one cell of Table 2 / Figure 8 / Table 3.
+func runMethod(t *testing.T, w *world, ds *dataset.Dataset, method core.Corrector, rounds int, highlights bool) CorrectionResult {
+	t.Helper()
+	ctx := context.Background()
+	res, _, err := RunGeneration(ctx, w.client, ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunCorrection(ctx, method, ds, Errors(res), CorrectionOptions{Rounds: rounds, Highlights: highlights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func methods(w *world, ds *dataset.Dataset) (fisql, noRouting *core.FISQL, qr *core.QueryRewrite) {
+	store := rag.NewStore(ds.Demos)
+	fisql = &core.FISQL{Client: w.client, DS: ds, Store: store, K: 8, Routing: true}
+	noRouting = &core.FISQL{Client: w.client, DS: ds, Store: store, K: 8, Routing: false}
+	qr = &core.QueryRewrite{Client: w.client, DS: ds, Store: store, K: 8}
+	return
+}
+
+func TestTable2Spider(t *testing.T) {
+	w := getWorld(t)
+	fisql, noRouting, qr := methods(w, w.spider)
+
+	r := runMethod(t, w, w.spider, qr, 1, false)
+	if r.N != 101 {
+		t.Fatalf("annotated N: %d, want 101", r.N)
+	}
+	near(t, "Query Rewrite SPIDER", r.Pct(1), 16.83, 0.5)
+
+	r = runMethod(t, w, w.spider, noRouting, 1, false)
+	near(t, "FISQL(-Routing) SPIDER", r.Pct(1), 43.56, 0.5)
+
+	r = runMethod(t, w, w.spider, fisql, 1, false)
+	near(t, "FISQL SPIDER", r.Pct(1), 44.55, 0.5)
+}
+
+func TestTable2AEP(t *testing.T) {
+	w := getWorld(t)
+	fisql, _, qr := methods(w, w.aep)
+
+	r := runMethod(t, w, w.aep, qr, 1, false)
+	if r.N != 53 {
+		t.Fatalf("annotated N: %d, want 53", r.N)
+	}
+	near(t, "Query Rewrite AEP", r.Pct(1), 35.85, 0.5)
+
+	r = runMethod(t, w, w.aep, fisql, 1, false)
+	near(t, "FISQL AEP", r.Pct(1), 67.92, 0.5)
+}
+
+func TestFigure8FeedbackRounds(t *testing.T) {
+	w := getWorld(t)
+	fisql, noRouting, _ := methods(w, w.spider)
+
+	rf := runMethod(t, w, w.spider, fisql, 2, false)
+	near(t, "FISQL SPIDER round 1", rf.Pct(1), 44.55, 0.5)
+	near(t, "FISQL SPIDER round 2", rf.Pct(2), 59.41, 0.5)
+
+	rn := runMethod(t, w, w.spider, noRouting, 2, false)
+	near(t, "FISQL(-Routing) SPIDER round 1", rn.Pct(1), 43.56, 0.5)
+	near(t, "FISQL(-Routing) SPIDER round 2", rn.Pct(2), 59.41, 0.5)
+
+	if rf.CumCorrected[1] != rn.CumCorrected[1] {
+		t.Errorf("after 2 rounds FISQL(-Routing) should have corrected the same errors: %d vs %d",
+			rn.CumCorrected[1], rf.CumCorrected[1])
+	}
+}
+
+func TestTable3Highlighting(t *testing.T) {
+	w := getWorld(t)
+	fisqlAEP, _, _ := methods(w, w.aep)
+	fisqlAEP.Highlights = true
+	r := runMethod(t, w, w.aep, fisqlAEP, 1, true)
+	near(t, "FISQL(+Highlighting) AEP", r.Pct(1), 69.81, 0.5)
+
+	fisqlSp, _, _ := methods(w, w.spider)
+	fisqlSp.Highlights = true
+	rs := runMethod(t, w, w.spider, fisqlSp, 1, true)
+	near(t, "FISQL(+Highlighting) SPIDER", rs.Pct(1), 44.55, 0.5)
+}

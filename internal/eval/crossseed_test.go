@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"fisql/internal/core"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/dataset/spider"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+)
+
+// TestShapeHoldsAcrossSeeds rebuilds both corpora from a different seed and
+// re-runs the headline comparisons. The quotas fix the *statistics*; this
+// test checks the *shape* — who wins and by roughly what factor — is a
+// property of the mechanisms, not of one lucky corpus instance.
+func TestShapeHoldsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-seed rebuild is slow")
+	}
+	sp, err := spider.BuildSeed(4242)
+	if err != nil {
+		t.Fatalf("spider: %v", err)
+	}
+	ae, err := aep.BuildSeed(4242)
+	if err != nil {
+		t.Fatalf("aep: %v", err)
+	}
+	client := llm.NewSim(sp, ae)
+	ctx := context.Background()
+
+	// Figure 2 shape: the zero-shot accuracies are fixed by the quotas.
+	_, spAcc, err := RunGeneration(ctx, client, sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aeAcc, err := RunGeneration(ctx, client, ae, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "SPIDER zero-shot (seed 4242)", spAcc.Pct(), 68.6, 1.0)
+	near(t, "AEP zero-shot (seed 4242)", aeAcc.Pct(), 24.0, 1.0)
+
+	// Table 2 / Figure 8 shape on SPIDER: QR ≪ -Routing ≤ FISQL with a
+	// roughly 2x FISQL-over-QR gap and a double-digit round-2 gain.
+	spRes, _, err := RunGeneration(ctx, client, sp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Errors(spRes)
+	store := rag.NewStore(sp.Demos)
+	qrM := &core.QueryRewrite{Client: client, DS: sp, Store: store, K: 8}
+	nrM := &core.FISQL{Client: client, DS: sp, Store: store, K: 8, Routing: false}
+	fiM := &core.FISQL{Client: client, DS: sp, Store: store, K: 8, Routing: true}
+
+	qr, err := RunCorrection(ctx, qrM, sp, errs, CorrectionOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := RunCorrection(ctx, nrM, sp, errs, CorrectionOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := RunCorrection(ctx, fiM, sp, errs, CorrectionOptions{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(qr.Pct(1) < nr.Pct(1) && nr.Pct(1) <= fi.Pct(1)) {
+		t.Errorf("ordering broken: QR %.1f, -Routing %.1f, FISQL %.1f",
+			qr.Pct(1), nr.Pct(1), fi.Pct(1))
+	}
+	if ratio := fi.Pct(1) / qr.Pct(1); ratio < 1.8 {
+		t.Errorf("FISQL should correct ~2x the QR instances; ratio %.2f", ratio)
+	}
+	if gain := fi.Pct(2) - fi.Pct(1); gain < 10 {
+		t.Errorf("round-2 gain should be double digits, got %.1f", gain)
+	}
+}

@@ -1,0 +1,202 @@
+// Package eval is the evaluation harness: execution-accuracy measurement,
+// the Assistant error-collection protocol of §4.1, and the multi-round
+// feedback-correction protocol behind Tables 2-3 and Figure 8.
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"fisql/internal/assistant"
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/engine"
+	"fisql/internal/feedback"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+	"fisql/internal/schema"
+)
+
+// Accuracy is a correct/total tally.
+type Accuracy struct {
+	Correct, Total int
+}
+
+// Pct returns the percentage (0 for an empty tally).
+func (a Accuracy) Pct() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return 100 * float64(a.Correct) / float64(a.Total)
+}
+
+func (a Accuracy) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", a.Correct, a.Total, a.Pct())
+}
+
+// Match reports execution-accuracy: both queries run and produce equal
+// results. A prediction that fails to parse or execute is wrong.
+func Match(db *engine.Database, goldSQL, predSQL string) bool {
+	exGold := engine.NewExecutor(db)
+	gold, err := exGold.Query(goldSQL)
+	if err != nil {
+		return false
+	}
+	exPred := engine.NewExecutor(db)
+	pred, err := exPred.Query(predSQL)
+	if err != nil {
+		return false
+	}
+	return engine.EqualResults(gold, pred)
+}
+
+// GenResult is one example's generation outcome.
+type GenResult struct {
+	Example *dataset.Example
+	SQL     string
+	Correct bool
+}
+
+// RunGeneration evaluates the NL2SQL pipeline over the whole corpus with k
+// retrieved demonstrations (k=0 reproduces the zero-shot setting of
+// Figure 2; k>0 the Assistant pipeline of §4.1).
+func RunGeneration(ctx context.Context, client llm.Client, ds *dataset.Dataset, k int) ([]GenResult, Accuracy, error) {
+	var store *rag.Store
+	if k > 0 {
+		store = rag.NewStore(ds.Demos)
+	}
+	asst := &assistant.Assistant{Client: client, DS: ds, Store: store, K: k}
+	results := make([]GenResult, 0, len(ds.Examples))
+	acc := Accuracy{Total: len(ds.Examples)}
+	for _, e := range ds.Examples {
+		sql, err := asst.GenerateSQL(ctx, e.DB, e.Question)
+		if err != nil {
+			return nil, Accuracy{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		ok := Match(ds.DBs[e.DB], e.Gold, sql)
+		if ok {
+			acc.Correct++
+		}
+		results = append(results, GenResult{Example: e, SQL: sql, Correct: ok})
+	}
+	return results, acc, nil
+}
+
+// Errors filters generation results down to the failures — the §4.1 error
+// sets that feedback correction is evaluated on.
+func Errors(results []GenResult) []GenResult {
+	var out []GenResult
+	for _, r := range results {
+		if !r.Correct {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NewAnnotator builds the simulated annotator for a corpus, rendering
+// column and table names with the schemas' NL phrases.
+func NewAnnotator(ds *dataset.Dataset) *feedback.Annotator {
+	return &feedback.Annotator{
+		ColumnPhrase: func(table, column string) string {
+			lookup := func(s *schema.Schema) string {
+				for ti := range s.Tables {
+					t := &s.Tables[ti]
+					if table != "" && t.Name != table {
+						continue
+					}
+					if c := t.Column(column); c != nil && len(c.NL) > 0 {
+						return c.NL[0]
+					}
+				}
+				return ""
+			}
+			for _, s := range ds.Schemas {
+				if p := lookup(s); p != "" {
+					return p
+				}
+			}
+			return ""
+		},
+		TablePhrase: func(table string) string {
+			for _, s := range ds.Schemas {
+				if t := s.Table(table); t != nil {
+					return t.Phrase()
+				}
+			}
+			return ""
+		},
+	}
+}
+
+// CorrectionResult reports a method's multi-round correction outcome.
+type CorrectionResult struct {
+	Method string
+	// N is the number of errors with annotatable feedback (the paper's
+	// denominators: 101 for SPIDER, 53 for Experience Platform).
+	N int
+	// CumCorrected[r-1] is the number of instances corrected by the end
+	// of round r.
+	CumCorrected []int
+	// Skipped counts errors the annotator could not express feedback for.
+	Skipped int
+}
+
+// Pct returns the % instances corrected by the end of round r (1-based).
+func (c CorrectionResult) Pct(round int) float64 {
+	if c.N == 0 || round < 1 || round > len(c.CumCorrected) {
+		return 0
+	}
+	return 100 * float64(c.CumCorrected[round-1]) / float64(c.N)
+}
+
+// CorrectionOptions configures the protocol.
+type CorrectionOptions struct {
+	// Rounds is the number of feedback rounds (the paper uses 1 for
+	// Tables 2-3 and 2 for Figure 8).
+	Rounds int
+	// Highlights lets the annotator attach highlight spans (Table 3).
+	Highlights bool
+}
+
+// RunCorrection executes the feedback-correction protocol: for every
+// Assistant error with annotatable feedback, iterate annotate→correct up to
+// Rounds times, scoring execution accuracy after each round.
+func RunCorrection(ctx context.Context, corrector core.Corrector, ds *dataset.Dataset,
+	errs []GenResult, opt CorrectionOptions) (CorrectionResult, error) {
+	if opt.Rounds < 1 {
+		opt.Rounds = 1
+	}
+	annot := NewAnnotator(ds)
+	res := CorrectionResult{Method: corrector.Name(), CumCorrected: make([]int, opt.Rounds)}
+	for _, ge := range errs {
+		e := ge.Example
+		fb, ok := annot.Annotate(e, ge.SQL, 1, opt.Highlights)
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		res.N++
+		cur := ge.SQL
+		for round := 1; round <= opt.Rounds; round++ {
+			if round > 1 {
+				fb, ok = annot.Annotate(e, cur, round, opt.Highlights)
+				if !ok {
+					break
+				}
+			}
+			next, err := corrector.Correct(ctx, e.DB, e.Question, cur, fb)
+			if err != nil {
+				return CorrectionResult{}, fmt.Errorf("%s round %d: %w", e.ID, round, err)
+			}
+			cur = next
+			if Match(ds.DBs[e.DB], e.Gold, cur) {
+				for r := round; r <= opt.Rounds; r++ {
+					res.CumCorrected[r-1]++
+				}
+				break
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/engine"
+	"fisql/internal/feedback"
+)
+
+func matchDB(t *testing.T) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase("m")
+	if err := db.LoadScript(`
+CREATE TABLE t (id INT, name TEXT, age INT);
+INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', 30);`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestMatchSemantics(t *testing.T) {
+	db := matchDB(t)
+	tests := []struct {
+		gold, pred string
+		want       bool
+	}{
+		{"SELECT name FROM t", "SELECT name FROM t", true},
+		// Equivalent but differently written predicates.
+		{"SELECT name FROM t WHERE age > 15", "SELECT name FROM t WHERE age >= 20", true},
+		{"SELECT name FROM t", "SELECT name FROM t WHERE age > 15", false},
+		// Ordered gold vs unordered prediction that happens to coincide.
+		{"SELECT name FROM t ORDER BY age ASC", "SELECT name FROM t", true},
+		{"SELECT name FROM t ORDER BY age DESC", "SELECT name FROM t", false},
+		// Broken predictions never match.
+		{"SELECT name FROM t", "NOT SQL", false},
+		{"SELECT name FROM t", "SELECT missing FROM t", false},
+	}
+	for _, tc := range tests {
+		if got := Match(db, tc.gold, tc.pred); got != tc.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tc.gold, tc.pred, got, tc.want)
+		}
+	}
+}
+
+func TestMatchBrokenGold(t *testing.T) {
+	db := matchDB(t)
+	if Match(db, "NOT SQL", "SELECT name FROM t") {
+		t.Error("broken gold cannot match")
+	}
+}
+
+func TestAccuracyPct(t *testing.T) {
+	if (Accuracy{}).Pct() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	a := Accuracy{Correct: 3, Total: 4}
+	if a.Pct() != 75 {
+		t.Errorf("pct: %v", a.Pct())
+	}
+	if a.String() != "3/4 (75.0%)" {
+		t.Errorf("string: %q", a.String())
+	}
+}
+
+func TestErrorsFilter(t *testing.T) {
+	in := []GenResult{
+		{Correct: true},
+		{Correct: false},
+		{Correct: false},
+	}
+	if got := len(Errors(in)); got != 2 {
+		t.Errorf("errors: %d", got)
+	}
+}
+
+func TestCorrectionResultPct(t *testing.T) {
+	r := CorrectionResult{N: 50, CumCorrected: []int{10, 25}}
+	if r.Pct(1) != 20 || r.Pct(2) != 50 {
+		t.Errorf("pct: %v, %v", r.Pct(1), r.Pct(2))
+	}
+	if r.Pct(0) != 0 || r.Pct(3) != 0 {
+		t.Error("out-of-range rounds should be 0")
+	}
+	if (CorrectionResult{}).Pct(1) != 0 {
+		t.Error("empty result should be 0")
+	}
+}
+
+// failingCorrector always errors.
+type failingCorrector struct{}
+
+func (failingCorrector) Name() string { return "failing" }
+func (failingCorrector) Correct(context.Context, string, string, string, feedback.Feedback) (string, error) {
+	return "", errors.New("boom")
+}
+
+// identityCorrector returns the SQL unchanged.
+type identityCorrector struct{}
+
+func (identityCorrector) Name() string { return "identity" }
+func (identityCorrector) Correct(_ context.Context, _ string, _ string, prev string, _ feedback.Feedback) (string, error) {
+	return prev, nil
+}
+
+// oracleCorrector returns the gold SQL, looked up from the example set.
+type oracleCorrector struct{ ds *dataset.Dataset }
+
+func (oracleCorrector) Name() string { return "oracle" }
+func (o oracleCorrector) Correct(_ context.Context, _ string, question string, prev string, _ feedback.Feedback) (string, error) {
+	e, ok := o.ds.ExampleByQuestion(question)
+	if !ok {
+		return prev, nil
+	}
+	return e.Gold, nil
+}
+
+var _ core.Corrector = failingCorrector{}
+
+func TestRunCorrectionPropagatesErrors(t *testing.T) {
+	w := getWorld(t)
+	res, _, err := RunGeneration(context.Background(), w.client, w.aep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunCorrection(context.Background(), failingCorrector{}, w.aep, Errors(res), CorrectionOptions{Rounds: 1})
+	if err == nil {
+		t.Fatal("corrector error must propagate")
+	}
+}
+
+func TestRunCorrectionBounds(t *testing.T) {
+	w := getWorld(t)
+	res, _, err := RunGeneration(context.Background(), w.client, w.aep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Errors(res)
+
+	// Identity corrector fixes nothing.
+	out, err := RunCorrection(context.Background(), identityCorrector{}, w.aep, errs, CorrectionOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CumCorrected[0] != 0 {
+		t.Errorf("identity corrected %d", out.CumCorrected[0])
+	}
+	if out.N != 53 || out.Skipped != 1 {
+		t.Errorf("N=%d skipped=%d", out.N, out.Skipped)
+	}
+
+	// Oracle corrector fixes every annotated error in round 1.
+	out, err = RunCorrection(context.Background(), oracleCorrector{ds: w.aep}, w.aep, errs, CorrectionOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CumCorrected[0] != out.N {
+		t.Errorf("oracle corrected %d of %d", out.CumCorrected[0], out.N)
+	}
+}
+
+func TestRunCorrectionRoundsDefault(t *testing.T) {
+	w := getWorld(t)
+	res, _, err := RunGeneration(context.Background(), w.client, w.aep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunCorrection(context.Background(), identityCorrector{}, w.aep, Errors(res), CorrectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.CumCorrected) != 1 {
+		t.Errorf("rounds should default to 1, got %d", len(out.CumCorrected))
+	}
+}
+
+func TestAnnotatorPhrases(t *testing.T) {
+	w := getWorld(t)
+	a := NewAnnotator(w.spider)
+	if p := a.ColumnPhrase("singer", "song_name"); p != "song name" {
+		t.Errorf("column phrase: %q", p)
+	}
+	if p := a.ColumnPhrase("", "song_name"); p != "song name" {
+		t.Errorf("unqualified column phrase: %q", p)
+	}
+	if p := a.TablePhrase("singer"); p != "singers" {
+		t.Errorf("table phrase: %q", p)
+	}
+	if p := a.TablePhrase("nope"); p != "" {
+		t.Errorf("unknown table phrase: %q", p)
+	}
+}

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable experiment export, for dashboards or regression tracking
+// alongside the human-readable report printers.
+
+// Export is the serialized form of a full evaluation run.
+type Export struct {
+	// Figure2 holds zero-shot accuracies by corpus name.
+	Figure2 map[string]AccuracyJSON `json:"figure2,omitempty"`
+	// Errors holds the §4.1 error-collection statistics by corpus name.
+	Errors map[string]ErrorStatsJSON `json:"errors,omitempty"`
+	// Corrections holds correction results keyed "<corpus>/<method>".
+	Corrections map[string]CorrectionJSON `json:"corrections,omitempty"`
+}
+
+// AccuracyJSON serializes an Accuracy.
+type AccuracyJSON struct {
+	Correct int     `json:"correct"`
+	Total   int     `json:"total"`
+	Pct     float64 `json:"pct"`
+}
+
+// ErrorStatsJSON serializes §4.1 statistics.
+type ErrorStatsJSON struct {
+	OneShotAccuracy AccuracyJSON `json:"one_shot_accuracy"`
+	Errors          int          `json:"errors"`
+	Annotated       int          `json:"annotated"`
+}
+
+// CorrectionJSON serializes a CorrectionResult.
+type CorrectionJSON struct {
+	Method       string    `json:"method"`
+	N            int       `json:"n"`
+	CumCorrected []int     `json:"cum_corrected"`
+	PctByRound   []float64 `json:"pct_by_round"`
+	Skipped      int       `json:"skipped"`
+}
+
+// NewExport returns an empty export.
+func NewExport() *Export {
+	return &Export{
+		Figure2:     map[string]AccuracyJSON{},
+		Errors:      map[string]ErrorStatsJSON{},
+		Corrections: map[string]CorrectionJSON{},
+	}
+}
+
+// AccJSON converts an Accuracy.
+func AccJSON(a Accuracy) AccuracyJSON {
+	return AccuracyJSON{Correct: a.Correct, Total: a.Total, Pct: a.Pct()}
+}
+
+// AddCorrection records a correction result under "<corpus>/<method>".
+func (e *Export) AddCorrection(corpus string, r CorrectionResult) {
+	pcts := make([]float64, len(r.CumCorrected))
+	for i := range r.CumCorrected {
+		pcts[i] = r.Pct(i + 1)
+	}
+	e.Corrections[corpus+"/"+r.Method] = CorrectionJSON{
+		Method:       r.Method,
+		N:            r.N,
+		CumCorrected: r.CumCorrected,
+		PctByRound:   pcts,
+		Skipped:      r.Skipped,
+	}
+}
+
+// Write renders the export as indented JSON.
+func (e *Export) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExportRoundtrip(t *testing.T) {
+	e := NewExport()
+	e.Figure2["spider"] = AccJSON(Accuracy{Correct: 709, Total: 1034})
+	e.Errors["spider"] = ErrorStatsJSON{
+		OneShotAccuracy: AccJSON(Accuracy{Correct: 791, Total: 1034}),
+		Errors:          243, Annotated: 101,
+	}
+	e.AddCorrection("spider", CorrectionResult{
+		Method: "FISQL", N: 101, CumCorrected: []int{45, 60}, Skipped: 142,
+	})
+
+	var sb strings.Builder
+	if err := e.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Figure2["spider"].Correct != 709 {
+		t.Errorf("figure2: %+v", back.Figure2)
+	}
+	c := back.Corrections["spider/FISQL"]
+	if c.N != 101 || len(c.PctByRound) != 2 {
+		t.Errorf("correction: %+v", c)
+	}
+	if c.PctByRound[0] < 44 || c.PctByRound[0] > 45 {
+		t.Errorf("round-1 pct: %v", c.PctByRound[0])
+	}
+	if c.PctByRound[1] < 59 || c.PctByRound[1] > 60 {
+		t.Errorf("round-2 pct: %v", c.PctByRound[1])
+	}
+}

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report renders the paper's tables and figures from measured results. Each
+// printer emits the same rows/series the paper reports, so `fisql-eval` and
+// the benchmarks regenerate recognizable artifacts.
+
+// PrintFigure2 renders the zero-shot accuracy comparison (Figure 2).
+func PrintFigure2(w io.Writer, spiderAcc, aepAcc Accuracy) {
+	fmt.Fprintln(w, "Figure 2 — Zero-shot NL2SQL accuracy")
+	fmt.Fprintln(w, strings.Repeat("-", 44))
+	fmt.Fprintf(w, "%-24s %s\n", "SPIDER", bar(spiderAcc.Pct()))
+	fmt.Fprintf(w, "%-24s %s\n", "Experience Platform", bar(aepAcc.Pct()))
+	fmt.Fprintf(w, "\nSPIDER: %s   Experience Platform: %s\n", spiderAcc, aepAcc)
+}
+
+func bar(pct float64) string {
+	n := int(pct / 2)
+	return fmt.Sprintf("%s %.1f%%", strings.Repeat("#", n), pct)
+}
+
+// PrintSection41 renders the error-collection statistics of §4.1.
+func PrintSection41(w io.Writer, name string, acc Accuracy, errors, annotated int) {
+	fmt.Fprintf(w, "§4.1 — %s error collection\n", name)
+	fmt.Fprintln(w, strings.Repeat("-", 44))
+	fmt.Fprintf(w, "one-shot accuracy:  %s\n", acc)
+	fmt.Fprintf(w, "one-shot errors:    %d\n", errors)
+	fmt.Fprintf(w, "annotated errors:   %d (%.0f%% of errors)\n",
+		annotated, 100*float64(annotated)/float64(max(errors, 1)))
+}
+
+// Table2Row is one method's row for Table 2 / Table 3.
+type Table2Row struct {
+	Method string
+	// AEP and Spider are %-instances-corrected; a negative value renders
+	// as "-" (the paper leaves FISQL(-Routing) unmeasured on AEP).
+	AEP, Spider float64
+}
+
+// PrintTable2 renders a Table 2 / Table 3 style comparison.
+func PrintTable2(w io.Writer, title string, rows []Table2Row) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("-", 62))
+	fmt.Fprintf(w, "%-22s %20s %16s\n", "Method", "% Corrected (AEP)", "% (SPIDER)")
+	for _, r := range rows {
+		aep := "-"
+		if r.AEP >= 0 {
+			aep = fmt.Sprintf("%.2f", r.AEP)
+		}
+		sp := "-"
+		if r.Spider >= 0 {
+			sp = fmt.Sprintf("%.2f", r.Spider)
+		}
+		fmt.Fprintf(w, "%-22s %20s %16s\n", r.Method, aep, sp)
+	}
+}
+
+// PrintFigure8 renders the multi-round correction series (Figure 8).
+func PrintFigure8(w io.Writer, results []CorrectionResult) {
+	fmt.Fprintln(w, "Figure 8 — % instances corrected per feedback round (SPIDER)")
+	fmt.Fprintln(w, strings.Repeat("-", 62))
+	for _, r := range results {
+		fmt.Fprintf(w, "%-22s", r.Method)
+		for round := 1; round <= len(r.CumCorrected); round++ {
+			fmt.Fprintf(w, "  round %d: %6.2f%%", round, r.Pct(round))
+		}
+		fmt.Fprintln(w)
+	}
+}

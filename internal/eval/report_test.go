@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintFigure2(t *testing.T) {
+	var sb strings.Builder
+	PrintFigure2(&sb, Accuracy{Correct: 709, Total: 1034}, Accuracy{Correct: 48, Total: 200})
+	out := sb.String()
+	for _, want := range []string{"Figure 2", "SPIDER", "Experience Platform", "68.6%", "24.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintSection41(t *testing.T) {
+	var sb strings.Builder
+	PrintSection41(&sb, "SPIDER", Accuracy{Correct: 791, Total: 1034}, 243, 101)
+	out := sb.String()
+	for _, want := range []string{"SPIDER error collection", "243", "101", "42%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("§4.1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintTable2RendersDashes(t *testing.T) {
+	var sb strings.Builder
+	PrintTable2(&sb, "Table 2", []Table2Row{
+		{Method: "Query Rewrite", AEP: 35.85, Spider: 16.83},
+		{Method: "FISQL (- Routing)", AEP: -1, Spider: 43.56},
+		{Method: "FISQL", AEP: 67.92, Spider: 44.55},
+	})
+	out := sb.String()
+	for _, want := range []string{"35.85", "16.83", "43.56", "67.92", "44.55"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, out)
+		}
+	}
+	// The paper leaves FISQL(-Routing) unmeasured on AEP: a dash, never a
+	// negative number.
+	if strings.Contains(out, "-1") {
+		t.Errorf("negative sentinel leaked:\n%s", out)
+	}
+	var dashRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "- Routing") {
+			dashRow = line
+		}
+	}
+	if !strings.Contains(dashRow, " - ") && !strings.HasSuffix(strings.Fields(dashRow)[3], "-") {
+		// The AEP column for the ablation renders as "-".
+		fields := strings.Fields(dashRow)
+		found := false
+		for _, f := range fields {
+			if f == "-" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ablation row lacks dash: %q", dashRow)
+		}
+	}
+}
+
+func TestPrintFigure8(t *testing.T) {
+	var sb strings.Builder
+	PrintFigure8(&sb, []CorrectionResult{
+		{Method: "FISQL", N: 101, CumCorrected: []int{45, 60}},
+		{Method: "FISQL (- Routing)", N: 101, CumCorrected: []int{44, 60}},
+	})
+	out := sb.String()
+	for _, want := range []string{"Figure 8", "round 1", "round 2", "44.55%", "59.41%", "43.56%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 8 output missing %q:\n%s", want, out)
+		}
+	}
+}

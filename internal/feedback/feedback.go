@@ -1,0 +1,406 @@
+// Package feedback implements the paper's feedback substrate: the
+// Add/Remove/Edit taxonomy (Table 1), the two operation-type classifiers
+// (the few-shot router versus a naive keyword heuristic), the simulated
+// annotator that writes natural-language feedback from what a user can
+// actually see, and highlight spans (Figure 9).
+package feedback
+
+import (
+	"fmt"
+	"strings"
+
+	"fisql/internal/dataset"
+	"fisql/internal/sqlast"
+)
+
+// Feedback is one round of user feedback on a generated SQL query.
+type Feedback struct {
+	// Text is the natural-language feedback as the user typed it.
+	Text string
+	// Op is the true operation type (hidden ground truth; systems must
+	// infer it from Text or via the router).
+	Op dataset.Op
+	// TrapIndex is the trap this feedback targets (annotator-internal).
+	TrapIndex int
+	// Highlight optionally grounds the feedback to a span of the SQL.
+	Highlight *Highlight
+}
+
+// Highlight is a user-selected span of the displayed SQL text (Figure 9).
+type Highlight struct {
+	Start, End int
+	Text       string
+}
+
+// TaxonomyExamples returns the paper's Table 1 — one canonical feedback
+// text per operation type.
+func TaxonomyExamples() map[dataset.Op]string {
+	return map[dataset.Op]string{
+		dataset.OpAdd:    "order the names in ascending order.",
+		dataset.OpRemove: "do not give descriptions",
+		dataset.OpEdit:   "we are in 2024",
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Operation-type classifiers
+
+// ClassifyRouted models the paper's feedback-type identification step: a
+// gpt-3.5 few-shot classification. With demonstrations the model resolves
+// idioms correctly — notably that "remove the duplicates" asks to ADD a
+// DISTINCT, not to remove anything.
+func ClassifyRouted(text string) dataset.Op {
+	t := normalize(text)
+	switch {
+	case containsAny(t, "instead of", "should be", "we are in", "i meant",
+		"i wanted", "change the year", "change to", "is wrong", "use the"):
+		return dataset.OpEdit
+	case containsAny(t, "duplicate", "distinct", "only once"):
+		return dataset.OpAdd
+	case containsAny(t, "do not give", "don't give", "do not show",
+		"don't need", "drop the", "remove the condition", "without the",
+		"do not filter", "should not filter"):
+		return dataset.OpRemove
+	case containsAny(t, "sort", "order", "only include", "only count",
+		"only show", "only give", "limit to", "the top ", "the first ",
+		"add ", "also "):
+		return dataset.OpAdd
+	default:
+		return dataset.OpEdit
+	}
+}
+
+// ClassifyNaive is the surface-keyword heuristic a model falls back to when
+// no routing step supplies the operation type. It reads "remove the
+// duplicate entries" as a Remove — the failure mode routing exists to fix.
+func ClassifyNaive(text string) dataset.Op {
+	t := normalize(text)
+	switch {
+	case containsAny(t, "do not", "don't", "drop", "remove", "without"):
+		return dataset.OpRemove
+	case containsAny(t, "sort", "order", "only include", "only count",
+		"only show", "only give", "the top ", "the first ", "include",
+		"add ", "also "):
+		return dataset.OpAdd
+	case containsAny(t, "instead of", "should be", "we are in", "meant",
+		"wanted", "change"):
+		return dataset.OpEdit
+	default:
+		return dataset.OpEdit
+	}
+}
+
+func normalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// ----------------------------------------------------------------------------
+// Routing demonstration store
+
+// Demos returns the fixed demonstration set for one operation type —
+// the examples appended to the NL2SQL prompt after routing (Figure 5).
+func Demos(op dataset.Op) []RepairDemo {
+	switch op {
+	case dataset.OpEdit:
+		return []RepairDemo{{
+			Question: "how many audiences were created in January?",
+			Original: "SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment WHERE createdTime >= '2023-01-01' and createdTime < '2023-02-01'",
+			Feedback: "we are in 2024",
+			Updated:  "SELECT COUNT(*) AS segmentCount FROM hkg_dim_segment WHERE createdTime >= '2024-01-01' and createdTime < '2024-02-01'",
+		}, {
+			Question: "Show the name and the release year of the song by the youngest singer.",
+			Original: "SELECT Name, Song_release_year FROM singer WHERE Age = (SELECT min(Age) FROM singer)",
+			Feedback: "provide the song name instead of the singer name",
+			Updated:  "SELECT Song_Name, Song_release_year FROM singer WHERE Age = (SELECT min(Age) FROM singer)",
+		}}
+	case dataset.OpAdd:
+		return []RepairDemo{{
+			Question: "List the names of all students.",
+			Original: "SELECT name FROM student",
+			Feedback: "order the names in ascending order.",
+			Updated:  "SELECT name FROM student ORDER BY name ASC",
+		}, {
+			Question: "List the cities of the stores.",
+			Original: "SELECT city FROM store",
+			Feedback: "remove the duplicate entries",
+			Updated:  "SELECT DISTINCT city FROM store",
+		}}
+	default:
+		return []RepairDemo{{
+			Question: "Show the id and description of each product.",
+			Original: "SELECT id, description FROM product",
+			Feedback: "do not give descriptions",
+			Updated:  "SELECT id FROM product",
+		}}
+	}
+}
+
+// RepairDemo is one feedback-incorporation demonstration (Figure 5).
+type RepairDemo struct {
+	Question string
+	Original string
+	Feedback string
+	Updated  string
+}
+
+// ----------------------------------------------------------------------------
+// Simulated annotator
+
+// Annotator writes feedback for Assistant errors the way the paper's
+// annotators did: using only the question, the displayed SQL, its
+// explanation and the execution result — never the gold SQL or schema. The
+// trap metadata stands in for the annotator's knowledge of *what they
+// meant*; the behaviour flags reproduce the paper's error analysis
+// (misaligned feedback, uninterpretable feedback, multi-error queries).
+type Annotator struct {
+	// ColumnPhrase renders a column as the phrase a user would say. It is
+	// resolved against the dataset's NL annotations by the caller.
+	ColumnPhrase func(table, column string) string
+	// TablePhrase renders a table name as a user phrase.
+	TablePhrase func(table string) string
+}
+
+// Annotate produces the feedback a user gives after seeing currentSQL for
+// the example, or ok=false when the user cannot express feedback (the
+// example is not annotatable, or nothing is wrong). round is 1-based.
+// withHighlights lets the annotator attach a highlight span when the
+// feedback needs grounding (Table 3's setting).
+func (a *Annotator) Annotate(e *dataset.Example, currentSQL string, round int, withHighlights bool) (Feedback, bool) {
+	if !e.Annotatable {
+		return Feedback{}, false
+	}
+	mask := e.UnfixedMask(currentSQL)
+	if mask == 0 {
+		return Feedback{}, false
+	}
+	ti := 0
+	for ; ti < len(e.Traps); ti++ {
+		if mask&(1<<ti) != 0 {
+			break
+		}
+	}
+	t := e.Traps[ti]
+	fb := Feedback{Op: t.Kind.Op(), TrapIndex: ti}
+	switch {
+	case t.Vague:
+		fb.Text = "hmm, that is not what I was looking for"
+	case t.Misaligned:
+		fb.Text = fmt.Sprintf("only include those whose %s is %s",
+			a.colPhrase(t.Table, t.DecoyColumn), quote(t.DecoyValue))
+		fb.Op = dataset.OpAdd // what the (misaligned) text asks for
+	default:
+		fb.Text = a.alignedText(e, t, round)
+	}
+	if withHighlights && t.GroundingHard {
+		if h, ok := groundingHighlight(currentSQL, t); ok {
+			fb.Highlight = &h
+		}
+	}
+	return fb, true
+}
+
+func (a *Annotator) colPhrase(table, column string) string {
+	if a.ColumnPhrase != nil {
+		if p := a.ColumnPhrase(table, column); p != "" {
+			return p
+		}
+	}
+	return strings.ReplaceAll(column, "_", " ")
+}
+
+func (a *Annotator) tablePhrase(table string) string {
+	if a.TablePhrase != nil {
+		if p := a.TablePhrase(table); p != "" {
+			return p
+		}
+	}
+	return strings.ReplaceAll(table, "_", " ")
+}
+
+var aggFeedbackWords = map[string]string{
+	"COUNT": "count", "SUM": "total", "AVG": "average",
+	"MIN": "minimum", "MAX": "maximum",
+}
+
+func (a *Annotator) alignedText(e *dataset.Example, t dataset.Trap, round int) string {
+	switch t.Kind {
+	case dataset.WrongLiteral:
+		if isYear(t.New) && isYear(t.Old) && isDateColumn(t.Column) {
+			if round > 1 {
+				return fmt.Sprintf("change the year to %s", t.New)
+			}
+			return fmt.Sprintf("we are in %s", t.New)
+		}
+		if t.GroundingHard {
+			return fmt.Sprintf("the value should be %s", quote(t.New))
+		}
+		// Naming both the wrong and intended value lets the model locate
+		// the literal wherever it sits (comparison, IN list, LIKE pattern).
+		return fmt.Sprintf("the %s should be %s, not %s",
+			a.colPhrase(t.Table, t.Column), quote(t.New), quote(t.Old))
+	case dataset.WrongColumn:
+		return fmt.Sprintf("provide the %s instead of the %s",
+			a.colPhrase(t.Table, t.New), a.colPhrase(t.Table, t.Old))
+	case dataset.WrongAggregate:
+		return fmt.Sprintf("I wanted the %s, not the %s",
+			aggFeedbackWords[t.New], aggFeedbackWords[t.Old])
+	case dataset.WrongTable:
+		return fmt.Sprintf("I meant the %s, not the %s",
+			a.tablePhrase(t.New), a.tablePhrase(t.Old))
+	case dataset.MissingOrderBy:
+		dir := "ascending"
+		if t.New == "DESC" {
+			dir = "descending"
+		}
+		return fmt.Sprintf("sort the results by %s in %s order", a.colPhrase(t.Table, t.Column), dir)
+	case dataset.MissingFilter:
+		if t.Old == "gt" {
+			return fmt.Sprintf("only count those with %s greater than %s",
+				a.colPhrase(t.Table, t.Column), t.New)
+		}
+		return fmt.Sprintf("only include those whose %s is %s",
+			a.colPhrase(t.Table, t.Column), quote(t.New))
+	case dataset.MissingDistinct:
+		if t.AmbiguousOp && round == 1 {
+			return "remove the duplicate entries"
+		}
+		return "add distinct so each value appears only once"
+	case dataset.ExtraColumn:
+		return fmt.Sprintf("do not give the %s", a.colPhrase(t.Table, t.Column))
+	case dataset.ExtraFilter:
+		return fmt.Sprintf("drop the condition on %s", a.colPhrase(t.Table, t.Column))
+	}
+	return "this looks wrong"
+}
+
+// isDateColumn guards the "we are in {year}" phrasing: it only makes sense
+// when the wrong literal is a date, not when a count happens to have four
+// digits.
+func isDateColumn(col string) bool {
+	l := strings.ToLower(col)
+	return strings.Contains(l, "date") || strings.Contains(l, "time")
+}
+
+func isYear(s string) bool {
+	if len(s) != 4 {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func quote(v string) string {
+	if isNumber(v) {
+		return v
+	}
+	return "'" + v + "'"
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' && !dot && i > 0:
+			dot = true
+		case r == '-' && i == 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// groundingHighlight locates the comparison the grounding-hard feedback
+// refers to: the predicate on the trap's column within the displayed SQL.
+func groundingHighlight(sql string, t dataset.Trap) (Highlight, bool) {
+	// The wrong comparison mentions the trap column followed by the wrong
+	// value; find "column" and extend through the literal after it.
+	idx := indexFold(sql, t.Column)
+	for idx >= 0 {
+		rest := sql[idx:]
+		if litEnd := literalEndAfter(rest); litEnd > 0 {
+			return Highlight{Start: idx, End: idx + litEnd, Text: sql[idx : idx+litEnd]}, true
+		}
+		next := indexFold(sql[idx+1:], t.Column)
+		if next < 0 {
+			break
+		}
+		idx = idx + 1 + next
+	}
+	return Highlight{}, false
+}
+
+func indexFold(s, sub string) int {
+	return strings.Index(strings.ToLower(s), strings.ToLower(sub))
+}
+
+// literalEndAfter returns the offset just past the first SQL literal
+// following a comparison operator in s, or -1.
+func literalEndAfter(s string) int {
+	i := 0
+	// Skip the column name.
+	for i < len(s) && s[i] != ' ' {
+		i++
+	}
+	// Expect an operator.
+	for i < len(s) && s[i] == ' ' {
+		i++
+	}
+	opStart := i
+	for i < len(s) && strings.ContainsRune("=!<>", rune(s[i])) {
+		i++
+	}
+	if i == opStart {
+		return -1
+	}
+	for i < len(s) && s[i] == ' ' {
+		i++
+	}
+	if i >= len(s) {
+		return -1
+	}
+	if s[i] == '\'' {
+		j := i + 1
+		for j < len(s) && s[j] != '\'' {
+			j++
+		}
+		if j < len(s) {
+			return j + 1
+		}
+		return -1
+	}
+	j := i
+	for j < len(s) && ((s[j] >= '0' && s[j] <= '9') || s[j] == '.' || s[j] == '-') {
+		j++
+	}
+	if j == i {
+		return -1
+	}
+	return j
+}
+
+// ClauseOf maps a byte offset in a printed SELECT onto its clause via the
+// printer's span table. Used to report which clause a highlight grounds to.
+func ClauseOf(spans []sqlast.Span, offset int) (sqlast.Clause, bool) {
+	for _, sp := range spans {
+		if offset >= sp.Start && offset < sp.End {
+			return sp.Clause, true
+		}
+	}
+	return 0, false
+}

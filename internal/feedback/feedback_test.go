@@ -1,0 +1,318 @@
+package feedback
+
+import (
+	"strings"
+	"testing"
+
+	"fisql/internal/dataset"
+	"fisql/internal/sqlast"
+	"fisql/internal/sqlparse"
+)
+
+func TestTaxonomyExamplesMatchPaperTable1(t *testing.T) {
+	ex := TaxonomyExamples()
+	if ex[dataset.OpAdd] != "order the names in ascending order." {
+		t.Errorf("Add example: %q", ex[dataset.OpAdd])
+	}
+	if ex[dataset.OpRemove] != "do not give descriptions" {
+		t.Errorf("Remove example: %q", ex[dataset.OpRemove])
+	}
+	if ex[dataset.OpEdit] != "we are in 2024" {
+		t.Errorf("Edit example: %q", ex[dataset.OpEdit])
+	}
+}
+
+func TestClassifiersOnTaxonomy(t *testing.T) {
+	for op, text := range TaxonomyExamples() {
+		if got := ClassifyRouted(text); got != op {
+			t.Errorf("router misclassifies Table 1 example %q: %v", text, got)
+		}
+	}
+}
+
+// TestAlignedTemplateClassification pins the contract the correction
+// pipeline depends on: every aligned feedback template classifies correctly
+// under the router, and under the naive heuristic too except for the one
+// designed op-ambiguous phrasing.
+func TestAlignedTemplateClassification(t *testing.T) {
+	tests := []struct {
+		text  string
+		op    dataset.Op
+		naive bool // whether the naive classifier also gets it right
+	}{
+		{"we are in 2024", dataset.OpEdit, true},
+		{"change the year to 2024", dataset.OpEdit, true},
+		{"the segment name should be 'Aurora'", dataset.OpEdit, true},
+		{"the value should be 'Folk'", dataset.OpEdit, true},
+		{"provide the song name instead of the name", dataset.OpEdit, true},
+		{"I wanted the total, not the count", dataset.OpEdit, true},
+		{"I meant the audiences, not the datasets", dataset.OpEdit, true},
+		{"sort the results by age in descending order", dataset.OpAdd, true},
+		{"only include those whose country is 'France'", dataset.OpAdd, true},
+		{"only count those with age greater than 30", dataset.OpAdd, true},
+		{"add distinct so each value appears only once", dataset.OpAdd, true},
+		{"do not give the description", dataset.OpRemove, true},
+		{"drop the condition on year", dataset.OpRemove, true},
+		// The designed ambiguity: dedup phrased as a removal.
+		{"remove the duplicate entries", dataset.OpAdd, false},
+	}
+	for _, tc := range tests {
+		if got := ClassifyRouted(tc.text); got != tc.op {
+			t.Errorf("router: %q -> %v, want %v", tc.text, got, tc.op)
+		}
+		naiveGot := ClassifyNaive(tc.text)
+		if tc.naive && naiveGot != tc.op {
+			t.Errorf("naive: %q -> %v, want %v", tc.text, naiveGot, tc.op)
+		}
+		if !tc.naive && naiveGot == tc.op {
+			t.Errorf("naive: %q unexpectedly classified correctly", tc.text)
+		}
+	}
+}
+
+func TestDemosPerOp(t *testing.T) {
+	for _, op := range []dataset.Op{dataset.OpAdd, dataset.OpRemove, dataset.OpEdit} {
+		demos := Demos(op)
+		if len(demos) == 0 {
+			t.Fatalf("no demos for %v", op)
+		}
+		for _, d := range demos {
+			if d.Feedback == "" || d.Original == "" || d.Updated == "" {
+				t.Errorf("%v demo incomplete: %+v", op, d)
+			}
+			if got := ClassifyRouted(d.Feedback); got != op {
+				t.Errorf("%v demo feedback %q routes to %v", op, d.Feedback, got)
+			}
+		}
+	}
+}
+
+func annotator() *Annotator {
+	return &Annotator{
+		ColumnPhrase: func(table, column string) string { return strings.ReplaceAll(column, "_", " ") },
+		TablePhrase:  func(table string) string { return strings.ReplaceAll(table, "_", " ") },
+	}
+}
+
+func twoVariantExample(kind dataset.TrapKind, tr dataset.Trap, gold, wrong string) *dataset.Example {
+	tr.Kind = kind
+	return &dataset.Example{
+		ID: "t", DB: "db", Question: "q?", Gold: gold,
+		Traps:       []dataset.Trap{tr},
+		Variants:    map[uint8]string{1: wrong},
+		Annotatable: true,
+	}
+}
+
+func TestAnnotateYearEdit(t *testing.T) {
+	e := twoVariantExample(dataset.WrongLiteral,
+		dataset.Trap{Old: "2023", New: "2024", Column: "createdTime"},
+		"SELECT COUNT(*) FROM t WHERE createdTime >= '2024-01-01'",
+		"SELECT COUNT(*) FROM t WHERE createdTime >= '2023-01-01'")
+	fb, ok := annotator().Annotate(e, e.WrongSQL(), 1, false)
+	if !ok || fb.Text != "we are in 2024" {
+		t.Fatalf("got %q, %v", fb.Text, ok)
+	}
+	fb, _ = annotator().Annotate(e, e.WrongSQL(), 2, false)
+	if fb.Text != "change the year to 2024" {
+		t.Errorf("round 2 rephrase: %q", fb.Text)
+	}
+}
+
+func TestAnnotateNumericLiteralIsNotYearPhrased(t *testing.T) {
+	e := twoVariantExample(dataset.WrongLiteral,
+		dataset.Trap{Old: "8397", New: "4849", Column: "identity_count"},
+		"SELECT COUNT(*) FROM t WHERE identity_count > 4849",
+		"SELECT COUNT(*) FROM t WHERE identity_count > 8397")
+	fb, ok := annotator().Annotate(e, e.WrongSQL(), 1, false)
+	if !ok {
+		t.Fatal("not annotated")
+	}
+	if strings.Contains(fb.Text, "we are in") {
+		t.Errorf("4-digit count mistaken for a year: %q", fb.Text)
+	}
+	if !strings.Contains(fb.Text, "identity count should be 4849") {
+		t.Errorf("got %q", fb.Text)
+	}
+}
+
+func TestAnnotateSkipsNonAnnotatable(t *testing.T) {
+	e := twoVariantExample(dataset.WrongLiteral, dataset.Trap{Old: "1", New: "2"},
+		"SELECT 2", "SELECT 1")
+	e.Annotatable = false
+	if _, ok := annotator().Annotate(e, e.WrongSQL(), 1, false); ok {
+		t.Error("non-annotatable example got feedback")
+	}
+}
+
+func TestAnnotateStopsWhenFixed(t *testing.T) {
+	e := twoVariantExample(dataset.WrongLiteral,
+		dataset.Trap{Old: "'x'", New: "'y'", Column: "c"},
+		"SELECT a FROM t WHERE c = 'y'",
+		"SELECT a FROM t WHERE c = 'x'")
+	if _, ok := annotator().Annotate(e, e.Gold, 1, false); ok {
+		t.Error("fixed query should yield no feedback")
+	}
+}
+
+func TestAnnotateVagueAndMisaligned(t *testing.T) {
+	e := twoVariantExample(dataset.WrongLiteral,
+		dataset.Trap{Old: "'x'", New: "'y'", Column: "c", Vague: true},
+		"SELECT a FROM t WHERE c = 'y'", "SELECT a FROM t WHERE c = 'x'")
+	fb, _ := annotator().Annotate(e, e.WrongSQL(), 1, false)
+	if strings.Contains(fb.Text, "'y'") {
+		t.Errorf("vague feedback leaks the correction: %q", fb.Text)
+	}
+
+	e2 := twoVariantExample(dataset.WrongLiteral,
+		dataset.Trap{Old: "'x'", New: "'y'", Column: "c", Misaligned: true,
+			DecoyColumn: "other", DecoyValue: "42"},
+		"SELECT a FROM t WHERE c = 'y'", "SELECT a FROM t WHERE c = 'x'")
+	fb, _ = annotator().Annotate(e2, e2.WrongSQL(), 1, false)
+	if !strings.Contains(fb.Text, "other") || !strings.Contains(fb.Text, "42") {
+		t.Errorf("misaligned feedback should name the decoy: %q", fb.Text)
+	}
+	if fb.Op != dataset.OpAdd {
+		t.Errorf("misaligned text asks for an Add, got %v", fb.Op)
+	}
+}
+
+func TestAnnotateAmbiguousDistinct(t *testing.T) {
+	e := twoVariantExample(dataset.MissingDistinct,
+		dataset.Trap{AmbiguousOp: true},
+		"SELECT DISTINCT c FROM t", "SELECT c FROM t")
+	fb, _ := annotator().Annotate(e, e.WrongSQL(), 1, false)
+	if fb.Text != "remove the duplicate entries" {
+		t.Errorf("round 1: %q", fb.Text)
+	}
+	fb, _ = annotator().Annotate(e, e.WrongSQL(), 2, false)
+	if fb.Text != "add distinct so each value appears only once" {
+		t.Errorf("round 2: %q", fb.Text)
+	}
+}
+
+func TestAnnotateTargetsFirstUnfixedTrap(t *testing.T) {
+	e := &dataset.Example{
+		ID: "t2", DB: "db", Question: "q?",
+		Gold: "SELECT a FROM t WHERE b = 'good'",
+		Traps: []dataset.Trap{
+			{Kind: dataset.WrongLiteral, Old: "'bad'", New: "'good'", Column: "b"},
+			{Kind: dataset.ExtraFilter, Column: "c"},
+		},
+		Variants: map[uint8]string{
+			1: "SELECT a FROM t WHERE b = 'bad'",
+			2: "SELECT a FROM t WHERE b = 'good' AND c = 1",
+			3: "SELECT a FROM t WHERE b = 'bad' AND c = 1",
+		},
+		Annotatable: true,
+	}
+	fb, ok := annotator().Annotate(e, e.Variants[3], 1, false)
+	if !ok || fb.TrapIndex != 0 {
+		t.Fatalf("round 1 should target trap 0: %+v", fb)
+	}
+	fb, ok = annotator().Annotate(e, e.Variants[2], 1, false)
+	if !ok || fb.TrapIndex != 1 {
+		t.Fatalf("with trap 0 fixed, should target trap 1: %+v", fb)
+	}
+	if !strings.Contains(fb.Text, "drop the condition on c") {
+		t.Errorf("extra-filter feedback: %q", fb.Text)
+	}
+}
+
+func TestGroundingHighlight(t *testing.T) {
+	sql := "SELECT a FROM t WHERE x = 'one' AND y = 'two'"
+	tr := dataset.Trap{Kind: dataset.WrongLiteral, Column: "y", Old: "'two'", New: "'three'", GroundingHard: true}
+	h, ok := groundingHighlight(sql, tr)
+	if !ok {
+		t.Fatal("no highlight")
+	}
+	if h.Text != "y = 'two'" {
+		t.Errorf("highlight text: %q", h.Text)
+	}
+	if sql[h.Start:h.End] != h.Text {
+		t.Error("highlight span does not slice back")
+	}
+}
+
+func TestGroundingHighlightNumeric(t *testing.T) {
+	sql := "SELECT a FROM t WHERE x = 1 AND y >= 25"
+	tr := dataset.Trap{Kind: dataset.WrongLiteral, Column: "y"}
+	h, ok := groundingHighlight(sql, tr)
+	if !ok || h.Text != "y >= 25" {
+		t.Errorf("got %+v, %v", h, ok)
+	}
+}
+
+func TestAnnotateAttachesHighlightOnlyWhenHardAndEnabled(t *testing.T) {
+	e := twoVariantExample(dataset.WrongLiteral,
+		dataset.Trap{Old: "'x'", New: "'y'", Column: "c", GroundingHard: true},
+		"SELECT a FROM t WHERE b = 'k' AND c = 'y'",
+		"SELECT a FROM t WHERE b = 'k' AND c = 'x'")
+	fb, _ := annotator().Annotate(e, e.WrongSQL(), 1, true)
+	if fb.Highlight == nil {
+		t.Fatal("highlight missing")
+	}
+	fb, _ = annotator().Annotate(e, e.WrongSQL(), 1, false)
+	if fb.Highlight != nil {
+		t.Error("highlight attached with highlights disabled")
+	}
+}
+
+func TestClauseOf(t *testing.T) {
+	sel, err := sqlparse.ParseSelect("SELECT a FROM t WHERE b = 1 ORDER BY a ASC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, spans := sqlast.PrintWithSpans(sel)
+	idx := strings.Index(text, "b = 1")
+	clause, ok := ClauseOf(spans, idx)
+	if !ok || clause != sqlast.ClauseWhere {
+		t.Errorf("clause at %d: %v, %v", idx, clause, ok)
+	}
+	if _, ok := ClauseOf(spans, len(text)+10); ok {
+		t.Error("out-of-range offset should not resolve")
+	}
+}
+
+func TestGroundingHighlightNoMatch(t *testing.T) {
+	tr := dataset.Trap{Kind: dataset.WrongLiteral, Column: "absent"}
+	if _, ok := groundingHighlight("SELECT a FROM t", tr); ok {
+		t.Error("missing column should yield no highlight")
+	}
+	// Column present but no comparison after it.
+	tr2 := dataset.Trap{Kind: dataset.WrongLiteral, Column: "a"}
+	if _, ok := groundingHighlight("SELECT a FROM t", tr2); ok {
+		t.Error("no comparison should yield no highlight")
+	}
+}
+
+func TestLiteralEndAfterEdges(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int // -1 for no literal
+	}{
+		{"col = 'v'", len("col = 'v'")},
+		{"col >= 42", len("col >= 42")},
+		{"col = ", -1},
+		{"col 'v'", -1}, // no operator
+		{"col = 'unclosed", -1},
+		{"col", -1},
+	}
+	for _, tc := range cases {
+		if got := literalEndAfter(tc.in); got != tc.want {
+			t.Errorf("literalEndAfter(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAnnotatorFallbackPhrases(t *testing.T) {
+	// Without callbacks, identifiers humanize.
+	a := &Annotator{}
+	e := twoVariantExample(dataset.ExtraColumn,
+		dataset.Trap{Column: "song_name"},
+		"SELECT name FROM t", "SELECT name, song_name FROM t")
+	fb, ok := a.Annotate(e, e.WrongSQL(), 1, false)
+	if !ok || !strings.Contains(fb.Text, "song name") {
+		t.Errorf("fallback phrase: %q", fb.Text)
+	}
+}

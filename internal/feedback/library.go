@@ -1,0 +1,142 @@
+package feedback
+
+import (
+	"sort"
+	"strings"
+
+	"fisql/internal/dataset"
+)
+
+// The paper's §5 names "routing enhanced with dynamic example selection
+// based on query structure and feedback" as future work. This file
+// implements it: a larger library of repair demonstrations tagged by
+// operation type, and a selector that ranks them by lexical similarity to
+// the live feedback (and the query it applies to) instead of always sending
+// the fixed per-op set.
+
+// LibraryEntry is a repair demonstration tagged with its operation type.
+type LibraryEntry struct {
+	Op   dataset.Op
+	Demo RepairDemo
+}
+
+// Library returns the full demonstration library: the fixed sets of Demos
+// plus additional coverage of each edit idiom.
+func Library() []LibraryEntry {
+	var out []LibraryEntry
+	for _, op := range []dataset.Op{dataset.OpAdd, dataset.OpRemove, dataset.OpEdit} {
+		for _, d := range Demos(op) {
+			out = append(out, LibraryEntry{Op: op, Demo: d})
+		}
+	}
+	out = append(out,
+		LibraryEntry{Op: dataset.OpEdit, Demo: RepairDemo{
+			Question: "What is the average salary of the employees?",
+			Original: "SELECT SUM(salary) FROM employee",
+			Feedback: "I wanted the average, not the total",
+			Updated:  "SELECT AVG(salary) FROM employee",
+		}},
+		LibraryEntry{Op: dataset.OpEdit, Demo: RepairDemo{
+			Question: "Show the titles of books from 'Ann'.",
+			Original: "SELECT title FROM book WHERE author = 'Anna'",
+			Feedback: "the author should be 'Ann'",
+			Updated:  "SELECT title FROM book WHERE author = 'Ann'",
+		}},
+		LibraryEntry{Op: dataset.OpEdit, Demo: RepairDemo{
+			Question: "How many products do we have?",
+			Original: "SELECT COUNT(*) FROM supplier",
+			Feedback: "I meant the products, not the suppliers",
+			Updated:  "SELECT COUNT(*) FROM product",
+		}},
+		LibraryEntry{Op: dataset.OpAdd, Demo: RepairDemo{
+			Question: "List the players.",
+			Original: "SELECT player_name FROM player",
+			Feedback: "only include those whose team is 'Ajax'",
+			Updated:  "SELECT player_name FROM player WHERE team = 'Ajax'",
+		}},
+		LibraryEntry{Op: dataset.OpAdd, Demo: RepairDemo{
+			Question: "List the trips.",
+			Original: "SELECT trip_id FROM trip",
+			Feedback: "only count those with duration greater than 30",
+			Updated:  "SELECT trip_id FROM trip WHERE duration > 30",
+		}},
+		LibraryEntry{Op: dataset.OpRemove, Demo: RepairDemo{
+			Question: "Show the loans from March.",
+			Original: "SELECT loan_id FROM loan WHERE month = 'March' AND branch = 'Main'",
+			Feedback: "drop the condition on branch",
+			Updated:  "SELECT loan_id FROM loan WHERE month = 'March'",
+		}},
+	)
+	return out
+}
+
+// SelectDemos ranks the library entries of the given operation type by
+// token overlap with the feedback text (plus the current query, which
+// carries structural hints) and returns the top k. With k <= 0 it falls
+// back to the fixed set.
+func SelectDemos(op dataset.Op, fbText, currentSQL string, k int) []RepairDemo {
+	if k <= 0 {
+		return Demos(op)
+	}
+	query := tokens(fbText + " " + currentSQL)
+	type scored struct {
+		demo  RepairDemo
+		score float64
+		idx   int
+	}
+	var hits []scored
+	for i, entry := range Library() {
+		if entry.Op != op {
+			continue
+		}
+		s := overlapScore(query, tokens(entry.Demo.Feedback+" "+entry.Demo.Original))
+		hits = append(hits, scored{demo: entry.Demo, score: s, idx: i})
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].score != hits[j].score {
+			return hits[i].score > hits[j].score
+		}
+		return hits[i].idx < hits[j].idx
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	out := make([]RepairDemo, len(hits))
+	for i, h := range hits {
+		out[i] = h.demo
+	}
+	return out
+}
+
+func tokens(s string) map[string]bool {
+	out := map[string]bool{}
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 1 { // skip single letters
+			out[sb.String()] = true
+		}
+		sb.Reset()
+	}
+	for _, r := range strings.ToLower(s) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '_' {
+			sb.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+func overlapScore(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	n := 0
+	for w := range a {
+		if b[w] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a)+len(b)-n)
+}

@@ -1,0 +1,81 @@
+package feedback
+
+import (
+	"testing"
+
+	"fisql/internal/dataset"
+)
+
+func TestLibraryCoversAllOps(t *testing.T) {
+	seen := map[dataset.Op]int{}
+	for _, e := range Library() {
+		seen[e.Op]++
+		if e.Demo.Feedback == "" || e.Demo.Original == "" || e.Demo.Updated == "" {
+			t.Errorf("incomplete library entry: %+v", e)
+		}
+	}
+	for _, op := range []dataset.Op{dataset.OpAdd, dataset.OpRemove, dataset.OpEdit} {
+		if seen[op] < 2 {
+			t.Errorf("library has only %d %v entries", seen[op], op)
+		}
+	}
+}
+
+func TestLibraryEntriesClassifyToTheirOp(t *testing.T) {
+	for _, e := range Library() {
+		if got := ClassifyRouted(e.Demo.Feedback); got != e.Op {
+			t.Errorf("library feedback %q routes to %v, tagged %v", e.Demo.Feedback, got, e.Op)
+		}
+	}
+}
+
+func TestSelectDemosFallsBackToFixedSet(t *testing.T) {
+	got := SelectDemos(dataset.OpEdit, "we are in 2024", "SELECT 1", 0)
+	fixed := Demos(dataset.OpEdit)
+	if len(got) != len(fixed) {
+		t.Fatalf("k=0 should return the fixed set: %d vs %d", len(got), len(fixed))
+	}
+}
+
+func TestSelectDemosRanksBySimilarity(t *testing.T) {
+	// Year feedback should surface the year-edit demonstration first.
+	got := SelectDemos(dataset.OpEdit, "we are in 2024",
+		"SELECT COUNT(*) FROM hkg_dim_segment WHERE createdTime >= '2023-01-01'", 1)
+	if len(got) != 1 {
+		t.Fatalf("got %d demos", len(got))
+	}
+	if got[0].Feedback != "we are in 2024" {
+		t.Errorf("top demo: %q", got[0].Feedback)
+	}
+	// Aggregate feedback should surface the aggregate-swap demonstration.
+	got = SelectDemos(dataset.OpEdit, "I wanted the average, not the total",
+		"SELECT SUM(salary) FROM employee", 1)
+	if len(got) != 1 || got[0].Updated != "SELECT AVG(salary) FROM employee" {
+		t.Errorf("aggregate demo not selected: %+v", got)
+	}
+}
+
+func TestSelectDemosRespectsOpAndK(t *testing.T) {
+	got := SelectDemos(dataset.OpRemove, "do not give the description", "SELECT id, description FROM product", 2)
+	if len(got) > 2 {
+		t.Fatalf("k not respected: %d", len(got))
+	}
+	for _, d := range got {
+		if ClassifyRouted(d.Feedback) != dataset.OpRemove {
+			t.Errorf("wrong-op demo selected: %q", d.Feedback)
+		}
+	}
+}
+
+func TestSelectDemosDeterministic(t *testing.T) {
+	a := SelectDemos(dataset.OpAdd, "sort the results by age in ascending order", "SELECT name FROM t", 2)
+	b := SelectDemos(dataset.OpAdd, "sort the results by age in ascending order", "SELECT name FROM t", 2)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].Feedback != b[i].Feedback {
+			t.Fatal("nondeterministic ordering")
+		}
+	}
+}

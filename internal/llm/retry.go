@@ -1,0 +1,99 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Transient marks an error as retryable. API clients wrap rate-limit and
+// gateway errors with it; Retry only re-attempts errors that match.
+type Transient struct {
+	Err error
+}
+
+func (t *Transient) Error() string { return "transient: " + t.Err.Error() }
+
+// Unwrap exposes the underlying error.
+func (t *Transient) Unwrap() error { return t.Err }
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *Transient
+	return errors.As(err, &t)
+}
+
+// Retry wraps a client with bounded retries and exponential backoff for
+// transient failures — the hygiene a production deployment needs in front
+// of a rate-limited LLM API.
+type Retry struct {
+	Inner Client
+	// MaxAttempts bounds total attempts (default 3).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 50ms); it doubles per
+	// attempt. Tests set it to 0.
+	BaseDelay time.Duration
+	// Sleep is stubbable for tests; defaults to time.Sleep honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Complete forwards to the inner client, retrying transient errors.
+func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	delay := r.BaseDelay
+	if delay == 0 {
+		delay = 50 * time.Millisecond
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+				return nil
+			}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, delay); err != nil {
+				return Response{}, err
+			}
+			delay *= 2
+		}
+		resp, err := r.Inner.Complete(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !IsTransient(err) {
+			return Response{}, err
+		}
+		lastErr = err
+	}
+	return Response{}, fmt.Errorf("llm: %d attempts failed: %w", attempts, lastErr)
+}
+
+// Flaky injects transient failures in front of a client: every Nth call
+// fails once. Deterministic, for failure-injection tests.
+type Flaky struct {
+	Inner Client
+	// FailEvery makes call numbers divisible by it fail (must be >= 1).
+	FailEvery int
+
+	calls int
+}
+
+// Complete fails deterministically, then forwards.
+func (f *Flaky) Complete(ctx context.Context, req Request) (Response, error) {
+	f.calls++
+	if f.FailEvery >= 1 && f.calls%f.FailEvery == 0 {
+		return Response{}, &Transient{Err: errors.New("injected failure")}
+	}
+	return f.Inner.Complete(ctx, req)
+}

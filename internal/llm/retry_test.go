@@ -1,0 +1,123 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// scripted is a test client that plays back canned outcomes.
+type scripted struct {
+	outcomes []error
+	calls    int
+}
+
+func (s *scripted) Complete(_ context.Context, _ Request) (Response, error) {
+	var err error
+	if s.calls < len(s.outcomes) {
+		err = s.outcomes[s.calls]
+	}
+	s.calls++
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Text: "ok"}, nil
+}
+
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func TestRetryRecoversFromTransient(t *testing.T) {
+	s := &scripted{outcomes: []error{
+		&Transient{Err: errors.New("429")},
+		&Transient{Err: errors.New("502")},
+		nil,
+	}}
+	r := &Retry{Inner: s, MaxAttempts: 3, Sleep: noSleep}
+	resp, err := r.Complete(context.Background(), Request{Prompt: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "ok" || s.calls != 3 {
+		t.Errorf("resp %q after %d calls", resp.Text, s.calls)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	s := &scripted{outcomes: []error{
+		&Transient{Err: errors.New("a")},
+		&Transient{Err: errors.New("b")},
+		&Transient{Err: errors.New("c")},
+		nil,
+	}}
+	r := &Retry{Inner: s, MaxAttempts: 3, Sleep: noSleep}
+	_, err := r.Complete(context.Background(), Request{Prompt: "p"})
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if s.calls != 3 {
+		t.Errorf("calls: %d", s.calls)
+	}
+	if !IsTransient(err) {
+		t.Error("exhaustion error should still unwrap to the transient cause")
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	s := &scripted{outcomes: []error{errors.New("bad request"), nil}}
+	r := &Retry{Inner: s, MaxAttempts: 3, Sleep: noSleep}
+	_, err := r.Complete(context.Background(), Request{Prompt: "p"})
+	if err == nil || s.calls != 1 {
+		t.Errorf("permanent error retried: calls=%d err=%v", s.calls, err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	s := &scripted{outcomes: []error{&Transient{Err: errors.New("x")}, nil}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Retry{Inner: s, MaxAttempts: 3} // real Sleep: sees cancelled ctx
+	_, err := r.Complete(ctx, Request{Prompt: "p"})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestFlakyInjectsDeterministically(t *testing.T) {
+	inner := &scripted{}
+	f := &Flaky{Inner: inner, FailEvery: 3}
+	var failures int
+	for i := 0; i < 9; i++ {
+		if _, err := f.Complete(context.Background(), Request{Prompt: "p"}); err != nil {
+			failures++
+			if !IsTransient(err) {
+				t.Error("injected failure should be transient")
+			}
+		}
+	}
+	if failures != 3 {
+		t.Errorf("failures: %d, want 3", failures)
+	}
+}
+
+func TestRetryOverFlakySimSurvivesPipeline(t *testing.T) {
+	// End-to-end failure injection: a flaky sim wrapped in Retry must
+	// behave identically to the bare sim.
+	sim, ds, _ := getSim(t)
+	bare := sim
+	wrapped := &Retry{Inner: &Flaky{Inner: sim, FailEvery: 2}, MaxAttempts: 3, Sleep: noSleep}
+	for _, e := range ds.Examples[:10] {
+		p := Request{Prompt: promptFor(ds, e)}
+		want, err := bare.Complete(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wrapped.Complete(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text != want.Text {
+			t.Errorf("%s: wrapped output differs", e.ID)
+		}
+	}
+}

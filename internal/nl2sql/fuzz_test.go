@@ -1,0 +1,50 @@
+package nl2sql
+
+import (
+	"testing"
+
+	"fisql/internal/dataset"
+	"fisql/internal/feedback"
+	"fisql/internal/sqlparse"
+)
+
+// FuzzRepair checks the repair engine never panics on arbitrary feedback
+// text and only ever returns parseable SQL when it reports a change.
+func FuzzRepair(f *testing.F) {
+	seeds := []struct {
+		sql, fb string
+		op      int
+	}{
+		{"SELECT name FROM singer WHERE country = 'Spain'", "the country should be 'France'", 2},
+		{"SELECT name FROM singer", "sort the results by age in descending order", 0},
+		{"SELECT name, description FROM singer", "do not give the description", 1},
+		{"SELECT COUNT(*) FROM singer WHERE createdTime >= '2023-01-01'", "we are in 2024", 2},
+		{"SELECT MIN(age) FROM singer", "I wanted the maximum, not the minimum", 2},
+		{"SELECT name FROM singer", "", 0},
+		{"SELECT name FROM singer", "the  should be ", 2},
+		{"NOT SQL AT ALL", "anything", 0},
+		{"SELECT a FROM t", "the x should be 'a', not 'b'", 2},
+	}
+	for _, s := range seeds {
+		f.Add(s.sql, s.fb, s.op)
+	}
+	lx := lex()
+	f.Fuzz(func(t *testing.T, sql, fb string, opRaw int) {
+		op := dataset.Op(((opRaw % 3) + 3) % 3)
+		r := &Repairer{Lex: lx}
+		var hl *feedback.Highlight
+		if len(fb)%2 == 0 && len(sql) > 3 {
+			hl = &feedback.Highlight{Text: sql[:3]}
+		}
+		got, changed := r.Repair(sql, fb, op, hl)
+		if !changed {
+			if got != sql {
+				t.Fatalf("unchanged repair altered the SQL: %q -> %q", sql, got)
+			}
+			return
+		}
+		if _, err := sqlparse.ParseSelect(got); err != nil {
+			t.Fatalf("repair produced unparseable SQL %q from %q + %q: %v", got, sql, fb, err)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package nl2sql
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"fisql/internal/schema"
+)
+
+// Generate is a heuristic fallback generator for questions outside the
+// benchmark corpora (used by the interactive chat so the tool degrades
+// gracefully). It handles simple count and list shapes via lexicon linking.
+func Generate(lex *schema.Lexicon, question string) (string, bool) {
+	q := strings.ToLower(strings.TrimSpace(question))
+	q = strings.TrimRight(q, ".!?")
+	if m := reHowMany.FindStringSubmatch(q); m != nil {
+		if ref, ok := lex.ResolveTable(m[1]); ok {
+			return fmt.Sprintf("SELECT COUNT(*) FROM %s", ref.Table), true
+		}
+	}
+	if m := reListOf.FindStringSubmatch(q); m != nil {
+		col, ok1 := lex.ResolveColumn(m[1])
+		tab, ok2 := lex.ResolveTable(m[2])
+		if ok1 && ok2 {
+			return fmt.Sprintf("SELECT %s FROM %s", col.Column, tab.Table), true
+		}
+	}
+	if m := reListAll.FindStringSubmatch(q); m != nil {
+		if ref, ok := lex.ResolveTable(m[1]); ok {
+			return fmt.Sprintf("SELECT * FROM %s", ref.Table), true
+		}
+	}
+	return "", false
+}
+
+var (
+	reHowMany = regexp.MustCompile(`^how many ([a-z0-9_ ]+?)(?: are there| do we have| exist)?$`)
+	reListOf  = regexp.MustCompile(`^(?:list|show)(?: me)? the ([a-z0-9_ ]+?) of (?:all |the )?([a-z0-9_ ]+)$`)
+	reListAll = regexp.MustCompile(`^(?:list|show)(?: me)?(?: all)? (?:the )?([a-z0-9_ ]+)$`)
+)

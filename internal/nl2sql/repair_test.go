@@ -1,0 +1,363 @@
+package nl2sql
+
+import (
+	"strings"
+	"testing"
+
+	"fisql/internal/dataset"
+	"fisql/internal/feedback"
+	"fisql/internal/schema"
+)
+
+func lex() *schema.Lexicon {
+	return schema.NewLexicon(&schema.Schema{
+		Name: "db",
+		Tables: []schema.Table{
+			{
+				Name: "singer", NL: []string{"singers"},
+				Columns: []schema.Column{
+					{Name: "singer_id", Type: "INT"},
+					{Name: "name", Type: "TEXT", NL: []string{"name", "singer name"}},
+					{Name: "song_name", Type: "TEXT", NL: []string{"song name"}},
+					{Name: "country", Type: "TEXT", NL: []string{"country"}},
+					{Name: "age", Type: "INT", NL: []string{"age"}},
+					{Name: "description", Type: "TEXT", NL: []string{"description"}},
+					{Name: "createdTime", Type: "DATE", NL: []string{"created time"}},
+				},
+			},
+			{
+				Name: "band", NL: []string{"bands"},
+				Columns: []schema.Column{
+					{Name: "band_id", Type: "INT"},
+					{Name: "name", Type: "TEXT"},
+				},
+			},
+		},
+	})
+}
+
+func repair(t *testing.T, sql, fb string, op dataset.Op, hl *feedback.Highlight) (string, bool) {
+	t.Helper()
+	r := &Repairer{Lex: lex()}
+	return r.Repair(sql, fb, op, hl)
+}
+
+func TestRepairYearShift(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT COUNT(*) FROM singer WHERE createdTime >= '2023-01-01' AND createdTime < '2023-02-01'",
+		"we are in 2024", dataset.OpEdit, nil)
+	if !changed {
+		t.Fatal("no change")
+	}
+	want := "SELECT COUNT(*) FROM singer WHERE createdTime >= '2024-01-01' AND createdTime < '2024-02-01'"
+	if got != want {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRepairYearShiftDecemberWindow(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT COUNT(*) FROM singer WHERE createdTime >= '2023-12-01' AND createdTime < '2024-01-01'",
+		"we are in 2024", dataset.OpEdit, nil)
+	if !changed {
+		t.Fatal("no change")
+	}
+	want := "SELECT COUNT(*) FROM singer WHERE createdTime >= '2024-12-01' AND createdTime < '2025-01-01'"
+	if got != want {
+		t.Errorf("year-straddling window mishandled: %q", got)
+	}
+}
+
+func TestRepairYearNoDates(t *testing.T) {
+	_, changed := repair(t, "SELECT COUNT(*) FROM singer", "we are in 2024", dataset.OpEdit, nil)
+	if changed {
+		t.Error("no dates to shift, but change reported")
+	}
+}
+
+func TestRepairColumnSwap(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT name, age FROM singer",
+		"provide the song name instead of the singer name", dataset.OpEdit, nil)
+	if !changed || got != "SELECT song_name, age FROM singer" {
+		t.Errorf("got %q (%v)", got, changed)
+	}
+}
+
+func TestRepairValueEditNamedColumn(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT name FROM singer WHERE country = 'Spain'",
+		"the country should be 'France'", dataset.OpEdit, nil)
+	if !changed || got != "SELECT name FROM singer WHERE country = 'France'" {
+		t.Errorf("got %q (%v)", got, changed)
+	}
+}
+
+func TestRepairValueEditPreservesCase(t *testing.T) {
+	got, _ := repair(t,
+		"SELECT name FROM singer WHERE country = 'Spain'",
+		"the country should be 'United States'", dataset.OpEdit, nil)
+	if got != "SELECT name FROM singer WHERE country = 'United States'" {
+		t.Errorf("casing lost: %q", got)
+	}
+}
+
+func TestRepairValueEditPreservesLiteralKind(t *testing.T) {
+	// A text column compared to a numeric-looking value keeps its quotes.
+	got, _ := repair(t,
+		"SELECT name FROM singer WHERE country = '1999'",
+		"the country should be 2001", dataset.OpEdit, nil)
+	if got != "SELECT name FROM singer WHERE country = '2001'" {
+		t.Errorf("literal kind not preserved: %q", got)
+	}
+}
+
+func TestRepairUngroundedValueEditPicksFirst(t *testing.T) {
+	got, _ := repair(t,
+		"SELECT name FROM singer WHERE country = 'Spain' AND description = 'Aurora'",
+		"the value should be 'Breeze'", dataset.OpEdit, nil)
+	if got != "SELECT name FROM singer WHERE country = 'Breeze' AND description = 'Aurora'" {
+		t.Errorf("ungrounded edit should hit the first comparison: %q", got)
+	}
+}
+
+func TestRepairHighlightGroundsValueEdit(t *testing.T) {
+	hl := &feedback.Highlight{Text: "description = 'Aurora'"}
+	got, _ := repair(t,
+		"SELECT name FROM singer WHERE country = 'Spain' AND description = 'Aurora'",
+		"the value should be 'Breeze'", dataset.OpEdit, hl)
+	if got != "SELECT name FROM singer WHERE country = 'Spain' AND description = 'Breeze'" {
+		t.Errorf("highlight not honoured: %q", got)
+	}
+}
+
+func TestRepairAggregateSwap(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT MIN(age) FROM singer",
+		"I wanted the maximum, not the minimum", dataset.OpEdit, nil)
+	if !changed || got != "SELECT MAX(age) FROM singer" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRepairAggregateSwapInSubquery(t *testing.T) {
+	got, _ := repair(t,
+		"SELECT song_name FROM singer WHERE age = (SELECT MIN(age) FROM singer)",
+		"I wanted the maximum, not the minimum", dataset.OpEdit, nil)
+	if got != "SELECT song_name FROM singer WHERE age = (SELECT MAX(age) FROM singer)" {
+		t.Errorf("subquery aggregate untouched: %q", got)
+	}
+}
+
+func TestRepairCountStarDoesNotBecomeSumStar(t *testing.T) {
+	_, changed := repair(t,
+		"SELECT COUNT(*) FROM singer",
+		"I wanted the total, not the count", dataset.OpEdit, nil)
+	if changed {
+		t.Error("COUNT(*) must not become SUM(*)")
+	}
+}
+
+func TestRepairTableSwap(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT COUNT(*) FROM band",
+		"I meant the singers, not the bands", dataset.OpEdit, nil)
+	if !changed || got != "SELECT COUNT(*) FROM singer" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRepairAddOrderBy(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT name FROM singer",
+		"sort the results by age in descending order", dataset.OpAdd, nil)
+	if !changed || got != "SELECT name FROM singer ORDER BY age DESC" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRepairAddFilterEq(t *testing.T) {
+	got, _ := repair(t,
+		"SELECT name FROM singer",
+		"only include those whose country is 'France'", dataset.OpAdd, nil)
+	if got != "SELECT name FROM singer WHERE country = 'France'" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRepairAddFilterGtConjoins(t *testing.T) {
+	got, _ := repair(t,
+		"SELECT name FROM singer WHERE country = 'France'",
+		"only count those with age greater than 30", dataset.OpAdd, nil)
+	if got != "SELECT name FROM singer WHERE country = 'France' AND age > 30" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRepairAddDistinct(t *testing.T) {
+	for _, fb := range []string{
+		"remove the duplicate entries", // as routed (Add)
+		"add distinct so each value appears only once",
+	} {
+		got, changed := repair(t, "SELECT country FROM singer", fb, dataset.OpAdd, nil)
+		if !changed || got != "SELECT DISTINCT country FROM singer" {
+			t.Errorf("%q: got %q", fb, got)
+		}
+	}
+	// Already distinct: no change.
+	if _, changed := repair(t, "SELECT DISTINCT country FROM singer",
+		"remove the duplicate entries", dataset.OpAdd, nil); changed {
+		t.Error("distinct applied twice")
+	}
+}
+
+func TestRepairNaiveOpMisfiresOnAmbiguousText(t *testing.T) {
+	// Treated as a Remove (the naive classification), the dedup request
+	// finds nothing to remove — the mechanism behind the routing gap.
+	_, changed := repair(t, "SELECT country FROM singer",
+		"remove the duplicate entries", dataset.OpRemove, nil)
+	if changed {
+		t.Error("Remove-typed dedup request should fail to apply")
+	}
+}
+
+func TestRepairRemoveColumn(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT name, description FROM singer",
+		"do not give the description", dataset.OpRemove, nil)
+	if !changed || got != "SELECT name FROM singer" {
+		t.Errorf("got %q", got)
+	}
+	// Refuses to empty the select list.
+	if _, changed := repair(t, "SELECT description FROM singer",
+		"do not give the description", dataset.OpRemove, nil); changed {
+		t.Error("must not remove the last projection")
+	}
+}
+
+func TestRepairRemoveFilter(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT name FROM singer WHERE country = 'France' AND age = 30",
+		"drop the condition on age", dataset.OpRemove, nil)
+	if !changed || got != "SELECT name FROM singer WHERE country = 'France'" {
+		t.Errorf("got %q", got)
+	}
+	got, _ = repair(t,
+		"SELECT name FROM singer WHERE age = 30",
+		"drop the condition on age", dataset.OpRemove, nil)
+	if got != "SELECT name FROM singer" {
+		t.Errorf("sole filter should drop the WHERE entirely: %q", got)
+	}
+}
+
+func TestRepairAlsoShowAndLimit(t *testing.T) {
+	got, _ := repair(t, "SELECT name FROM singer",
+		"also show the age", dataset.OpAdd, nil)
+	if got != "SELECT name, age FROM singer" {
+		t.Errorf("also-show: %q", got)
+	}
+	got, _ = repair(t, "SELECT name FROM singer",
+		"only show the top 5", dataset.OpAdd, nil)
+	if got != "SELECT name FROM singer LIMIT 5" {
+		t.Errorf("limit: %q", got)
+	}
+}
+
+func TestRepairVagueFeedbackUnchanged(t *testing.T) {
+	sql := "SELECT name FROM singer"
+	for _, op := range []dataset.Op{dataset.OpAdd, dataset.OpRemove, dataset.OpEdit} {
+		got, changed := repair(t, sql, "hmm, that is not what I was looking for", op, nil)
+		if changed || got != sql {
+			t.Errorf("vague feedback changed SQL under %v: %q", op, got)
+		}
+	}
+}
+
+func TestRepairUnparseableSQLUnchanged(t *testing.T) {
+	got, changed := repair(t, "NOT SQL", "we are in 2024", dataset.OpEdit, nil)
+	if changed || got != "NOT SQL" {
+		t.Error("unparseable input must pass through")
+	}
+}
+
+func TestRepairUnknownPhrasesUnchanged(t *testing.T) {
+	sql := "SELECT name FROM singer"
+	got, changed := repair(t, sql,
+		"provide the flux capacitance instead of the warp factor", dataset.OpEdit, nil)
+	if changed || got != sql {
+		t.Errorf("unresolvable phrases must not edit: %q", got)
+	}
+}
+
+func TestGenerateFallback(t *testing.T) {
+	sql, ok := Generate(lex(), "How many singers are there?")
+	if !ok || sql != "SELECT COUNT(*) FROM singer" {
+		t.Errorf("count: %q, %v", sql, ok)
+	}
+	sql, ok = Generate(lex(), "List the song name of all singers.")
+	if !ok || sql != "SELECT song_name FROM singer" {
+		t.Errorf("list: %q, %v", sql, ok)
+	}
+	if _, ok := Generate(lex(), "what is the meaning of life"); ok {
+		t.Error("nonsense should not generate")
+	}
+}
+
+func TestRepairTableSwapReachesSubqueries(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT name FROM band WHERE band_id IN (SELECT band_id FROM band)",
+		"I meant the singers, not the bands", dataset.OpEdit, nil)
+	if !changed {
+		t.Fatal("no change")
+	}
+	if strings.Contains(got, "band ") || strings.HasSuffix(got, "band)") {
+		t.Errorf("subquery table not swapped: %q", got)
+	}
+}
+
+func TestRepairAddOrderByUnknownColumn(t *testing.T) {
+	_, changed := repair(t, "SELECT name FROM singer",
+		"sort the results by warp factor in ascending order", dataset.OpAdd, nil)
+	if changed {
+		t.Error("unknown sort key must not change the query")
+	}
+}
+
+func TestRepairShouldBeNotForm(t *testing.T) {
+	got, changed := repair(t,
+		"SELECT name FROM singer WHERE country IN ('France', 'Spain')",
+		"the country should be 'Japan', not 'Spain'", dataset.OpEdit, nil)
+	if !changed || got != "SELECT name FROM singer WHERE country IN ('France', 'Japan')" {
+		t.Errorf("IN-list member edit: %q (%v)", got, changed)
+	}
+	got, changed = repair(t,
+		"SELECT name FROM singer WHERE name LIKE 'A%'",
+		"the name should be 'B%', not 'A%'", dataset.OpEdit, nil)
+	if !changed || got != "SELECT name FROM singer WHERE name LIKE 'B%'" {
+		t.Errorf("LIKE pattern edit: %q (%v)", got, changed)
+	}
+}
+
+func TestRepairShouldBeNotFallsBackToComparison(t *testing.T) {
+	// The stated old value does not appear literally; fall back to the
+	// named column's comparison.
+	got, changed := repair(t,
+		"SELECT name FROM singer WHERE country = 'Espagne'",
+		"the country should be 'France', not 'Spain'", dataset.OpEdit, nil)
+	if !changed || got != "SELECT name FROM singer WHERE country = 'France'" {
+		t.Errorf("fallback edit: %q (%v)", got, changed)
+	}
+}
+
+func TestRepairNonASCIIFeedbackDoesNotPanic(t *testing.T) {
+	// Regression for the fuzz finding: Unicode case mapping must not break
+	// capture offsets.
+	sql := "SELECT name FROM singer"
+	got, changed := repair(t, sql, "the \xfd should Be 0", dataset.OpEdit, nil)
+	if changed && got == "" {
+		t.Error("bad output")
+	}
+	got, changed = repair(t, sql, "the Straße should be 'München'", dataset.OpEdit, nil)
+	_ = got
+	_ = changed
+}

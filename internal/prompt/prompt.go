@@ -1,0 +1,256 @@
+// Package prompt builds and parses the prompts of the FISQL pipeline: the
+// zero-/few-shot NL2SQL prompt (paper Figure 1), the feedback-regeneration
+// prompt (Figure 6) with optional routed repair demonstrations (Figure 5),
+// the feedback-type routing prompt, and the query-rewrite prompt.
+//
+// The same package owns parsing because the simulated LLM must understand
+// exactly the prompts the pipeline produces — like a real API, it sees only
+// text, and this package is the single source of truth for the layout.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"fisql/internal/dataset"
+	"fisql/internal/feedback"
+	"fisql/internal/schema"
+)
+
+// Section markers. Builders emit them; the parser keys on them.
+const (
+	markSchema      = "Schema:"
+	markDemos       = "Here are example questions and their SQL queries:"
+	markRepairDemos = "Here are examples of how to perform"
+	markQuestion    = "Question:"
+	markPrevQuery   = "Query:"
+	markFeedback    = "The SQL query you have generated has received the following feedback:"
+	markHighlight   = "The user highlighted this segment of the query:"
+	markTask        = "Here is the question you need to answer:"
+	markRewriteTail = "Taking into account the feedback, please rewrite the SQL query."
+	markRouting     = "Classify the user feedback into one of the operation types: Add, Remove, Edit."
+	markRewriteTask = "Rewrite the user question so that it also reflects the feedback."
+	markFinal       = "SQL:"
+)
+
+// Instructions is the generic task instruction block (Figure 1's skeleton).
+const Instructions = "You are an expert text-to-SQL assistant. " +
+	"Translate the user question into a single SQL query over the schema below. " +
+	"Respond with the SQL query only."
+
+// Demo is a (question, SQL) in-context demonstration.
+type Demo struct {
+	Question string
+	SQL      string
+}
+
+// NL2SQL builds the generation prompt: instructions, full schema, optional
+// retrieved demonstrations, and the question. With no demos this is the
+// zero-shot prompt of Figure 1.
+func NL2SQL(s *schema.Schema, demos []Demo, question string) string {
+	var sb strings.Builder
+	sb.WriteString(Instructions)
+	sb.WriteString("\n\n")
+	sb.WriteString(markSchema)
+	sb.WriteString("\n")
+	sb.WriteString(s.PromptText())
+	if len(demos) > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(markDemos)
+		sb.WriteString("\n")
+		for _, d := range demos {
+			fmt.Fprintf(&sb, "Q: %s\nSQL: %s\n", d.Question, d.SQL)
+		}
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%s %s\n%s", markQuestion, question, markFinal)
+	return sb.String()
+}
+
+// Repair builds the feedback-incorporation prompt of Figure 6: the NL2SQL
+// prompt plus the previous query, the user feedback, optionally the routed
+// repair demonstrations (Figure 5) and a highlight.
+func Repair(s *schema.Schema, demos []Demo, routed []feedback.RepairDemo, routedOp *dataset.Op,
+	question, prevSQL, fbText string, hl *feedback.Highlight) string {
+	var sb strings.Builder
+	sb.WriteString(Instructions)
+	sb.WriteString("\n\n")
+	sb.WriteString(markSchema)
+	sb.WriteString("\n")
+	sb.WriteString(s.PromptText())
+	if len(demos) > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(markDemos)
+		sb.WriteString("\n")
+		for _, d := range demos {
+			fmt.Fprintf(&sb, "Q: %s\nSQL: %s\n", d.Question, d.SQL)
+		}
+	}
+	if routedOp != nil {
+		fmt.Fprintf(&sb, "\n%s %s updates to SQL queries based on feedback:\n", markRepairDemos, routedOp.String())
+		for _, d := range routed {
+			fmt.Fprintf(&sb, "Question: %s\nQuery: %s\nFeedback: %s\nUpdated query: %s\n",
+				d.Question, d.Original, d.Feedback, d.Updated)
+		}
+	}
+	sb.WriteString("\n")
+	sb.WriteString(markTask)
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%s %s\n", markQuestion, question)
+	fmt.Fprintf(&sb, "%s %s\n", markPrevQuery, prevSQL)
+	fmt.Fprintf(&sb, "%s\n%s\n", markFeedback, fbText)
+	if hl != nil {
+		fmt.Fprintf(&sb, "%s\n%s\n", markHighlight, hl.Text)
+	}
+	fmt.Fprintf(&sb, "%s\n%s", markRewriteTail, markPrevQuery)
+	return sb.String()
+}
+
+// Routing builds the feedback-type identification prompt. Demonstrations
+// are emitted in fixed operation order so the prompt bytes are
+// deterministic.
+func Routing(fbText string) string {
+	var sb strings.Builder
+	sb.WriteString(markRouting)
+	sb.WriteString("\n\n")
+	examples := feedback.TaxonomyExamples()
+	for _, op := range []dataset.Op{dataset.OpAdd, dataset.OpRemove, dataset.OpEdit} {
+		fmt.Fprintf(&sb, "Feedback: %s\nType: %s\n", examples[op], op)
+	}
+	fmt.Fprintf(&sb, "\nFeedback: %s\nType:", fbText)
+	return sb.String()
+}
+
+// Rewrite builds the query-rewrite baseline prompt: paraphrase question +
+// feedback into a new standalone question.
+func Rewrite(question, fbText string) string {
+	var sb strings.Builder
+	sb.WriteString(markRewriteTask)
+	sb.WriteString("\n\n")
+	fmt.Fprintf(&sb, "%s %s\n", markQuestion, question)
+	fmt.Fprintf(&sb, "Feedback: %s\n", fbText)
+	sb.WriteString("New question:")
+	return sb.String()
+}
+
+// ----------------------------------------------------------------------------
+// Parsing (used by the simulated model)
+
+// Kind discriminates parsed prompt types.
+type Kind int
+
+// Prompt kinds.
+const (
+	KindNL2SQL Kind = iota
+	KindRepair
+	KindRouting
+	KindRewrite
+)
+
+// Parsed is the structured view of a prompt.
+type Parsed struct {
+	Kind      Kind
+	Question  string
+	PrevSQL   string
+	Feedback  string
+	Highlight *feedback.Highlight
+	Demos     []Demo
+	// RoutedOp is the operation type of the repair demonstrations, if the
+	// prompt included a routed demonstration section.
+	RoutedOp *dataset.Op
+	// SchemaName is the database name announced in the schema block.
+	SchemaName string
+}
+
+// Parse decodes a prompt built by this package.
+func Parse(text string) (*Parsed, error) {
+	switch {
+	case strings.HasPrefix(text, markRouting):
+		// The feedback to classify is the last "Feedback:" line.
+		lines := strings.Split(text, "\n")
+		for i := len(lines) - 1; i >= 0; i-- {
+			if f, ok := strings.CutPrefix(lines[i], "Feedback: "); ok {
+				return &Parsed{Kind: KindRouting, Feedback: strings.TrimSpace(f)}, nil
+			}
+		}
+		return nil, fmt.Errorf("routing prompt without feedback line")
+	case strings.HasPrefix(text, markRewriteTask):
+		p := &Parsed{Kind: KindRewrite}
+		for _, line := range strings.Split(text, "\n") {
+			if q, ok := strings.CutPrefix(line, markQuestion+" "); ok {
+				p.Question = strings.TrimSpace(q)
+			}
+			if f, ok := strings.CutPrefix(line, "Feedback: "); ok {
+				p.Feedback = strings.TrimSpace(f)
+			}
+		}
+		if p.Question == "" {
+			return nil, fmt.Errorf("rewrite prompt without question")
+		}
+		return p, nil
+	}
+
+	p := &Parsed{Kind: KindNL2SQL}
+	lines := strings.Split(text, "\n")
+	inDemos, inRouted, inHighlight, inFeedback := false, false, false, false
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		switch {
+		case line == markDemos:
+			inDemos, inRouted = true, false
+		case strings.HasPrefix(line, markRepairDemos):
+			inDemos, inRouted = false, true
+			for _, opName := range []string{"Add", "Remove", "Edit"} {
+				if strings.Contains(line, " "+opName+" ") {
+					if op, ok := dataset.ParseOp(opName); ok {
+						p.RoutedOp = &op
+					}
+				}
+			}
+		case line == markTask:
+			inDemos, inRouted = false, false
+		case line == markFeedback:
+			p.Kind = KindRepair
+			inFeedback = true
+			inDemos, inRouted, inHighlight = false, false, false
+		case line == markHighlight:
+			inHighlight = true
+			inFeedback = false
+		case line == markRewriteTail:
+			inHighlight, inFeedback = false, false
+		case strings.HasPrefix(line, "Database: "):
+			if p.SchemaName == "" {
+				p.SchemaName = strings.TrimSpace(strings.TrimPrefix(line, "Database: "))
+			}
+		case strings.HasPrefix(line, markQuestion+" "):
+			q := strings.TrimSpace(strings.TrimPrefix(line, markQuestion))
+			if inRouted {
+				continue // demonstration questions are not the task question
+			}
+			p.Question = q
+		case strings.HasPrefix(line, markPrevQuery+" "):
+			if inRouted {
+				continue
+			}
+			p.PrevSQL = strings.TrimSpace(strings.TrimPrefix(line, markPrevQuery))
+		case inDemos && strings.HasPrefix(line, "Q: "):
+			d := Demo{Question: strings.TrimPrefix(line, "Q: ")}
+			if i+1 < len(lines) && strings.HasPrefix(lines[i+1], "SQL: ") {
+				d.SQL = strings.TrimPrefix(lines[i+1], "SQL: ")
+				i++
+			}
+			p.Demos = append(p.Demos, d)
+		case inFeedback && strings.TrimSpace(line) != "":
+			if p.Feedback != "" {
+				p.Feedback += " "
+			}
+			p.Feedback += strings.TrimSpace(line)
+		case inHighlight && strings.TrimSpace(line) != "":
+			p.Highlight = &feedback.Highlight{Text: strings.TrimSpace(line)}
+		}
+	}
+	if p.Question == "" {
+		return nil, fmt.Errorf("prompt without question")
+	}
+	return p, nil
+}

@@ -1,0 +1,174 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"fisql/internal/dataset"
+	"fisql/internal/feedback"
+	"fisql/internal/schema"
+)
+
+func testSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "concert_singer",
+		Tables: []schema.Table{{
+			Name: "singer",
+			Columns: []schema.Column{
+				{Name: "singer_id", Type: "INT"},
+				{Name: "name", Type: "TEXT"},
+				{Name: "age", Type: "INT"},
+			},
+		}},
+	}
+}
+
+func TestNL2SQLZeroShotSkeleton(t *testing.T) {
+	// The zero-shot prompt follows Figure 1: instructions, full schema,
+	// question — and no demonstrations section.
+	p := NL2SQL(testSchema(), nil, "How many singers are there?")
+	for _, want := range []string{
+		Instructions,
+		"Database: concert_singer",
+		"Table singer(singer_id INT, name TEXT, age INT)",
+		"Question: How many singers are there?",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+	if strings.Contains(p, "example questions") {
+		t.Error("zero-shot prompt must not carry demonstrations")
+	}
+	if !strings.HasSuffix(p, "SQL:") {
+		t.Errorf("prompt should end with the SQL cue, ends %q", p[len(p)-20:])
+	}
+}
+
+func TestNL2SQLRoundtrip(t *testing.T) {
+	demos := []Demo{
+		{Question: "count all", SQL: "SELECT COUNT(*) FROM singer"},
+		{Question: "list names", SQL: "SELECT name FROM singer"},
+	}
+	p := NL2SQL(testSchema(), demos, "How many singers are there?")
+	parsed, err := Parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Kind != KindNL2SQL {
+		t.Errorf("kind: %v", parsed.Kind)
+	}
+	if parsed.Question != "How many singers are there?" {
+		t.Errorf("question: %q", parsed.Question)
+	}
+	if parsed.SchemaName != "concert_singer" {
+		t.Errorf("schema name: %q", parsed.SchemaName)
+	}
+	if len(parsed.Demos) != 2 || parsed.Demos[1].SQL != "SELECT name FROM singer" {
+		t.Errorf("demos: %+v", parsed.Demos)
+	}
+	if parsed.RoutedOp != nil || parsed.Feedback != "" || parsed.PrevSQL != "" {
+		t.Error("NL2SQL prompt parsed with repair fields set")
+	}
+}
+
+func TestRepairRoundtrip(t *testing.T) {
+	op := dataset.OpEdit
+	hl := &feedback.Highlight{Text: "age > 20"}
+	p := Repair(testSchema(),
+		[]Demo{{Question: "d", SQL: "SELECT 1"}},
+		feedback.Demos(op), &op,
+		"How many singers are there?",
+		"SELECT COUNT(*) FROM singer WHERE age > 20",
+		"we are in 2024", hl)
+	parsed, err := Parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Kind != KindRepair {
+		t.Fatalf("kind: %v", parsed.Kind)
+	}
+	if parsed.Question != "How many singers are there?" {
+		t.Errorf("question: %q (routed demo questions must not win)", parsed.Question)
+	}
+	if parsed.PrevSQL != "SELECT COUNT(*) FROM singer WHERE age > 20" {
+		t.Errorf("prev sql: %q", parsed.PrevSQL)
+	}
+	if parsed.Feedback != "we are in 2024" {
+		t.Errorf("feedback: %q", parsed.Feedback)
+	}
+	if parsed.RoutedOp == nil || *parsed.RoutedOp != dataset.OpEdit {
+		t.Errorf("routed op: %v", parsed.RoutedOp)
+	}
+	if parsed.Highlight == nil || parsed.Highlight.Text != "age > 20" {
+		t.Errorf("highlight: %+v", parsed.Highlight)
+	}
+}
+
+func TestRepairWithoutRouting(t *testing.T) {
+	p := Repair(testSchema(), nil, nil, nil, "q?", "SELECT 1", "do not give descriptions", nil)
+	parsed, err := Parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.RoutedOp != nil {
+		t.Error("un-routed prompt parsed a routed op")
+	}
+	if parsed.Kind != KindRepair || parsed.Feedback != "do not give descriptions" {
+		t.Errorf("parsed: %+v", parsed)
+	}
+}
+
+func TestRoutingRoundtrip(t *testing.T) {
+	p := Routing("order the names in ascending order.")
+	parsed, err := Parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Kind != KindRouting {
+		t.Fatalf("kind: %v", parsed.Kind)
+	}
+	if parsed.Feedback != "order the names in ascending order." {
+		t.Errorf("feedback: %q (must be the LAST feedback line, not a demo)", parsed.Feedback)
+	}
+}
+
+func TestRewriteRoundtrip(t *testing.T) {
+	p := Rewrite("How many singers?", "we are in 2024")
+	parsed, err := Parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Kind != KindRewrite || parsed.Question != "How many singers?" || parsed.Feedback != "we are in 2024" {
+		t.Errorf("parsed: %+v", parsed)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("complete gibberish with no markers"); err == nil {
+		t.Error("expected error for unmarked prompt")
+	}
+}
+
+func TestRepairContainsFigure6Language(t *testing.T) {
+	p := Repair(testSchema(), nil, nil, nil, "q?", "SELECT 1", "fb", nil)
+	for _, want := range []string{
+		"The SQL query you have generated has received the following feedback:",
+		"Taking into account the feedback, please rewrite the SQL query.",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("Figure 6 phrasing missing: %q", want)
+		}
+	}
+}
+
+func TestMultilineFeedbackJoined(t *testing.T) {
+	p := Repair(testSchema(), nil, nil, nil, "q?", "SELECT 1", "line one\nline two", nil)
+	parsed, err := Parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Feedback != "line one line two" {
+		t.Errorf("feedback: %q", parsed.Feedback)
+	}
+}

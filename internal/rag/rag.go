@@ -1,0 +1,149 @@
+// Package rag implements the retrieval-augmented demonstration selection of
+// the Assistant: a TF-IDF vector index over the demonstration pool with
+// cosine-similarity top-k search, filtered per database.
+package rag
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"fisql/internal/dataset"
+)
+
+// Store is an immutable TF-IDF index over demonstrations.
+type Store struct {
+	demos []dataset.Demo
+	vecs  []map[string]float64
+	idf   map[string]float64
+}
+
+// Tokenize splits text into lowercase alphanumeric terms.
+func Tokenize(text string) []string {
+	var toks []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			toks = append(toks, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// NewStore indexes the demonstration pool.
+func NewStore(demos []dataset.Demo) *Store {
+	s := &Store{demos: demos, idf: make(map[string]float64)}
+	df := map[string]int{}
+	tokenLists := make([][]string, len(demos))
+	for i, d := range demos {
+		toks := Tokenize(d.Question)
+		tokenLists[i] = toks
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	n := float64(len(demos)) + 1
+	for t, d := range df {
+		s.idf[t] = math.Log(n / (1 + float64(d)))
+	}
+	s.vecs = make([]map[string]float64, len(demos))
+	for i, toks := range tokenLists {
+		s.vecs[i] = s.vector(toks)
+	}
+	return s
+}
+
+// vector builds a normalized TF-IDF vector. Accumulation follows sorted
+// term order: floating-point sums depend on order, and map iteration order
+// varies run to run, which would make equal-similarity ties — and thus
+// retrieval results — nondeterministic.
+func (s *Store) vector(toks []string) map[string]float64 {
+	tf := map[string]float64{}
+	for _, t := range toks {
+		tf[t]++
+	}
+	terms := make([]string, 0, len(tf))
+	for t := range tf {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	var norm float64
+	for _, t := range terms {
+		idf, ok := s.idf[t]
+		if !ok {
+			idf = math.Log(float64(len(s.demos)) + 1) // unseen term
+		}
+		tf[t] *= idf
+		norm += tf[t] * tf[t]
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for _, t := range terms {
+			tf[t] /= norm
+		}
+	}
+	return tf
+}
+
+// cosine computes the dot product in sorted term order, for the same
+// determinism reason as vector.
+func cosine(a, b map[string]float64) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	terms := make([]string, 0, len(a))
+	for t := range a {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	var dot float64
+	for _, t := range terms {
+		dot += a[t] * b[t]
+	}
+	return dot
+}
+
+// Result is one retrieval hit.
+type Result struct {
+	Demo  dataset.Demo
+	Score float64
+}
+
+// Search returns the top-k demonstrations for the query, restricted to the
+// given database (empty db means no restriction). Ties break by pool order
+// for determinism.
+func (s *Store) Search(query, db string, k int) []Result {
+	qv := s.vector(Tokenize(query))
+	var hits []Result
+	for i, d := range s.demos {
+		if db != "" && d.DB != db {
+			continue
+		}
+		sc := cosine(qv, s.vecs[i])
+		if sc <= 0 {
+			continue
+		}
+		hits = append(hits, Result{Demo: d, Score: sc})
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Len reports the pool size.
+func (s *Store) Len() int { return len(s.demos) }

@@ -1,0 +1,157 @@
+package rag
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"fisql/internal/dataset"
+)
+
+func pool() []dataset.Demo {
+	return []dataset.Demo{
+		{DB: "music", Question: "How many singers are there?", SQL: "SELECT COUNT(*) FROM singer"},
+		{DB: "music", Question: "List the name of all singers.", SQL: "SELECT name FROM singer"},
+		{DB: "music", Question: "What is the average age of the singers?", SQL: "SELECT AVG(age) FROM singer"},
+		{DB: "pets", Question: "How many pets are there?", SQL: "SELECT COUNT(*) FROM pet"},
+		{DB: "pets", Question: "List the weight of all pets.", SQL: "SELECT weight FROM pet"},
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("How many Singers are there? (2024)")
+	want := []string{"how", "many", "singers", "are", "there", "2024"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSearchFindsNearDuplicate(t *testing.T) {
+	s := NewStore(pool())
+	hits := s.Search("Tell me how many singers are there right now", "music", 2)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Demo.SQL != "SELECT COUNT(*) FROM singer" {
+		t.Errorf("top hit: %+v", hits[0].Demo)
+	}
+}
+
+func TestSearchRespectsDBFilter(t *testing.T) {
+	s := NewStore(pool())
+	for _, hit := range s.Search("how many pets are there", "pets", 5) {
+		if hit.Demo.DB != "pets" {
+			t.Errorf("hit from wrong db: %+v", hit.Demo)
+		}
+	}
+	all := s.Search("how many are there", "", 10)
+	dbs := map[string]bool{}
+	for _, h := range all {
+		dbs[h.Demo.DB] = true
+	}
+	if len(dbs) < 2 {
+		t.Error("unfiltered search should span databases")
+	}
+}
+
+func TestSearchK(t *testing.T) {
+	s := NewStore(pool())
+	if got := len(s.Search("singers", "music", 1)); got > 1 {
+		t.Errorf("k=1 returned %d", got)
+	}
+	if got := len(s.Search("singers age name list average", "music", 100)); got > 3 {
+		t.Errorf("more hits than music demos: %d", got)
+	}
+}
+
+func TestSearchScoresDescending(t *testing.T) {
+	s := NewStore(pool())
+	hits := s.Search("list the name of all singers", "music", 5)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatalf("scores not descending: %v", hits)
+		}
+	}
+}
+
+func TestExactQuestionIsTopHit(t *testing.T) {
+	s := NewStore(pool())
+	for _, d := range pool() {
+		hits := s.Search(d.Question, d.DB, 1)
+		if len(hits) == 0 || hits[0].Demo.Question != d.Question {
+			t.Errorf("exact question %q not top hit: %+v", d.Question, hits)
+		}
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := NewStore(nil)
+	if s.Len() != 0 {
+		t.Error("empty store length")
+	}
+	if hits := s.Search("anything", "", 3); len(hits) != 0 {
+		t.Errorf("hits from empty store: %v", hits)
+	}
+}
+
+func TestNoSharedTermsNoHit(t *testing.T) {
+	s := NewStore(pool())
+	if hits := s.Search("zzzz qqqq wwww", "music", 3); len(hits) != 0 {
+		t.Errorf("zero-similarity hits returned: %v", hits)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	s := NewStore(pool())
+	a := s.Search("how many singers", "music", 3)
+	b := s.Search("how many singers", "music", 3)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result count")
+	}
+	for i := range a {
+		if a[i].Demo.Question != b[i].Demo.Question {
+			t.Fatal("nondeterministic ordering")
+		}
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	// Cosine similarity of normalized vectors stays within [0, 1+eps].
+	s := NewStore(pool())
+	f := func(q string) bool {
+		for _, hit := range s.Search(q, "", 10) {
+			if hit.Score < 0 || hit.Score > 1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargePoolTopK(t *testing.T) {
+	var demos []dataset.Demo
+	for i := 0; i < 500; i++ {
+		demos = append(demos, dataset.Demo{
+			DB:       "db",
+			Question: fmt.Sprintf("question number %d about topic %d", i, i%7),
+			SQL:      "SELECT 1",
+		})
+	}
+	demos = append(demos, dataset.Demo{DB: "db", Question: "the special needle question", SQL: "SELECT 42"})
+	s := NewStore(demos)
+	hits := s.Search("special needle", "db", 4)
+	if len(hits) == 0 || hits[0].Demo.SQL != "SELECT 42" {
+		t.Errorf("needle not found: %+v", hits)
+	}
+	if len(hits) > 4 {
+		t.Errorf("k not respected: %d", len(hits))
+	}
+}

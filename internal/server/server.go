@@ -1,0 +1,260 @@
+// Package server implements the REST API of cmd/fisql-server: the headless
+// Assistant with per-session ask/feedback state.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fisql/internal/assistant"
+	"fisql/internal/core"
+	"fisql/internal/feedback"
+)
+
+// SessionFactory creates sessions for one corpus. The public fisql.System
+// is adapted to this interface by the command.
+type SessionFactory interface {
+	NewSession(db string) *core.Session
+	Databases() []string
+}
+
+// Server is the HTTP handler. Create with New.
+type Server struct {
+	mux     *http.ServeMux
+	systems map[string]SessionFactory
+
+	mu       sync.Mutex
+	nextID   int
+	sessions map[string]*session
+}
+
+type session struct {
+	mu   sync.Mutex
+	sess *core.Session
+	db   string
+}
+
+// New builds the server over named corpora.
+func New(systems map[string]SessionFactory) *Server {
+	s := &Server{
+		systems:  systems,
+		sessions: make(map[string]*session),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/databases", s.handleDatabases)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/ask", s.handleAsk)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ----------------------------------------------------------------------------
+
+func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	sys, ok := s.systems[corpusOf(r)]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown corpus")
+		return
+	}
+	writeJSON(w, map[string]any{"databases": sys.Databases()})
+}
+
+func corpusOf(r *http.Request) string {
+	c := r.URL.Query().Get("corpus")
+	if c == "" {
+		c = "aep"
+	}
+	return c
+}
+
+type createReq struct {
+	Corpus string `json:"corpus"`
+	DB     string `json:"db"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return
+	}
+	if req.Corpus == "" {
+		req.Corpus = "aep"
+	}
+	sys, ok := s.systems[req.Corpus]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown corpus "+req.Corpus)
+		return
+	}
+	dbs := sys.Databases()
+	if req.DB == "" && len(dbs) > 0 {
+		req.DB = dbs[0]
+	}
+	found := false
+	for _, d := range dbs {
+		if d == req.DB {
+			found = true
+		}
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown database "+req.DB)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = &session{sess: sys.NewSession(req.DB), db: req.DB}
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"session_id": id, "db": req.DB})
+}
+
+func (s *Server) session(r *http.Request) (*session, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown session %q", id)
+	}
+	return sess, nil
+}
+
+type askReq struct {
+	Question string `json:"question"`
+}
+
+type feedbackReq struct {
+	Text      string `json:"text"`
+	Highlight string `json:"highlight,omitempty"`
+}
+
+// answerJSON is the wire form of an Assistant answer.
+type answerJSON struct {
+	SQL           string     `json:"sql"`
+	Reformulation string     `json:"reformulation"`
+	Explanation   []string   `json:"explanation"`
+	Spans         []spanJSON `json:"spans,omitempty"`
+	Columns       []string   `json:"columns,omitempty"`
+	Rows          [][]string `json:"rows,omitempty"`
+	Error         string     `json:"error,omitempty"`
+}
+
+// spanJSON maps a byte range of the SQL onto its clause, for front-end
+// highlight selection.
+type spanJSON struct {
+	Clause string `json:"clause"`
+	Start  int    `json:"start"`
+	End    int    `json:"end"`
+}
+
+func toJSON(ans *assistant.Answer) answerJSON {
+	out := answerJSON{
+		SQL:           ans.SQL,
+		Reformulation: ans.Reformulation,
+		Explanation:   ans.Explanation,
+	}
+	for _, sp := range ans.Spans {
+		out.Spans = append(out.Spans, spanJSON{Clause: sp.Clause.String(), Start: sp.Start, End: sp.End})
+	}
+	if ans.ExecErr != nil {
+		out.Error = ans.ExecErr.Error()
+		return out
+	}
+	if ans.Result != nil {
+		out.Columns = ans.Result.Columns
+		for _, row := range ans.Result.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			out.Rows = append(out.Rows, cells)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	var req askReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Question) == "" {
+		httpError(w, http.StatusBadRequest, "missing question")
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	ans, err := sess.sess.Ask(r.Context(), req.Question)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, toJSON(ans))
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	var req feedbackReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
+		httpError(w, http.StatusBadRequest, "missing feedback text")
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	var hl *feedback.Highlight
+	if req.Highlight != "" {
+		if idx := strings.Index(sess.sess.SQL(), req.Highlight); idx >= 0 {
+			hl = &feedback.Highlight{Start: idx, End: idx + len(req.Highlight), Text: req.Highlight}
+		}
+	}
+	ans, err := sess.sess.Feedback(r.Context(), req.Text, hl)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, toJSON(ans))
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	type turn struct {
+		Role string `json:"role"`
+		Text string `json:"text"`
+	}
+	var turns []turn
+	for _, t := range sess.sess.History() {
+		turns = append(turns, turn{Role: t.Role, Text: t.Text})
+	}
+	writeJSON(w, map[string]any{"db": sess.db, "turns": turns})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

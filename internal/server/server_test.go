@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"fisql/internal/assistant"
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/llm"
+	"fisql/internal/rag"
+)
+
+type testFactory struct {
+	ds    *dataset.Dataset
+	sim   *llm.Sim
+	store *rag.Store
+}
+
+func (f *testFactory) NewSession(db string) *core.Session {
+	asst := &assistant.Assistant{Client: f.sim, DS: f.ds, Store: f.store, K: 8}
+	method := &core.FISQL{Client: f.sim, DS: f.ds, Store: f.store, K: 8, Routing: true, Highlights: true}
+	return core.NewSession(asst, method, db)
+}
+
+func (f *testFactory) Databases() []string {
+	var out []string
+	for name := range f.ds.Schemas {
+		out = append(out, name)
+	}
+	return out
+}
+
+var (
+	srvOnce sync.Once
+	srvTS   *httptest.Server
+	srvErr  error
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		ds, err := aep.Build()
+		if err != nil {
+			srvErr = err
+			return
+		}
+		f := &testFactory{ds: ds, sim: llm.NewSim(ds), store: rag.NewStore(ds.Demos)}
+		srvTS = httptest.NewServer(New(map[string]SessionFactory{"aep": f}))
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srvTS
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestDatabasesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/databases?corpus=aep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Databases []string `json:"databases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Databases) != 1 || out.Databases[0] != "experience_platform" {
+		t.Errorf("databases: %v", out.Databases)
+	}
+}
+
+func TestUnknownCorpus(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := http.Get(ts.URL + "/v1/databases?corpus=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	resp2, _ := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "nope"})
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("create status %d", resp2.StatusCode)
+	}
+}
+
+func TestAskFeedbackFlow(t *testing.T) {
+	ts := testServer(t)
+	resp, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d %v", resp.StatusCode, created)
+	}
+	id, _ := created["session_id"].(string)
+	if id == "" {
+		t.Fatalf("no session id: %v", created)
+	}
+	base := ts.URL + "/v1/sessions/" + id
+
+	resp, ans := postJSON(t, base+"/ask", map[string]string{
+		"question": "How many audiences were created in January?"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask: %d %v", resp.StatusCode, ans)
+	}
+	sql, _ := ans["sql"].(string)
+	if !strings.Contains(sql, "2023") {
+		t.Fatalf("trap did not fire: %q", sql)
+	}
+
+	resp, ans = postJSON(t, base+"/feedback", map[string]string{"text": "we are in 2024"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback: %d %v", resp.StatusCode, ans)
+	}
+	sql, _ = ans["sql"].(string)
+	if !strings.Contains(sql, "2024-01-01") {
+		t.Errorf("feedback not applied: %q", sql)
+	}
+
+	// History reflects the four turns.
+	hresp, err := http.Get(base + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hist struct {
+		Turns []struct{ Role, Text string } `json:"turns"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Turns) != 4 {
+		t.Errorf("history turns: %d", len(hist.Turns))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+	id, _ := created["session_id"].(string)
+	base := ts.URL + "/v1/sessions/" + id
+
+	resp, _ := postJSON(t, base+"/ask", map[string]string{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty question: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, base+"/feedback", map[string]string{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty feedback: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/sessions/sNOPE/ask", map[string]string{"question": "x"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep", "db": "wrong"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown db: %d", resp.StatusCode)
+	}
+}
+
+func TestHighlightParameter(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+	id, _ := created["session_id"].(string)
+	base := ts.URL + "/v1/sessions/" + id
+	_, ans := postJSON(t, base+"/ask", map[string]string{
+		"question": "How many audiences were created in January?"})
+	sql, _ := ans["sql"].(string)
+	// Highlight an existing fragment; the call should succeed even when the
+	// highlight is not needed for this repair.
+	frag := sql[:10]
+	resp, _ := postJSON(t, base+"/feedback", map[string]string{
+		"text": "we are in 2024", "highlight": frag})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("feedback with highlight: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,365 @@
+// Package sqlast defines the abstract syntax tree for the SQL dialect used
+// throughout the repository, together with a deterministic printer and
+// structural utilities (walking, cloning, equality).
+//
+// The AST is deliberately plain: exported structs with exported fields, no
+// hidden invariants. Query perturbation (internal/dataset), repair
+// (internal/nl2sql) and highlight grounding (internal/feedback) all operate
+// by structurally editing these nodes and re-printing.
+package sqlast
+
+// Statement is implemented by all top-level SQL statements.
+type Statement interface{ stmt() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// ----------------------------------------------------------------------------
+// Statements
+
+// SelectStmt is a SELECT query, possibly compounded with a set operation.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     *FromClause // nil for expression-only SELECTs (e.g. SELECT 1)
+	Where    Expr        // nil if absent
+	GroupBy  []Expr
+	Having   Expr // nil if absent
+	OrderBy  []OrderItem
+	Limit    Expr // nil if absent
+	Offset   Expr // nil if absent
+
+	// Compound chains a set operation onto this SELECT:
+	// "<this> UNION <Compound.Right>" etc. ORDER BY/LIMIT of the left
+	// SELECT apply to the whole compound, as in SQLite.
+	Compound *Compound
+}
+
+func (*SelectStmt) stmt() {}
+
+// SetOp names a set operation combining two SELECTs.
+type SetOp int
+
+// Set operations.
+const (
+	SetUnion SetOp = iota
+	SetUnionAll
+	SetIntersect
+	SetExcept
+)
+
+// String returns the SQL spelling of the operator.
+func (op SetOp) String() string {
+	switch op {
+	case SetUnion:
+		return "UNION"
+	case SetUnionAll:
+		return "UNION ALL"
+	case SetIntersect:
+		return "INTERSECT"
+	case SetExcept:
+		return "EXCEPT"
+	}
+	return "?setop?"
+}
+
+// Compound is the right-hand side of a set operation.
+type Compound struct {
+	Op    SetOp
+	Right *SelectStmt
+}
+
+// SelectItem is one projection in the SELECT list. Exactly one of Star,
+// TableStar, or Expr is set.
+type SelectItem struct {
+	Star      bool   // SELECT *
+	TableStar string // SELECT t.*
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// FromClause is the FROM clause: a first source plus zero or more joins.
+type FromClause struct {
+	First TableSource
+	Joins []Join
+}
+
+// TableSource is a named table (with optional alias) or a derived table.
+type TableSource struct {
+	Name  string      // table name; empty if Sub is set
+	Alias string      // optional
+	Sub   *SelectStmt // derived table, nil for plain tables
+}
+
+// JoinType enumerates supported join flavors.
+type JoinType int
+
+// Join flavors.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinCross
+)
+
+// String returns the SQL spelling of the join type.
+func (jt JoinType) String() string {
+	switch jt {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	}
+	return "?join?"
+}
+
+// Join attaches one more table source to a FROM clause.
+type Join struct {
+	Type   JoinType
+	Source TableSource
+	On     Expr // nil for CROSS JOIN
+}
+
+// ColumnDef declares one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // canonical upper-case type name: TEXT, INT, REAL, BOOL, DATE
+}
+
+// ForeignKey declares a single-column foreign key.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name        string
+	Columns     []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// InsertStmt is INSERT INTO ... VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means "all columns in declared order"
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+// LiteralKind classifies a literal value.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	LitNumber LiteralKind = iota
+	LitString
+	LitBool
+	LitNull
+)
+
+// Literal is a constant. Numbers keep their source text so the printer
+// round-trips exactly; the engine parses Text on demand.
+type Literal struct {
+	Kind LiteralKind
+	Text string // number text or string content; "TRUE"/"FALSE" for bools
+}
+
+func (*Literal) expr() {}
+
+// Convenience literal constructors.
+
+// Num returns a numeric literal with the given source text.
+func Num(text string) *Literal { return &Literal{Kind: LitNumber, Text: text} }
+
+// Str returns a string literal.
+func Str(text string) *Literal { return &Literal{Kind: LitString, Text: text} }
+
+// Bool returns a boolean literal.
+func Bool(v bool) *Literal {
+	if v {
+		return &Literal{Kind: LitBool, Text: "TRUE"}
+	}
+	return &Literal{Kind: LitBool, Text: "FALSE"}
+}
+
+// Null returns the NULL literal.
+func Null() *Literal { return &Literal{Kind: LitNull} }
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators, in precedence groups (low to high: OR, AND, comparison,
+// additive, multiplicative).
+const (
+	OpOr BinaryOp = iota
+	OpAnd
+	OpEq
+	OpNeq
+	OpLt
+	OpLte
+	OpGt
+	OpGte
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLte:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGte:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	}
+	return "?op?"
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (*Binary) expr() {}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNot UnaryOp = iota
+	OpNeg
+)
+
+// Unary is a unary operation.
+type Unary struct {
+	Op UnaryOp
+	X  Expr
+}
+
+func (*Unary) expr() {}
+
+// FuncCall is a function invocation, including aggregates. Star marks
+// COUNT(*).
+type FuncCall struct {
+	Name     string // canonical upper case: COUNT, SUM, AVG, MIN, MAX, ...
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+func (*FuncCall) expr() {}
+
+// InExpr is "x [NOT] IN (list)" or "x [NOT] IN (subquery)".
+type InExpr struct {
+	X    Expr
+	Not  bool
+	List []Expr      // nil if Sub is set
+	Sub  *SelectStmt // nil if List is set
+}
+
+func (*InExpr) expr() {}
+
+// BetweenExpr is "x [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+func (*BetweenExpr) expr() {}
+
+// LikeExpr is "x [NOT] LIKE pattern".
+type LikeExpr struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+func (*LikeExpr) expr() {}
+
+// IsNullExpr is "x IS [NOT] NULL".
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// ExistsExpr is "[NOT] EXISTS (subquery)".
+type ExistsExpr struct {
+	Not bool
+	Sub *SelectStmt
+}
+
+func (*ExistsExpr) expr() {}
+
+// SubqueryExpr is a scalar subquery used as an expression.
+type SubqueryExpr struct {
+	Sub *SelectStmt
+}
+
+func (*SubqueryExpr) expr() {}
+
+// CaseWhen is one WHEN/THEN arm of a CASE expression.
+type CaseWhen struct {
+	When Expr
+	Then Expr
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // nil if absent
+}
+
+func (*CaseExpr) expr() {}

@@ -1,0 +1,224 @@
+package sqlast
+
+import "testing"
+
+// Exhaustive per-node checks: every expression kind must print, clone
+// deeply, and be visited by Walk.
+
+func allExprKinds() map[string]Expr {
+	sub := &SelectStmt{
+		Items: []SelectItem{{Expr: &ColumnRef{Column: "x"}}},
+		From:  &FromClause{First: TableSource{Name: "u"}},
+	}
+	return map[string]Expr{
+		"column":           &ColumnRef{Column: "c"},
+		"qualified column": &ColumnRef{Table: "t", Column: "c"},
+		"number":           Num("42"),
+		"float":            Num("4.5"),
+		"string":           Str("hello"),
+		"bool true":        Bool(true),
+		"bool false":       Bool(false),
+		"null":             Null(),
+		"binary cmp":       &Binary{Op: OpLte, L: &ColumnRef{Column: "a"}, R: Num("1")},
+		"binary and":       &Binary{Op: OpAnd, L: Bool(true), R: Bool(false)},
+		"binary arith":     &Binary{Op: OpMod, L: Num("7"), R: Num("3")},
+		"unary not":        &Unary{Op: OpNot, X: Bool(true)},
+		"unary neg":        &Unary{Op: OpNeg, X: Num("5")},
+		"count star":       &FuncCall{Name: "COUNT", Star: true},
+		"agg distinct":     &FuncCall{Name: "SUM", Distinct: true, Args: []Expr{&ColumnRef{Column: "v"}}},
+		"func two args":    &FuncCall{Name: "F", Args: []Expr{Num("1"), Num("2")}},
+		"in list":          &InExpr{X: &ColumnRef{Column: "c"}, List: []Expr{Num("1"), Num("2")}},
+		"not in sub":       &InExpr{X: &ColumnRef{Column: "c"}, Not: true, Sub: CloneSelect(sub)},
+		"between":          &BetweenExpr{X: &ColumnRef{Column: "c"}, Lo: Num("1"), Hi: Num("2")},
+		"not between":      &BetweenExpr{X: &ColumnRef{Column: "c"}, Not: true, Lo: Num("1"), Hi: Num("2")},
+		"like":             &LikeExpr{X: &ColumnRef{Column: "c"}, Pattern: Str("a%")},
+		"not like":         &LikeExpr{X: &ColumnRef{Column: "c"}, Not: true, Pattern: Str("a%")},
+		"is null":          &IsNullExpr{X: &ColumnRef{Column: "c"}},
+		"is not null":      &IsNullExpr{X: &ColumnRef{Column: "c"}, Not: true},
+		"exists":           &ExistsExpr{Sub: CloneSelect(sub)},
+		"not exists":       &ExistsExpr{Not: true, Sub: CloneSelect(sub)},
+		"scalar subquery":  &SubqueryExpr{Sub: CloneSelect(sub)},
+		"case":             &CaseExpr{Whens: []CaseWhen{{When: Bool(true), Then: Num("1")}}, Else: Num("0")},
+		"case no else":     &CaseExpr{Whens: []CaseWhen{{When: Bool(false), Then: Num("1")}}},
+	}
+}
+
+func TestEveryExprKindPrints(t *testing.T) {
+	for name, e := range allExprKinds() {
+		out := PrintExpr(e)
+		if out == "" || out[0] == '?' {
+			t.Errorf("%s: bad print %q", name, out)
+		}
+	}
+}
+
+func TestEveryExprKindClones(t *testing.T) {
+	for name, e := range allExprKinds() {
+		cp := CloneExpr(e)
+		if PrintExpr(cp) != PrintExpr(e) {
+			t.Errorf("%s: clone prints differently", name)
+		}
+	}
+}
+
+func TestEveryExprKindWalks(t *testing.T) {
+	for name, e := range allExprKinds() {
+		visited := 0
+		Walk(e, func(Expr) bool { visited++; return true })
+		if visited == 0 {
+			t.Errorf("%s: walk visited nothing", name)
+		}
+	}
+}
+
+func TestCloneMutationIndependence(t *testing.T) {
+	for name, e := range allExprKinds() {
+		before := PrintExpr(e)
+		cp := CloneExpr(e)
+		mutateFirstLiteral(cp)
+		if PrintExpr(e) != before {
+			t.Errorf("%s: mutating the clone changed the original", name)
+		}
+	}
+}
+
+func mutateFirstLiteral(e Expr) {
+	done := false
+	Walk(e, func(x Expr) bool {
+		if done {
+			return false
+		}
+		if lit, ok := x.(*Literal); ok {
+			lit.Text = "MUTATED"
+			done = true
+			return false
+		}
+		return true
+	})
+}
+
+func TestPrintDerivedTableAndTableStar(t *testing.T) {
+	sel := &SelectStmt{
+		Items: []SelectItem{{TableStar: "s"}},
+		From: &FromClause{First: TableSource{
+			Sub: &SelectStmt{
+				Items: []SelectItem{{Star: true}},
+				From:  &FromClause{First: TableSource{Name: "singer"}},
+			},
+			Alias: "s",
+		}},
+	}
+	want := "SELECT s.* FROM (SELECT * FROM singer) AS s"
+	if got := Print(sel); got != want {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintJoinTypes(t *testing.T) {
+	for jt, word := range map[JoinType]string{
+		JoinInner: "JOIN", JoinLeft: "LEFT JOIN", JoinCross: "CROSS JOIN",
+	} {
+		if jt.String() != word {
+			t.Errorf("%d: %q", jt, jt.String())
+		}
+	}
+	sel := &SelectStmt{
+		Items: []SelectItem{{Star: true}},
+		From: &FromClause{
+			First: TableSource{Name: "a"},
+			Joins: []Join{{Type: JoinCross, Source: TableSource{Name: "b"}}},
+		},
+	}
+	if got := Print(sel); got != "SELECT * FROM a CROSS JOIN b" {
+		t.Errorf("cross join: %q", got)
+	}
+}
+
+func TestPrintCompoundWithOrder(t *testing.T) {
+	sel := &SelectStmt{
+		Items:    []SelectItem{{Expr: &ColumnRef{Column: "a"}}},
+		From:     &FromClause{First: TableSource{Name: "t"}},
+		Compound: &Compound{Op: SetExcept, Right: &SelectStmt{Items: []SelectItem{{Expr: &ColumnRef{Column: "b"}}}, From: &FromClause{First: TableSource{Name: "u"}}}},
+		OrderBy:  []OrderItem{{Expr: &ColumnRef{Column: "a"}}},
+		Limit:    Num("3"),
+		Offset:   Num("1"),
+	}
+	want := "SELECT a FROM t EXCEPT SELECT b FROM u ORDER BY a ASC LIMIT 3 OFFSET 1"
+	if got := Print(sel); got != want {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOpAndClauseStrings(t *testing.T) {
+	ops := map[BinaryOp]string{
+		OpOr: "OR", OpAnd: "AND", OpEq: "=", OpNeq: "!=", OpLt: "<",
+		OpLte: "<=", OpGt: ">", OpGte: ">=", OpAdd: "+", OpSub: "-",
+		OpMul: "*", OpDiv: "/", OpMod: "%",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d: %q", op, op.String())
+		}
+	}
+	clauses := map[Clause]string{
+		ClauseSelect: "SELECT", ClauseFrom: "FROM", ClauseWhere: "WHERE",
+		ClauseGroupBy: "GROUP BY", ClauseHaving: "HAVING",
+		ClauseOrderBy: "ORDER BY", ClauseLimit: "LIMIT",
+	}
+	for c, want := range clauses {
+		if c.String() != want {
+			t.Errorf("clause %d: %q", c, c.String())
+		}
+	}
+}
+
+func TestWalkSelectCoversEverything(t *testing.T) {
+	sel := &SelectStmt{
+		Items: []SelectItem{{Expr: &FuncCall{Name: "SUM", Args: []Expr{&ColumnRef{Column: "v"}}}}},
+		From: &FromClause{
+			First: TableSource{Sub: &SelectStmt{
+				Items: []SelectItem{{Expr: &ColumnRef{Column: "inner1"}}},
+			}},
+			Joins: []Join{{
+				Type:   JoinInner,
+				Source: TableSource{Sub: &SelectStmt{Items: []SelectItem{{Expr: &ColumnRef{Column: "inner2"}}}}},
+				On:     &Binary{Op: OpEq, L: &ColumnRef{Column: "j1"}, R: &ColumnRef{Column: "j2"}},
+			}},
+		},
+		Where:   &ExistsExpr{Sub: &SelectStmt{Items: []SelectItem{{Expr: &ColumnRef{Column: "inner3"}}}}},
+		GroupBy: []Expr{&ColumnRef{Column: "g"}},
+		Having:  &Binary{Op: OpGt, L: &FuncCall{Name: "COUNT", Star: true}, R: Num("1")},
+		OrderBy: []OrderItem{{Expr: &ColumnRef{Column: "o"}}},
+		Limit:   Num("10"),
+		Offset:  Num("2"),
+		Compound: &Compound{Op: SetUnion, Right: &SelectStmt{
+			Items: []SelectItem{{Expr: &ColumnRef{Column: "right1"}}},
+		}},
+	}
+	seen := map[string]bool{}
+	WalkSelect(sel, func(e Expr) bool {
+		if cr, ok := e.(*ColumnRef); ok {
+			seen[cr.Column] = true
+		}
+		return true
+	})
+	for _, col := range []string{"v", "inner1", "inner2", "j1", "j2", "inner3", "g", "o", "right1"} {
+		if !seen[col] {
+			t.Errorf("WalkSelect missed column %q (saw %v)", col, seen)
+		}
+	}
+	// And the clone of this everything-statement roundtrips.
+	if !EqualSelect(sel, CloneSelect(sel)) {
+		t.Error("full-feature statement does not clone equal")
+	}
+}
+
+func TestLiteralConstructors(t *testing.T) {
+	if Num("1").Kind != LitNumber || Str("s").Kind != LitString ||
+		Bool(true).Kind != LitBool || Null().Kind != LitNull {
+		t.Error("literal constructor kinds wrong")
+	}
+	if Bool(true).Text != "TRUE" || Bool(false).Text != "FALSE" {
+		t.Error("bool literal text")
+	}
+}

@@ -1,0 +1,395 @@
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clause identifies a region of a printed SELECT statement. Feedback
+// highlights (internal/feedback) are resolved against these regions.
+type Clause int
+
+// Printed clause regions.
+const (
+	ClauseSelect Clause = iota
+	ClauseFrom
+	ClauseWhere
+	ClauseGroupBy
+	ClauseHaving
+	ClauseOrderBy
+	ClauseLimit
+)
+
+// String names the clause.
+func (c Clause) String() string {
+	switch c {
+	case ClauseSelect:
+		return "SELECT"
+	case ClauseFrom:
+		return "FROM"
+	case ClauseWhere:
+		return "WHERE"
+	case ClauseGroupBy:
+		return "GROUP BY"
+	case ClauseHaving:
+		return "HAVING"
+	case ClauseOrderBy:
+		return "ORDER BY"
+	case ClauseLimit:
+		return "LIMIT"
+	}
+	return "?clause?"
+}
+
+// Span is a byte range [Start, End) within a printed statement attributed to
+// one clause of the outermost SELECT.
+type Span struct {
+	Clause     Clause
+	Start, End int
+}
+
+// Print renders a statement as canonical single-line SQL.
+func Print(s Statement) string {
+	text, _ := PrintWithSpans(s)
+	return text
+}
+
+// PrintExpr renders an expression as canonical SQL.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e, 0)
+	return p.sb.String()
+}
+
+// PrintWithSpans renders a statement and reports the clause spans of the
+// outermost SELECT (empty for non-SELECT statements).
+func PrintWithSpans(s Statement) (string, []Span) {
+	var p printer
+	switch st := s.(type) {
+	case *SelectStmt:
+		p.selectStmt(st, true)
+	case *CreateTableStmt:
+		p.createTable(st)
+	case *InsertStmt:
+		p.insert(st)
+	default:
+		p.sb.WriteString(fmt.Sprintf("?stmt %T?", s))
+	}
+	return p.sb.String(), p.spans
+}
+
+type printer struct {
+	sb    strings.Builder
+	spans []Span
+}
+
+func (p *printer) ws(parts ...string) {
+	for _, s := range parts {
+		p.sb.WriteString(s)
+	}
+}
+
+func (p *printer) mark(c Clause, body func()) {
+	start := p.sb.Len()
+	body()
+	p.spans = append(p.spans, Span{Clause: c, Start: start, End: p.sb.Len()})
+}
+
+func (p *printer) selectStmt(s *SelectStmt, outer bool) {
+	mark := func(c Clause, body func()) {
+		if outer {
+			p.mark(c, body)
+		} else {
+			body()
+		}
+	}
+	mark(ClauseSelect, func() {
+		p.ws("SELECT ")
+		if s.Distinct {
+			p.ws("DISTINCT ")
+		}
+		for i, it := range s.Items {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.selectItem(it)
+		}
+	})
+	if s.From != nil {
+		p.ws(" ")
+		mark(ClauseFrom, func() {
+			p.ws("FROM ")
+			p.tableSource(s.From.First)
+			for _, j := range s.From.Joins {
+				p.ws(" ", j.Type.String(), " ")
+				p.tableSource(j.Source)
+				if j.On != nil {
+					p.ws(" ON ")
+					p.expr(j.On, 0)
+				}
+			}
+		})
+	}
+	if s.Where != nil {
+		p.ws(" ")
+		mark(ClauseWhere, func() {
+			p.ws("WHERE ")
+			p.expr(s.Where, 0)
+		})
+	}
+	if len(s.GroupBy) > 0 {
+		p.ws(" ")
+		mark(ClauseGroupBy, func() {
+			p.ws("GROUP BY ")
+			for i, e := range s.GroupBy {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.expr(e, 0)
+			}
+		})
+	}
+	if s.Having != nil {
+		p.ws(" ")
+		mark(ClauseHaving, func() {
+			p.ws("HAVING ")
+			p.expr(s.Having, 0)
+		})
+	}
+	if s.Compound != nil {
+		p.ws(" ", s.Compound.Op.String(), " ")
+		p.selectStmt(s.Compound.Right, false)
+	}
+	if len(s.OrderBy) > 0 {
+		p.ws(" ")
+		mark(ClauseOrderBy, func() {
+			p.ws("ORDER BY ")
+			for i, o := range s.OrderBy {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.expr(o.Expr, 0)
+				if o.Desc {
+					p.ws(" DESC")
+				} else {
+					p.ws(" ASC")
+				}
+			}
+		})
+	}
+	if s.Limit != nil {
+		p.ws(" ")
+		mark(ClauseLimit, func() {
+			p.ws("LIMIT ")
+			p.expr(s.Limit, 0)
+			if s.Offset != nil {
+				p.ws(" OFFSET ")
+				p.expr(s.Offset, 0)
+			}
+		})
+	}
+}
+
+func (p *printer) selectItem(it SelectItem) {
+	switch {
+	case it.Star:
+		p.ws("*")
+	case it.TableStar != "":
+		p.ws(it.TableStar, ".*")
+	default:
+		p.expr(it.Expr, 0)
+		if it.Alias != "" {
+			p.ws(" AS ", it.Alias)
+		}
+	}
+}
+
+func (p *printer) tableSource(ts TableSource) {
+	if ts.Sub != nil {
+		p.ws("(")
+		p.selectStmt(ts.Sub, false)
+		p.ws(")")
+	} else {
+		p.ws(ts.Name)
+	}
+	if ts.Alias != "" {
+		p.ws(" AS ", ts.Alias)
+	}
+}
+
+// binding powers for parenthesization; higher binds tighter.
+func prec(op BinaryOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNeq, OpLt, OpLte, OpGt, OpGte:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul, OpDiv, OpMod:
+		return 5
+	}
+	return 0
+}
+
+func (p *printer) expr(e Expr, parent int) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			p.ws(x.Table, ".")
+		}
+		p.ws(x.Column)
+	case *Literal:
+		switch x.Kind {
+		case LitNumber, LitBool:
+			p.ws(x.Text)
+		case LitString:
+			p.ws("'", strings.ReplaceAll(x.Text, "'", "''"), "'")
+		case LitNull:
+			p.ws("NULL")
+		}
+	case *Binary:
+		pr := prec(x.Op)
+		if pr < parent {
+			p.ws("(")
+		}
+		p.expr(x.L, pr)
+		p.ws(" ", x.Op.String(), " ")
+		p.expr(x.R, pr+1)
+		if pr < parent {
+			p.ws(")")
+		}
+	case *Unary:
+		switch x.Op {
+		case OpNot:
+			// NOT binds looser than comparisons, so a comparison operand
+			// needs no parentheses.
+			p.ws("NOT ")
+			p.expr(x.X, 3)
+		case OpNeg:
+			p.ws("-")
+			p.expr(x.X, 6)
+		}
+	case *FuncCall:
+		p.ws(x.Name, "(")
+		if x.Distinct {
+			p.ws("DISTINCT ")
+		}
+		if x.Star {
+			p.ws("*")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.ws(")")
+	case *InExpr:
+		p.expr(x.X, 3)
+		if x.Not {
+			p.ws(" NOT")
+		}
+		p.ws(" IN (")
+		if x.Sub != nil {
+			p.selectStmt(x.Sub, false)
+		} else {
+			for i, v := range x.List {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.expr(v, 0)
+			}
+		}
+		p.ws(")")
+	case *BetweenExpr:
+		p.expr(x.X, 3)
+		if x.Not {
+			p.ws(" NOT")
+		}
+		p.ws(" BETWEEN ")
+		p.expr(x.Lo, 4)
+		p.ws(" AND ")
+		p.expr(x.Hi, 4)
+	case *LikeExpr:
+		p.expr(x.X, 3)
+		if x.Not {
+			p.ws(" NOT")
+		}
+		p.ws(" LIKE ")
+		p.expr(x.Pattern, 4)
+	case *IsNullExpr:
+		p.expr(x.X, 3)
+		if x.Not {
+			p.ws(" IS NOT NULL")
+		} else {
+			p.ws(" IS NULL")
+		}
+	case *ExistsExpr:
+		if x.Not {
+			p.ws("NOT ")
+		}
+		p.ws("EXISTS (")
+		p.selectStmt(x.Sub, false)
+		p.ws(")")
+	case *SubqueryExpr:
+		p.ws("(")
+		p.selectStmt(x.Sub, false)
+		p.ws(")")
+	case *CaseExpr:
+		p.ws("CASE")
+		for _, w := range x.Whens {
+			p.ws(" WHEN ")
+			p.expr(w.When, 0)
+			p.ws(" THEN ")
+			p.expr(w.Then, 0)
+		}
+		if x.Else != nil {
+			p.ws(" ELSE ")
+			p.expr(x.Else, 0)
+		}
+		p.ws(" END")
+	default:
+		p.ws(fmt.Sprintf("?expr %T?", e))
+	}
+}
+
+func (p *printer) createTable(s *CreateTableStmt) {
+	p.ws("CREATE TABLE ", s.Name, " (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			p.ws(", ")
+		}
+		p.ws(c.Name, " ", c.Type)
+	}
+	if len(s.PrimaryKey) > 0 {
+		p.ws(", PRIMARY KEY (", strings.Join(s.PrimaryKey, ", "), ")")
+	}
+	for _, fk := range s.ForeignKeys {
+		p.ws(", FOREIGN KEY (", fk.Column, ") REFERENCES ", fk.RefTable, "(", fk.RefColumn, ")")
+	}
+	p.ws(")")
+}
+
+func (p *printer) insert(s *InsertStmt) {
+	p.ws("INSERT INTO ", s.Table)
+	if len(s.Columns) > 0 {
+		p.ws(" (", strings.Join(s.Columns, ", "), ")")
+	}
+	p.ws(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			p.ws(", ")
+		}
+		p.ws("(")
+		for j, v := range row {
+			if j > 0 {
+				p.ws(", ")
+			}
+			p.expr(v, 0)
+		}
+		p.ws(")")
+	}
+}

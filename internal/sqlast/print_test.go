@@ -1,0 +1,197 @@
+package sqlast
+
+import "testing"
+
+func sampleSelect() *SelectStmt {
+	return &SelectStmt{
+		Items: []SelectItem{{Expr: &FuncCall{Name: "COUNT", Star: true}, Alias: "n"}},
+		From:  &FromClause{First: TableSource{Name: "singer"}},
+		Where: &Binary{Op: OpGt, L: &ColumnRef{Column: "age"}, R: Num("20")},
+		OrderBy: []OrderItem{
+			{Expr: &ColumnRef{Column: "age"}, Desc: true},
+		},
+		Limit: Num("5"),
+	}
+}
+
+func TestPrintSelect(t *testing.T) {
+	got := Print(sampleSelect())
+	want := "SELECT COUNT(*) AS n FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 5"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestPrintWithSpansCoversClauses(t *testing.T) {
+	text, spans := PrintWithSpans(sampleSelect())
+	found := map[Clause]string{}
+	for _, sp := range spans {
+		found[sp.Clause] = text[sp.Start:sp.End]
+	}
+	if found[ClauseSelect] != "SELECT COUNT(*) AS n" {
+		t.Errorf("SELECT span: %q", found[ClauseSelect])
+	}
+	if found[ClauseFrom] != "FROM singer" {
+		t.Errorf("FROM span: %q", found[ClauseFrom])
+	}
+	if found[ClauseWhere] != "WHERE age > 20" {
+		t.Errorf("WHERE span: %q", found[ClauseWhere])
+	}
+	if found[ClauseOrderBy] != "ORDER BY age DESC" {
+		t.Errorf("ORDER BY span: %q", found[ClauseOrderBy])
+	}
+	if found[ClauseLimit] != "LIMIT 5" {
+		t.Errorf("LIMIT span: %q", found[ClauseLimit])
+	}
+}
+
+func TestSpansOnlyForOuterSelect(t *testing.T) {
+	sel := &SelectStmt{
+		Items: []SelectItem{{Expr: &ColumnRef{Column: "name"}}},
+		From:  &FromClause{First: TableSource{Name: "singer"}},
+		Where: &Binary{Op: OpEq,
+			L: &ColumnRef{Column: "age"},
+			R: &SubqueryExpr{Sub: &SelectStmt{
+				Items: []SelectItem{{Expr: &FuncCall{Name: "MIN", Args: []Expr{&ColumnRef{Column: "age"}}}}},
+				From:  &FromClause{First: TableSource{Name: "singer"}},
+			}},
+		},
+	}
+	_, spans := PrintWithSpans(sel)
+	count := map[Clause]int{}
+	for _, sp := range spans {
+		count[sp.Clause]++
+	}
+	if count[ClauseSelect] != 1 || count[ClauseFrom] != 1 || count[ClauseWhere] != 1 {
+		t.Errorf("span counts: %v (inner select leaked spans?)", count)
+	}
+}
+
+func TestPrintStringEscaping(t *testing.T) {
+	got := PrintExpr(Str("it's"))
+	if got != "'it''s'" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCloneSelectIsDeep(t *testing.T) {
+	orig := sampleSelect()
+	cp := CloneSelect(orig)
+	if !EqualSelect(orig, cp) {
+		t.Fatal("clone not equal to original")
+	}
+	// Mutate the clone; the original must not change.
+	cp.Where.(*Binary).R = Num("99")
+	cp.Items[0].Alias = "changed"
+	cp.From.First.Name = "other"
+	if Print(orig) != "SELECT COUNT(*) AS n FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 5" {
+		t.Errorf("original mutated: %s", Print(orig))
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	if CloneSelect(nil) != nil {
+		t.Error("CloneSelect(nil) should be nil")
+	}
+	if CloneExpr(nil) != nil {
+		t.Error("CloneExpr(nil) should be nil")
+	}
+}
+
+func TestEqualSelect(t *testing.T) {
+	a := sampleSelect()
+	b := sampleSelect()
+	if !EqualSelect(a, b) {
+		t.Error("identical structures should be equal")
+	}
+	b.Distinct = true
+	if EqualSelect(a, b) {
+		t.Error("DISTINCT difference not detected")
+	}
+	if !EqualSelect(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if EqualSelect(a, nil) {
+		t.Error("non-nil != nil")
+	}
+}
+
+func TestWalkVisitsSubqueries(t *testing.T) {
+	sel := &SelectStmt{
+		Items: []SelectItem{{Expr: &ColumnRef{Column: "name"}}},
+		Where: &InExpr{
+			X: &ColumnRef{Column: "id"},
+			Sub: &SelectStmt{
+				Items: []SelectItem{{Expr: &ColumnRef{Column: "sid"}}},
+				Where: &Binary{Op: OpEq, L: &ColumnRef{Column: "year"}, R: Num("2024")},
+			},
+		},
+	}
+	var cols []string
+	WalkSelect(sel, func(e Expr) bool {
+		if c, ok := e.(*ColumnRef); ok {
+			cols = append(cols, c.Column)
+		}
+		return true
+	})
+	want := map[string]bool{"name": true, "id": true, "sid": true, "year": true}
+	if len(cols) != 4 {
+		t.Fatalf("visited %v, want 4 columns", cols)
+	}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+}
+
+func TestWalkStopsDescent(t *testing.T) {
+	e := &Binary{Op: OpAnd,
+		L: &Binary{Op: OpEq, L: &ColumnRef{Column: "a"}, R: Num("1")},
+		R: &Binary{Op: OpEq, L: &ColumnRef{Column: "b"}, R: Num("2")},
+	}
+	var visited int
+	Walk(e, func(x Expr) bool {
+		visited++
+		_, isBinary := x.(*Binary)
+		return !isBinary || visited == 1 // stop below the two inner binaries
+	})
+	if visited != 3 {
+		t.Errorf("visited %d nodes, want 3 (root + two children)", visited)
+	}
+}
+
+func TestSetOpStrings(t *testing.T) {
+	tests := map[SetOp]string{
+		SetUnion:     "UNION",
+		SetUnionAll:  "UNION ALL",
+		SetIntersect: "INTERSECT",
+		SetExcept:    "EXCEPT",
+	}
+	for op, want := range tests {
+		if op.String() != want {
+			t.Errorf("%d: got %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestPrintCreateAndInsert(t *testing.T) {
+	ct := &CreateTableStmt{
+		Name: "t",
+		Columns: []ColumnDef{
+			{Name: "id", Type: "INT"},
+			{Name: "name", Type: "TEXT"},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []ForeignKey{{Column: "gid", RefTable: "g", RefColumn: "id"}},
+	}
+	want := "CREATE TABLE t (id INT, name TEXT, PRIMARY KEY (id), FOREIGN KEY (gid) REFERENCES g(id))"
+	if got := Print(ct); got != want {
+		t.Errorf("create: got %q", got)
+	}
+	ins := &InsertStmt{Table: "t", Columns: []string{"id"}, Rows: [][]Expr{{Num("1")}, {Num("2")}}}
+	wantIns := "INSERT INTO t (id) VALUES (1), (2)"
+	if got := Print(ins); got != wantIns {
+		t.Errorf("insert: got %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package sqlast
+
+// Walk calls fn for every expression node reachable from e, including e
+// itself, in depth-first pre-order. If fn returns false the walk stops
+// descending into that node's children (siblings continue).
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Binary:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Unary:
+		Walk(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *InExpr:
+		Walk(x.X, fn)
+		for _, v := range x.List {
+			Walk(v, fn)
+		}
+		if x.Sub != nil {
+			WalkSelect(x.Sub, fn)
+		}
+	case *BetweenExpr:
+		Walk(x.X, fn)
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case *LikeExpr:
+		Walk(x.X, fn)
+		Walk(x.Pattern, fn)
+	case *IsNullExpr:
+		Walk(x.X, fn)
+	case *ExistsExpr:
+		WalkSelect(x.Sub, fn)
+	case *SubqueryExpr:
+		WalkSelect(x.Sub, fn)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			Walk(w.When, fn)
+			Walk(w.Then, fn)
+		}
+		Walk(x.Else, fn)
+	}
+}
+
+// WalkSelect calls fn for every expression node in the statement, including
+// those inside subqueries and compound arms.
+func WalkSelect(s *SelectStmt, fn func(Expr) bool) {
+	if s == nil {
+		return
+	}
+	for _, it := range s.Items {
+		Walk(it.Expr, fn)
+	}
+	if s.From != nil {
+		if s.From.First.Sub != nil {
+			WalkSelect(s.From.First.Sub, fn)
+		}
+		for _, j := range s.From.Joins {
+			if j.Source.Sub != nil {
+				WalkSelect(j.Source.Sub, fn)
+			}
+			Walk(j.On, fn)
+		}
+	}
+	Walk(s.Where, fn)
+	for _, g := range s.GroupBy {
+		Walk(g, fn)
+	}
+	Walk(s.Having, fn)
+	for _, o := range s.OrderBy {
+		Walk(o.Expr, fn)
+	}
+	Walk(s.Limit, fn)
+	Walk(s.Offset, fn)
+	if s.Compound != nil {
+		WalkSelect(s.Compound.Right, fn)
+	}
+}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		cp := *x
+		return &cp
+	case *Literal:
+		cp := *x
+		return &cp
+	case *Binary:
+		return &Binary{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *Unary:
+		return &Unary{Op: x.Op, X: CloneExpr(x.X)}
+	case *FuncCall:
+		cp := &FuncCall{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			cp.Args = append(cp.Args, CloneExpr(a))
+		}
+		return cp
+	case *InExpr:
+		cp := &InExpr{X: CloneExpr(x.X), Not: x.Not, Sub: CloneSelect(x.Sub)}
+		for _, v := range x.List {
+			cp.List = append(cp.List, CloneExpr(v))
+		}
+		return cp
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(x.X), Not: x.Not, Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi)}
+	case *LikeExpr:
+		return &LikeExpr{X: CloneExpr(x.X), Not: x.Not, Pattern: CloneExpr(x.Pattern)}
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(x.X), Not: x.Not}
+	case *ExistsExpr:
+		return &ExistsExpr{Not: x.Not, Sub: CloneSelect(x.Sub)}
+	case *SubqueryExpr:
+		return &SubqueryExpr{Sub: CloneSelect(x.Sub)}
+	case *CaseExpr:
+		cp := &CaseExpr{Else: CloneExpr(x.Else)}
+		for _, w := range x.Whens {
+			cp.Whens = append(cp.Whens, CaseWhen{When: CloneExpr(w.When), Then: CloneExpr(w.Then)})
+		}
+		return cp
+	}
+	return nil
+}
+
+// CloneSelect returns a deep copy of s.
+func CloneSelect(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	cp := &SelectStmt{
+		Distinct: s.Distinct,
+		Where:    CloneExpr(s.Where),
+		Having:   CloneExpr(s.Having),
+		Limit:    CloneExpr(s.Limit),
+		Offset:   CloneExpr(s.Offset),
+	}
+	for _, it := range s.Items {
+		cp.Items = append(cp.Items, SelectItem{
+			Star:      it.Star,
+			TableStar: it.TableStar,
+			Expr:      CloneExpr(it.Expr),
+			Alias:     it.Alias,
+		})
+	}
+	if s.From != nil {
+		f := &FromClause{First: cloneSource(s.From.First)}
+		for _, j := range s.From.Joins {
+			f.Joins = append(f.Joins, Join{Type: j.Type, Source: cloneSource(j.Source), On: CloneExpr(j.On)})
+		}
+		cp.From = f
+	}
+	for _, g := range s.GroupBy {
+		cp.GroupBy = append(cp.GroupBy, CloneExpr(g))
+	}
+	for _, o := range s.OrderBy {
+		cp.OrderBy = append(cp.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	if s.Compound != nil {
+		cp.Compound = &Compound{Op: s.Compound.Op, Right: CloneSelect(s.Compound.Right)}
+	}
+	return cp
+}
+
+func cloneSource(ts TableSource) TableSource {
+	return TableSource{Name: ts.Name, Alias: ts.Alias, Sub: CloneSelect(ts.Sub)}
+}
+
+// EqualSelect reports whether two SELECT statements are structurally
+// identical. It compares canonical printed forms, which is sound because the
+// printer is deterministic and injective up to the equivalences we care
+// about (whitespace, case of keywords).
+func EqualSelect(a, b *SelectStmt) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return Print(a) == Print(b)
+}

@@ -1,0 +1,44 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"fisql/internal/sqlast"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// prints to a fixpoint (print ∘ parse ∘ print = print).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT a, b FROM t WHERE x = 1 AND y LIKE 'a%'",
+		"SELECT COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 2 ORDER BY 1 DESC LIMIT 5",
+		"SELECT a FROM t WHERE b IN (SELECT c FROM u) UNION SELECT d FROM v",
+		"SELECT CASE WHEN x > 0 THEN 'p' ELSE 'n' END FROM t",
+		"CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a))",
+		"INSERT INTO t VALUES (1, 'x'), (2, NULL)",
+		"SELECT '",
+		"SELECT ((((",
+		"SELECT a FROM t WHERE x BETWEEN 1 AND",
+		"select distinct a.b from c as d left outer join e on d.f = e.g",
+		"SELECT -1 + 2 * 3 / 4 % 5",
+		"SELECT a FROM t WHERE NOT x IS NOT NULL",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := sqlast.Print(stmt)
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejects its own print %q: %v", src, printed, err)
+		}
+		if got := sqlast.Print(stmt2); got != printed {
+			t.Fatalf("print not a fixpoint:\n first: %q\nsecond: %q", printed, got)
+		}
+	})
+}

@@ -1,0 +1,945 @@
+// Package sqlparse parses SQL text into the AST of internal/sqlast.
+//
+// The grammar covers the query surface the benchmarks generate: SELECT with
+// DISTINCT, expressions, aggregates, multi-way joins (INNER/LEFT/CROSS),
+// WHERE with boolean combinations, IN/BETWEEN/LIKE/IS NULL/EXISTS, scalar
+// and table subqueries, GROUP BY/HAVING, set operations, ORDER BY and
+// LIMIT/OFFSET — plus CREATE TABLE and INSERT for loading fixtures.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"fisql/internal/sqlast"
+	"fisql/internal/sqltext"
+)
+
+// Error is a parse error with the offending token position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql parse error at offset %d: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []sqltext.Token
+	pos  int
+}
+
+// Parse parses a single SQL statement. A trailing semicolon is permitted.
+func Parse(src string) (sqlast.Statement, error) {
+	toks, err := sqltext.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == sqltext.KindSemicolon {
+		p.pos++
+	}
+	if t := p.peek(); t.Kind != sqltext.KindEOF {
+		return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s after statement", t)}
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses src and requires it to be a SELECT statement.
+func ParseSelect(src string) (*sqlast.SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlast.SelectStmt)
+	if !ok {
+		return nil, &Error{Pos: 0, Msg: "not a SELECT statement"}
+	}
+	return sel, nil
+}
+
+// ParseScript parses a sequence of semicolon-separated statements.
+func ParseScript(src string) ([]sqlast.Statement, error) {
+	toks, err := sqltext.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []sqlast.Statement
+	for p.peek().Kind != sqltext.KindEOF {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		for p.peek().Kind == sqltext.KindSemicolon {
+			p.pos++
+		}
+	}
+	return stmts, nil
+}
+
+func (p *parser) peek() sqltext.Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	end := 0
+	if n := len(p.toks); n > 0 {
+		end = p.toks[n-1].End
+	}
+	return sqltext.Token{Kind: sqltext.KindEOF, Pos: end, End: end}
+}
+
+func (p *parser) next() sqltext.Token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+// keyword reports whether the next token is the given keyword (consumed if so).
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == sqltext.KindKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// peekKeyword reports whether the next token is the given keyword, without
+// consuming it.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == sqltext.KindKeyword && t.Text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		t := p.peek()
+		return &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected %s, found %s", kw, t)}
+	}
+	return nil
+}
+
+func (p *parser) expect(k sqltext.Kind) (sqltext.Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected %s, found %s", k, t)}
+	}
+	p.pos++
+	return t, nil
+}
+
+// ident consumes an identifier; unreserved keywords used as names (e.g. a
+// column literally named "date") are also accepted.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind == sqltext.KindIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected identifier, found %s", t)}
+}
+
+func (p *parser) statement() (sqlast.Statement, error) {
+	t := p.peek()
+	if t.Kind != sqltext.KindKeyword {
+		return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected statement, found %s", t)}
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.selectStmt()
+	case "CREATE":
+		return p.createTable()
+	case "INSERT":
+		return p.insert()
+	}
+	return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unsupported statement %q", t.Text)}
+}
+
+// selectStmt parses a full SELECT including set operations, ORDER BY and
+// LIMIT (which attach to the compound as a whole).
+func (p *parser) selectStmt() (*sqlast.SelectStmt, error) {
+	sel, err := p.selectCore()
+	if err != nil {
+		return nil, err
+	}
+	head := sel
+	// Set operations chain left-associatively; we thread them as a linked
+	// Compound list off the head.
+	cur := head
+	for {
+		var op sqlast.SetOp
+		switch {
+		case p.keyword("UNION"):
+			if p.keyword("ALL") {
+				op = sqlast.SetUnionAll
+			} else {
+				op = sqlast.SetUnion
+			}
+		case p.keyword("INTERSECT"):
+			op = sqlast.SetIntersect
+		case p.keyword("EXCEPT"):
+			op = sqlast.SetExcept
+		default:
+			goto tail
+		}
+		right, err := p.selectCore()
+		if err != nil {
+			return nil, err
+		}
+		cur.Compound = &sqlast.Compound{Op: op, Right: right}
+		cur = right
+	}
+tail:
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := sqlast.OrderItem{Expr: e}
+			if p.keyword("DESC") {
+				item.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			head.OrderBy = append(head.OrderBy, item)
+			if p.peek().Kind != sqltext.KindComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.keyword("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		head.Limit = e
+		if p.keyword("OFFSET") {
+			off, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			head.Offset = off
+		}
+	}
+	return head, nil
+}
+
+// selectCore parses SELECT ... [FROM ...] [WHERE ...] [GROUP BY ... [HAVING ...]].
+func (p *parser) selectCore() (*sqlast.SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &sqlast.SelectStmt{}
+	if p.keyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.keyword("ALL")
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.peek().Kind != sqltext.KindComma {
+			break
+		}
+		p.pos++
+	}
+	if p.keyword("FROM") {
+		from, err := p.fromClause()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+	if p.keyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.peek().Kind != sqltext.KindComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	// HAVING without GROUP BY filters the single global-aggregation group,
+	// as in standard SQL.
+	if p.keyword("HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *parser) selectItem() (sqlast.SelectItem, error) {
+	if p.peek().Kind == sqltext.KindStar {
+		p.pos++
+		return sqlast.SelectItem{Star: true}, nil
+	}
+	// "table.*" needs two-token lookahead before falling back to expr.
+	if p.peek().Kind == sqltext.KindIdent && p.pos+2 < len(p.toks)+1 {
+		if p.pos+2 <= len(p.toks)-1 &&
+			p.toks[p.pos+1].Kind == sqltext.KindDot &&
+			p.toks[p.pos+2].Kind == sqltext.KindStar {
+			name := p.toks[p.pos].Text
+			p.pos += 3
+			return sqlast.SelectItem{TableStar: name}, nil
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return sqlast.SelectItem{}, err
+	}
+	item := sqlast.SelectItem{Expr: e}
+	if p.keyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return sqlast.SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == sqltext.KindIdent {
+		// Bare alias: SELECT name n FROM ...
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) fromClause() (*sqlast.FromClause, error) {
+	first, err := p.tableSource()
+	if err != nil {
+		return nil, err
+	}
+	from := &sqlast.FromClause{First: first}
+	for {
+		var jt sqlast.JoinType
+		switch {
+		case p.peek().Kind == sqltext.KindComma:
+			p.pos++
+			jt = sqlast.JoinCross
+		case p.peekKeyword("JOIN"):
+			p.pos++
+			jt = sqlast.JoinInner
+		case p.peekKeyword("INNER"):
+			p.pos++
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = sqlast.JoinInner
+		case p.peekKeyword("LEFT"):
+			p.pos++
+			p.keyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = sqlast.JoinLeft
+		case p.peekKeyword("CROSS"):
+			p.pos++
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = sqlast.JoinCross
+		default:
+			return from, nil
+		}
+		src, err := p.tableSource()
+		if err != nil {
+			return nil, err
+		}
+		j := sqlast.Join{Type: jt, Source: src}
+		if p.keyword("ON") {
+			on, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		from.Joins = append(from.Joins, j)
+	}
+}
+
+func (p *parser) tableSource() (sqlast.TableSource, error) {
+	var ts sqlast.TableSource
+	if p.peek().Kind == sqltext.KindLParen {
+		p.pos++
+		sub, err := p.selectStmt()
+		if err != nil {
+			return ts, err
+		}
+		if _, err := p.expect(sqltext.KindRParen); err != nil {
+			return ts, err
+		}
+		ts.Sub = sub
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return ts, err
+		}
+		ts.Name = name
+	}
+	if p.keyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return ts, err
+		}
+		ts.Alias = alias
+	} else if p.peek().Kind == sqltext.KindIdent {
+		ts.Alias = p.next().Text
+	}
+	return ts, nil
+}
+
+// ----------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) expr() (sqlast.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (sqlast.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: sqlast.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (sqlast.Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: sqlast.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (sqlast.Expr, error) {
+	if p.keyword("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: sqlast.OpNot, X: x}, nil
+	}
+	return p.predicate()
+}
+
+// predicate parses comparison-level operators plus SQL predicates
+// (IN/BETWEEN/LIKE/IS NULL).
+func (p *parser) predicate() (sqlast.Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		not := false
+		if p.peekKeyword("NOT") {
+			// Lookahead: NOT IN / NOT BETWEEN / NOT LIKE.
+			save := p.pos
+			p.pos++
+			if !p.peekKeyword("IN") && !p.peekKeyword("BETWEEN") && !p.peekKeyword("LIKE") {
+				p.pos = save
+				return l, nil
+			}
+			not = true
+		}
+		switch {
+		case p.keyword("IN"):
+			if _, err := p.expect(sqltext.KindLParen); err != nil {
+				return nil, err
+			}
+			in := &sqlast.InExpr{X: l, Not: not}
+			if p.peekKeyword("SELECT") {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				in.Sub = sub
+			} else {
+				for {
+					v, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					in.List = append(in.List, v)
+					if p.peek().Kind != sqltext.KindComma {
+						break
+					}
+					p.pos++
+				}
+			}
+			if _, err := p.expect(sqltext.KindRParen); err != nil {
+				return nil, err
+			}
+			l = in
+		case p.keyword("BETWEEN"):
+			lo, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.BetweenExpr{X: l, Not: not, Lo: lo, Hi: hi}
+		case p.keyword("LIKE"):
+			pat, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.LikeExpr{X: l, Not: not, Pattern: pat}
+		case p.keyword("IS"):
+			isNot := p.keyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &sqlast.IsNullExpr{X: l, Not: isNot}
+		default:
+			op, ok := comparisonOp(p.peek().Kind)
+			if !ok {
+				return l, nil
+			}
+			p.pos++
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			l = &sqlast.Binary{Op: op, L: l, R: r}
+		}
+	}
+}
+
+func comparisonOp(k sqltext.Kind) (sqlast.BinaryOp, bool) {
+	switch k {
+	case sqltext.KindEq:
+		return sqlast.OpEq, true
+	case sqltext.KindNeq:
+		return sqlast.OpNeq, true
+	case sqltext.KindLt:
+		return sqlast.OpLt, true
+	case sqltext.KindLte:
+		return sqlast.OpLte, true
+	case sqltext.KindGt:
+		return sqlast.OpGt, true
+	case sqltext.KindGte:
+		return sqlast.OpGte, true
+	}
+	return 0, false
+}
+
+func (p *parser) additive() (sqlast.Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op sqlast.BinaryOp
+		switch p.peek().Kind {
+		case sqltext.KindPlus:
+			op = sqlast.OpAdd
+		case sqltext.KindMinus:
+			op = sqlast.OpSub
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) multiplicative() (sqlast.Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op sqlast.BinaryOp
+		switch p.peek().Kind {
+		case sqltext.KindStar:
+			op = sqlast.OpMul
+		case sqltext.KindSlash:
+			op = sqlast.OpDiv
+		case sqltext.KindPercent:
+			op = sqlast.OpMod
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (sqlast.Expr, error) {
+	if p.peek().Kind == sqltext.KindMinus {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: sqlast.OpNeg, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (sqlast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case sqltext.KindNumber:
+		p.pos++
+		return sqlast.Num(t.Text), nil
+	case sqltext.KindString:
+		p.pos++
+		return sqlast.Str(t.Text), nil
+	case sqltext.KindLParen:
+		p.pos++
+		if p.peekKeyword("SELECT") {
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sqltext.KindRParen); err != nil {
+				return nil, err
+			}
+			return &sqlast.SubqueryExpr{Sub: sub}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(sqltext.KindRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case sqltext.KindKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return sqlast.Null(), nil
+		case "TRUE":
+			p.pos++
+			return sqlast.Bool(true), nil
+		case "FALSE":
+			p.pos++
+			return sqlast.Bool(false), nil
+		case "EXISTS":
+			p.pos++
+			if _, err := p.expect(sqltext.KindLParen); err != nil {
+				return nil, err
+			}
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sqltext.KindRParen); err != nil {
+				return nil, err
+			}
+			return &sqlast.ExistsExpr{Sub: sub}, nil
+		case "CASE":
+			return p.caseExpr()
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			return p.funcCall(t.Text)
+		}
+		return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unexpected keyword %q in expression", t.Text)}
+	case sqltext.KindIdent:
+		p.pos++
+		// Function call?
+		if p.peek().Kind == sqltext.KindLParen {
+			return p.funcCall(strings.ToUpper(t.Text))
+		}
+		// Qualified column?
+		if p.peek().Kind == sqltext.KindDot {
+			p.pos++
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &sqlast.ColumnRef{Table: t.Text, Column: col}, nil
+		}
+		return &sqlast.ColumnRef{Column: t.Text}, nil
+	}
+	return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s in expression", t)}
+}
+
+func (p *parser) funcCall(name string) (sqlast.Expr, error) {
+	if _, err := p.expect(sqltext.KindLParen); err != nil {
+		return nil, err
+	}
+	fc := &sqlast.FuncCall{Name: name}
+	if p.peek().Kind == sqltext.KindStar {
+		p.pos++
+		fc.Star = true
+	} else if p.peek().Kind != sqltext.KindRParen {
+		if p.keyword("DISTINCT") {
+			fc.Distinct = true
+		}
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if p.peek().Kind != sqltext.KindComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	if _, err := p.expect(sqltext.KindRParen); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) caseExpr() (sqlast.Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &sqlast.CaseExpr{}
+	for p.keyword("WHEN") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, sqlast.CaseWhen{When: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		t := p.peek()
+		return nil, &Error{Pos: t.Pos, Msg: "CASE requires at least one WHEN arm"}
+	}
+	if p.keyword("ELSE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+// ----------------------------------------------------------------------------
+// DDL / DML
+
+func (p *parser) createTable() (sqlast.Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ct := &sqlast.CreateTableStmt{Name: name}
+	if _, err := p.expect(sqltext.KindLParen); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.keyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sqltext.KindLParen); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+				if p.peek().Kind != sqltext.KindComma {
+					break
+				}
+				p.pos++
+			}
+			if _, err := p.expect(sqltext.KindRParen); err != nil {
+				return nil, err
+			}
+		case p.keyword("FOREIGN"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sqltext.KindLParen); err != nil {
+				return nil, err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sqltext.KindRParen); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("REFERENCES"); err != nil {
+				return nil, err
+			}
+			ref, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sqltext.KindLParen); err != nil {
+				return nil, err
+			}
+			refCol, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(sqltext.KindRParen); err != nil {
+				return nil, err
+			}
+			ct.ForeignKeys = append(ct.ForeignKeys, sqlast.ForeignKey{Column: col, RefTable: ref, RefColumn: refCol})
+		default:
+			colName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typTok := p.peek()
+			if typTok.Kind != sqltext.KindKeyword && typTok.Kind != sqltext.KindIdent {
+				return nil, &Error{Pos: typTok.Pos, Msg: fmt.Sprintf("expected column type, found %s", typTok)}
+			}
+			p.pos++
+			typ := strings.ToUpper(typTok.Text)
+			// Swallow VARCHAR(255)-style size arguments.
+			if p.peek().Kind == sqltext.KindLParen {
+				p.pos++
+				if _, err := p.expect(sqltext.KindNumber); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(sqltext.KindRParen); err != nil {
+					return nil, err
+				}
+			}
+			ct.Columns = append(ct.Columns, sqlast.ColumnDef{Name: colName, Type: typ})
+		}
+		if p.peek().Kind != sqltext.KindComma {
+			break
+		}
+		p.pos++
+	}
+	if _, err := p.expect(sqltext.KindRParen); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) insert() (sqlast.Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &sqlast.InsertStmt{Table: name}
+	if p.peek().Kind == sqltext.KindLParen {
+		p.pos++
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if p.peek().Kind != sqltext.KindComma {
+				break
+			}
+			p.pos++
+		}
+		if _, err := p.expect(sqltext.KindRParen); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(sqltext.KindLParen); err != nil {
+			return nil, err
+		}
+		var row []sqlast.Expr
+		for {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.peek().Kind != sqltext.KindComma {
+				break
+			}
+			p.pos++
+		}
+		if _, err := p.expect(sqltext.KindRParen); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.peek().Kind != sqltext.KindComma {
+			break
+		}
+		p.pos++
+	}
+	return ins, nil
+}

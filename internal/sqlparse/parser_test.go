@@ -1,0 +1,240 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"fisql/internal/sqlast"
+)
+
+// roundtrip parses src and returns the canonical printed form.
+func roundtrip(t *testing.T, src string) string {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return sqlast.Print(stmt)
+}
+
+func TestParseRoundtrips(t *testing.T) {
+	// Each case maps input SQL to its canonical printed form (empty want
+	// means the input is already canonical).
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"SELECT * FROM singer", ""},
+		{"SELECT name, age FROM singer", ""},
+		{"SELECT DISTINCT country FROM singer", ""},
+		{"SELECT COUNT(*) FROM singer", ""},
+		{"SELECT COUNT(DISTINCT country) FROM singer", ""},
+		{"SELECT name AS n FROM singer", ""},
+		{"SELECT singer.* FROM singer", ""},
+		{"SELECT name FROM singer WHERE age > 20", ""},
+		{"SELECT name FROM singer WHERE age > 20 AND country = 'US'", ""},
+		{"SELECT name FROM singer WHERE age BETWEEN 20 AND 30", ""},
+		{"SELECT name FROM singer WHERE age NOT BETWEEN 20 AND 30", ""},
+		{"SELECT name FROM singer WHERE name LIKE 'A%'", ""},
+		{"SELECT name FROM singer WHERE name NOT LIKE 'A%'", ""},
+		{"SELECT name FROM singer WHERE country IN ('US', 'UK')", ""},
+		{"SELECT name FROM singer WHERE country NOT IN ('US', 'UK')", ""},
+		{"SELECT name FROM singer WHERE age IS NULL", ""},
+		{"SELECT name FROM singer WHERE age IS NOT NULL", ""},
+		{"SELECT name FROM singer WHERE NOT age > 20", ""},
+		{"SELECT COUNT(*) FROM singer GROUP BY country", ""},
+		{"SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) > 1", ""},
+		{"SELECT name FROM singer ORDER BY age ASC", ""},
+		{"SELECT name FROM singer ORDER BY age DESC", ""},
+		{"SELECT name FROM singer ORDER BY age DESC, name ASC", ""},
+		{"SELECT name FROM singer LIMIT 5", ""},
+		{"SELECT name FROM singer LIMIT 5 OFFSET 10", ""},
+		{"SELECT s.name FROM singer AS s JOIN concert AS c ON s.id = c.singer_id", ""},
+		{"SELECT s.name FROM singer AS s LEFT JOIN concert AS c ON s.id = c.singer_id", ""},
+		{"SELECT name FROM singer WHERE age = (SELECT MIN(age) FROM singer)", ""},
+		{"SELECT name FROM singer WHERE id IN (SELECT singer_id FROM concert)", ""},
+		{"SELECT name FROM singer WHERE EXISTS (SELECT 1 FROM concert WHERE concert.singer_id = singer.id)", ""},
+		{"SELECT name FROM singer UNION SELECT name FROM band", ""},
+		{"SELECT name FROM singer INTERSECT SELECT name FROM band", ""},
+		{"SELECT name FROM singer EXCEPT SELECT name FROM band", ""},
+		{"SELECT age + 1 FROM singer", ""},
+		{"SELECT age * 2 - 1 FROM singer", ""},
+		{"SELECT CASE WHEN age > 18 THEN 'adult' ELSE 'minor' END FROM singer", ""},
+		// Non-canonical inputs.
+		{"select name from singer where age<>3", "SELECT name FROM singer WHERE age != 3"},
+		{"SELECT name FROM singer ORDER BY age", "SELECT name FROM singer ORDER BY age ASC"},
+		{"SELECT   name\nFROM singer;", "SELECT name FROM singer"},
+		{"SELECT name n FROM singer s", "SELECT name AS n FROM singer AS s"},
+		{"SELECT name FROM singer INNER JOIN concert ON singer.id = concert.singer_id",
+			"SELECT name FROM singer JOIN concert ON singer.id = concert.singer_id"},
+		{"SELECT name FROM a, b", "SELECT name FROM a CROSS JOIN b"},
+		{"SELECT * FROM (SELECT name FROM singer) AS t", ""},
+	}
+	for _, tc := range tests {
+		want := tc.want
+		if want == "" {
+			want = tc.src
+		}
+		if got := roundtrip(t, tc.src); got != want {
+			t.Errorf("roundtrip(%q)\n got %q\nwant %q", tc.src, got, want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tests := []struct {
+		src, want string
+	}{
+		{"SELECT 1 + 2 * 3", "SELECT 1 + 2 * 3"},
+		{"SELECT (1 + 2) * 3", "SELECT (1 + 2) * 3"},
+		{"SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3",
+			"SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3"},
+		{"SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3",
+			"SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3"},
+	}
+	for _, tc := range tests {
+		if got := roundtrip(t, tc.src); got != tc.want {
+			t.Errorf("%q: got %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t ORDER age",
+		"FROB x",
+		"SELECT * FROM t; SELECT",
+		"SELECT a FROM t WHERE a IN 1",
+		"SELECT a b c FROM t",
+		"SELECT CASE END FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseSelectRejectsDDL(t *testing.T) {
+	if _, err := ParseSelect("CREATE TABLE t (x INT)"); err == nil {
+		t.Fatal("expected error for non-SELECT")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE singer (id INT, name TEXT, age INT, salary REAL, active BOOL, PRIMARY KEY (id), FOREIGN KEY (band_id) REFERENCES band(id))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := stmt.(*sqlast.CreateTableStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Name != "singer" || len(ct.Columns) != 5 {
+		t.Fatalf("bad create: %+v", ct)
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "id" {
+		t.Errorf("primary key: %v", ct.PrimaryKey)
+	}
+	if len(ct.ForeignKeys) != 1 || ct.ForeignKeys[0].RefTable != "band" {
+		t.Errorf("foreign keys: %v", ct.ForeignKeys)
+	}
+}
+
+func TestParseCreateTableVarcharSize(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE t (name VARCHAR(255))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*sqlast.CreateTableStmt)
+	if ct.Columns[0].Type != "VARCHAR" {
+		t.Errorf("type: %q", ct.Columns[0].Type)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO singer (id, name) VALUES (1, 'Joe'), (2, 'Ann')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := stmt.(*sqlast.InsertStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ins.Table != "singer" || len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Fatalf("bad insert: %+v", ins)
+	}
+}
+
+func TestParseInsertNegativeNumber(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t VALUES (-5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*sqlast.InsertStmt)
+	if _, ok := ins.Rows[0][0].(*sqlast.Unary); !ok {
+		t.Errorf("got %T, want unary negation", ins.Rows[0][0])
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseUnionChain(t *testing.T) {
+	sel, err := ParseSelect("SELECT a FROM t UNION SELECT b FROM u UNION ALL SELECT c FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Compound == nil || sel.Compound.Right.Compound == nil {
+		t.Fatal("compound chain not built")
+	}
+	if sel.Compound.Op != sqlast.SetUnion || sel.Compound.Right.Compound.Op != sqlast.SetUnionAll {
+		t.Errorf("ops: %v, %v", sel.Compound.Op, sel.Compound.Right.Compound.Op)
+	}
+}
+
+func TestParseOrderByAppliesAfterUnion(t *testing.T) {
+	sel, err := ParseSelect("SELECT a FROM t UNION SELECT b FROM u ORDER BY a DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order by: %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil {
+		t.Error("limit missing")
+	}
+	if sel.Compound == nil {
+		t.Error("compound missing")
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	src := "SELECT name FROM s WHERE id IN (SELECT sid FROM c WHERE year = (SELECT MAX(year) FROM c))"
+	if got := roundtrip(t, src); got != src {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestErrorMessagesIncludePosition(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE ??")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position info: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fisql/internal/sqlast"
+)
+
+// Property: for every AST the generator below can produce,
+// Parse(Print(ast)) prints back identically. This pins the printer and
+// parser as exact inverses over the dialect the benchmarks use.
+
+type astGen struct {
+	rng   *rand.Rand
+	depth int
+}
+
+func (g *astGen) ident(prefix string) string {
+	return fmt.Sprintf("%s%d", prefix, g.rng.Intn(5))
+}
+
+func (g *astGen) expr() sqlast.Expr {
+	if g.depth > 3 {
+		return g.leaf()
+	}
+	g.depth++
+	defer func() { g.depth-- }()
+	switch g.rng.Intn(10) {
+	case 0:
+		return &sqlast.Binary{Op: g.cmpOp(), L: g.leaf(), R: g.leaf()}
+	case 1:
+		return &sqlast.Binary{Op: sqlast.OpAnd, L: g.boolExpr(), R: g.boolExpr()}
+	case 2:
+		return &sqlast.Binary{Op: sqlast.OpOr, L: g.boolExpr(), R: g.boolExpr()}
+	case 3:
+		return &sqlast.Binary{Op: g.arithOp(), L: g.leaf(), R: g.leaf()}
+	case 4:
+		return &sqlast.FuncCall{Name: "COUNT", Star: true}
+	case 5:
+		return &sqlast.FuncCall{
+			Name:     []string{"SUM", "AVG", "MIN", "MAX"}[g.rng.Intn(4)],
+			Distinct: g.rng.Intn(4) == 0,
+			Args:     []sqlast.Expr{g.column()},
+		}
+	case 6:
+		return &sqlast.InExpr{X: g.column(), Not: g.rng.Intn(2) == 0,
+			List: []sqlast.Expr{g.literal(), g.literal()}}
+	case 7:
+		return &sqlast.BetweenExpr{X: g.column(), Not: g.rng.Intn(2) == 0,
+			Lo: g.literal(), Hi: g.literal()}
+	case 8:
+		return &sqlast.LikeExpr{X: g.column(), Not: g.rng.Intn(2) == 0,
+			Pattern: sqlast.Str("A%")}
+	default:
+		return &sqlast.IsNullExpr{X: g.column(), Not: g.rng.Intn(2) == 0}
+	}
+}
+
+func (g *astGen) boolExpr() sqlast.Expr {
+	return &sqlast.Binary{Op: g.cmpOp(), L: g.column(), R: g.literal()}
+}
+
+func (g *astGen) leaf() sqlast.Expr {
+	if g.rng.Intn(2) == 0 {
+		return g.column()
+	}
+	return g.literal()
+}
+
+func (g *astGen) column() *sqlast.ColumnRef {
+	cr := &sqlast.ColumnRef{Column: g.ident("col")}
+	if g.rng.Intn(3) == 0 {
+		cr.Table = g.ident("t")
+	}
+	return cr
+}
+
+func (g *astGen) literal() *sqlast.Literal {
+	switch g.rng.Intn(4) {
+	case 0:
+		return sqlast.Num(fmt.Sprint(g.rng.Intn(1000)))
+	case 1:
+		return sqlast.Num(fmt.Sprintf("%d.%d", g.rng.Intn(100), 1+g.rng.Intn(9)))
+	case 2:
+		return sqlast.Str(fmt.Sprintf("v%d", g.rng.Intn(100)))
+	default:
+		return sqlast.Bool(g.rng.Intn(2) == 0)
+	}
+}
+
+func (g *astGen) cmpOp() sqlast.BinaryOp {
+	return []sqlast.BinaryOp{sqlast.OpEq, sqlast.OpNeq, sqlast.OpLt,
+		sqlast.OpLte, sqlast.OpGt, sqlast.OpGte}[g.rng.Intn(6)]
+}
+
+func (g *astGen) arithOp() sqlast.BinaryOp {
+	return []sqlast.BinaryOp{sqlast.OpAdd, sqlast.OpSub, sqlast.OpMul,
+		sqlast.OpDiv, sqlast.OpMod}[g.rng.Intn(5)]
+}
+
+func (g *astGen) selectStmt(allowCompound bool) *sqlast.SelectStmt {
+	sel := &sqlast.SelectStmt{Distinct: g.rng.Intn(4) == 0}
+	nItems := 1 + g.rng.Intn(3)
+	for i := 0; i < nItems; i++ {
+		item := sqlast.SelectItem{Expr: g.expr()}
+		if g.rng.Intn(4) == 0 {
+			item.Alias = g.ident("a")
+		}
+		sel.Items = append(sel.Items, item)
+	}
+	sel.From = &sqlast.FromClause{First: sqlast.TableSource{Name: g.ident("t")}}
+	if g.rng.Intn(3) == 0 {
+		jt := []sqlast.JoinType{sqlast.JoinInner, sqlast.JoinLeft}[g.rng.Intn(2)]
+		sel.From.Joins = append(sel.From.Joins, sqlast.Join{
+			Type:   jt,
+			Source: sqlast.TableSource{Name: g.ident("u"), Alias: g.ident("al")},
+			On:     g.boolExpr(),
+		})
+	}
+	if g.rng.Intn(2) == 0 {
+		sel.Where = g.boolExpr()
+	}
+	if g.rng.Intn(4) == 0 {
+		sel.GroupBy = []sqlast.Expr{g.column()}
+		if g.rng.Intn(2) == 0 {
+			sel.Having = &sqlast.Binary{Op: sqlast.OpGt,
+				L: &sqlast.FuncCall{Name: "COUNT", Star: true}, R: sqlast.Num("1")}
+		}
+	}
+	if g.rng.Intn(3) == 0 {
+		sel.OrderBy = []sqlast.OrderItem{{Expr: g.column(), Desc: g.rng.Intn(2) == 0}}
+	}
+	if g.rng.Intn(4) == 0 {
+		sel.Limit = sqlast.Num(fmt.Sprint(1 + g.rng.Intn(50)))
+		if g.rng.Intn(3) == 0 {
+			sel.Offset = sqlast.Num(fmt.Sprint(g.rng.Intn(20)))
+		}
+	}
+	if allowCompound && g.rng.Intn(5) == 0 {
+		right := g.selectStmt(false)
+		// ORDER BY / LIMIT live on the compound head only.
+		right.OrderBy, right.Limit, right.Offset = nil, nil, nil
+		op := []sqlast.SetOp{sqlast.SetUnion, sqlast.SetUnionAll,
+			sqlast.SetIntersect, sqlast.SetExcept}[g.rng.Intn(4)]
+		sel.Compound = &sqlast.Compound{Op: op, Right: right}
+	}
+	return sel
+}
+
+func TestPropertyPrintParseRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := &astGen{rng: rng}
+	for i := 0; i < 2000; i++ {
+		sel := g.selectStmt(true)
+		printed := sqlast.Print(sel)
+		parsed, err := ParseSelect(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: printed SQL fails to parse: %v\nSQL: %s", i, err, printed)
+		}
+		reprinted := sqlast.Print(parsed)
+		if reprinted != printed {
+			t.Fatalf("iteration %d: roundtrip not a fixpoint:\n first: %s\nsecond: %s", i, printed, reprinted)
+		}
+	}
+}
+
+func TestPropertyCloneIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	g := &astGen{rng: rng}
+	for i := 0; i < 500; i++ {
+		sel := g.selectStmt(true)
+		if !sqlast.EqualSelect(sel, sqlast.CloneSelect(sel)) {
+			t.Fatalf("iteration %d: clone differs from original:\n%s", i, sqlast.Print(sel))
+		}
+	}
+}

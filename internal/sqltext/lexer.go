@@ -1,0 +1,214 @@
+package sqltext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer scans SQL text into tokens. Create one with New and call Next until
+// it returns a token of KindEOF. Lexing errors are returned from Next; the
+// lexer is not recoverable after an error.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src} }
+
+// Error describes a lexical error with its byte offset.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql lex error at offset %d: %s", e.Pos, e.Msg) }
+
+// Tokenize scans all of src and returns the full token stream, excluding the
+// trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == KindEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func isSpace(b byte) bool  { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+func isDigit(b byte) bool  { return b >= '0' && b <= '9' }
+func isLetter(b byte) bool { return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') }
+
+// Next returns the next token in the stream.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: KindEOF, Pos: start, End: start}, nil
+	}
+	b := lx.src[lx.pos]
+	switch {
+	case isLetter(b):
+		return lx.word(), nil
+	case isDigit(b):
+		return lx.number()
+	case b == '\'':
+		return lx.stringLit()
+	case b == '"' || b == '`':
+		return lx.quotedIdent(b)
+	}
+	// Punctuation and operators.
+	one := func(k Kind) (Token, error) {
+		lx.pos++
+		return Token{Kind: k, Text: lx.src[start:lx.pos], Pos: start, End: lx.pos}, nil
+	}
+	two := func(k Kind) (Token, error) {
+		lx.pos += 2
+		return Token{Kind: k, Text: lx.src[start:lx.pos], Pos: start, End: lx.pos}, nil
+	}
+	peek := byte(0)
+	if lx.pos+1 < len(lx.src) {
+		peek = lx.src[lx.pos+1]
+	}
+	switch b {
+	case ',':
+		return one(KindComma)
+	case '.':
+		return one(KindDot)
+	case '(':
+		return one(KindLParen)
+	case ')':
+		return one(KindRParen)
+	case '*':
+		return one(KindStar)
+	case ';':
+		return one(KindSemicolon)
+	case '+':
+		return one(KindPlus)
+	case '-':
+		return one(KindMinus)
+	case '/':
+		return one(KindSlash)
+	case '%':
+		return one(KindPercent)
+	case '=':
+		return one(KindEq)
+	case '!':
+		if peek == '=' {
+			return two(KindNeq)
+		}
+		return Token{}, &Error{Pos: start, Msg: "unexpected '!'"}
+	case '<':
+		if peek == '=' {
+			return two(KindLte)
+		}
+		if peek == '>' {
+			return two(KindNeq)
+		}
+		return one(KindLt)
+	case '>':
+		if peek == '=' {
+			return two(KindGte)
+		}
+		return one(KindGt)
+	}
+	return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", string(b))}
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		b := lx.src[lx.pos]
+		switch {
+		case isSpace(b):
+			lx.pos++
+		case b == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			// Line comment: skip to end of line.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) word() Token {
+	start := lx.pos
+	for lx.pos < len(lx.src) && (isLetter(lx.src[lx.pos]) || isDigit(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return Token{Kind: KindKeyword, Text: upper, Pos: start, End: lx.pos}
+	}
+	return Token{Kind: KindIdent, Text: text, Pos: start, End: lx.pos}
+}
+
+func (lx *Lexer) number() (Token, error) {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		b := lx.src[lx.pos]
+		if isDigit(b) {
+			lx.pos++
+			continue
+		}
+		if b == '.' && !seenDot && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]) {
+			seenDot = true
+			lx.pos++
+			continue
+		}
+		break
+	}
+	if lx.pos < len(lx.src) && isLetter(lx.src[lx.pos]) {
+		return Token{}, &Error{Pos: lx.pos, Msg: "malformed number"}
+	}
+	return Token{Kind: KindNumber, Text: lx.src[start:lx.pos], Pos: start, End: lx.pos}, nil
+}
+
+// stringLit scans a single-quoted string. Doubling the quote escapes it, per
+// standard SQL ('it”s').
+func (lx *Lexer) stringLit() (Token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		b := lx.src[lx.pos]
+		if b == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return Token{Kind: KindString, Text: sb.String(), Pos: start, End: lx.pos}, nil
+		}
+		sb.WriteByte(b)
+		lx.pos++
+	}
+	return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
+}
+
+// quotedIdent scans a double-quoted or backtick-quoted identifier.
+func (lx *Lexer) quotedIdent(quote byte) (Token, error) {
+	start := lx.pos
+	lx.pos++
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		b := lx.src[lx.pos]
+		if b == quote {
+			lx.pos++
+			return Token{Kind: KindIdent, Text: sb.String(), Pos: start, End: lx.pos}, nil
+		}
+		sb.WriteByte(b)
+		lx.pos++
+	}
+	return Token{}, &Error{Pos: start, Msg: "unterminated quoted identifier"}
+}

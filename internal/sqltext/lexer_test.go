@@ -1,0 +1,238 @@
+package sqltext
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasicSelect(t *testing.T) {
+	toks, err := Tokenize("SELECT name, age FROM singer WHERE age >= 21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{KindKeyword, "SELECT"},
+		{KindIdent, "name"},
+		{KindComma, ","},
+		{KindIdent, "age"},
+		{KindKeyword, "FROM"},
+		{KindIdent, "singer"},
+		{KindKeyword, "WHERE"},
+		{KindIdent, "age"},
+		{KindGte, ">="},
+		{KindNumber, "21"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: got (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("select From WhErE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Kind != KindKeyword {
+			t.Errorf("%q lexed as %v, want keyword", tok.Text, tok.Kind)
+		}
+	}
+	if toks[0].Text != "SELECT" || toks[1].Text != "FROM" || toks[2].Text != "WHERE" {
+		t.Errorf("keywords not canonicalized: %v", toks)
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"'hello'", "hello"},
+		{"''", ""},
+		{"'it''s'", "it's"},
+		{"'2023-01-01'", "2023-01-01"},
+	}
+	for _, tc := range tests {
+		toks, err := Tokenize(tc.src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Kind != KindString || toks[0].Text != tc.want {
+			t.Errorf("%s: got %v, want string %q", tc.src, toks, tc.want)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize("SELECT 'oops"); err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"42", "42"},
+		{"3.14", "3.14"},
+		{"0", "0"},
+		{"100.5", "100.5"},
+	}
+	for _, tc := range tests {
+		toks, err := Tokenize(tc.src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Kind != KindNumber || toks[0].Text != tc.want {
+			t.Errorf("%s: got %v", tc.src, toks)
+		}
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	if _, err := Tokenize("12abc"); err == nil {
+		t.Fatal("expected error for malformed number")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, err := Tokenize("= != <> < <= > >= + - * / %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KindEq, KindNeq, KindNeq, KindLt, KindLte, KindGt, KindGte,
+		KindPlus, KindMinus, KindStar, KindSlash, KindPercent}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	toks, err := Tokenize("SELECT 1 -- the answer\n, 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("comment not skipped: %v", toks)
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	for _, src := range []string{`"order"`, "`order`"} {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != KindIdent || toks[0].Text != "order" {
+			t.Errorf("%s: got %v", src, toks)
+		}
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	src := "SELECT name"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[0].End != 6 {
+		t.Errorf("SELECT span: got [%d,%d)", toks[0].Pos, toks[0].End)
+	}
+	if toks[1].Pos != 7 || toks[1].End != 11 {
+		t.Errorf("name span: got [%d,%d)", toks[1].Pos, toks[1].End)
+	}
+	if src[toks[1].Pos:toks[1].End] != "name" {
+		t.Errorf("span does not slice back to source")
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	_, err := Tokenize("SELECT @x")
+	if err == nil {
+		t.Fatal("expected error for '@'")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if le.Pos != 7 {
+		t.Errorf("error position %d, want 7", le.Pos)
+	}
+}
+
+func TestEOFToken(t *testing.T) {
+	lx := New("  ")
+	tok, err := lx.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Kind != KindEOF {
+		t.Errorf("got %v, want EOF", tok.Kind)
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !IsKeyword("SELECT") {
+		t.Error("SELECT should be a keyword")
+	}
+	if IsKeyword("singer") {
+		t.Error("singer should not be a keyword")
+	}
+}
+
+func TestKindAndTokenStrings(t *testing.T) {
+	if KindEOF.String() != "EOF" || KindComma.String() != "," {
+		t.Error("kind strings")
+	}
+	if Kind(999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: KindEOF}, "end of input"},
+		{Token{Kind: KindIdent, Text: "name"}, `"name"`},
+		{Token{Kind: KindString, Text: "x"}, "'x'"},
+		{Token{Kind: KindComma, Text: ","}, `","`},
+	}
+	for _, tc := range cases {
+		if got := tc.tok.String(); got != tc.want {
+			t.Errorf("token string: got %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestLexerBangAlone(t *testing.T) {
+	if _, err := Tokenize("a ! b"); err == nil {
+		t.Error("lone '!' should error")
+	}
+}
+
+func TestUnterminatedQuotedIdent(t *testing.T) {
+	if _, err := Tokenize(`"oops`); err == nil {
+		t.Error("unterminated quoted identifier should error")
+	}
+}

@@ -1,0 +1,120 @@
+// Package sqltext tokenizes SQL source text.
+//
+// The lexer covers the SQL dialect used throughout this repository: the
+// SELECT query surface needed by the SPIDER-like and Experience-Platform
+// benchmarks, plus CREATE TABLE and INSERT for loading fixture data. Token
+// positions are byte offsets into the original text so that higher layers
+// (e.g. feedback highlights, see internal/feedback) can map user-selected
+// spans back to query clauses.
+package sqltext
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds. Keywords are folded into KindKeyword with the canonical
+// upper-case text stored in Token.Text; punctuation gets one kind each so the
+// parser can switch on Kind directly.
+const (
+	KindEOF Kind = iota
+	KindIdent
+	KindKeyword
+	KindNumber
+	KindString
+	KindComma
+	KindDot
+	KindLParen
+	KindRParen
+	KindStar
+	KindEq
+	KindNeq
+	KindLt
+	KindLte
+	KindGt
+	KindGte
+	KindPlus
+	KindMinus
+	KindSlash
+	KindPercent
+	KindSemicolon
+)
+
+var kindNames = map[Kind]string{
+	KindEOF:       "EOF",
+	KindIdent:     "identifier",
+	KindKeyword:   "keyword",
+	KindNumber:    "number",
+	KindString:    "string",
+	KindComma:     ",",
+	KindDot:       ".",
+	KindLParen:    "(",
+	KindRParen:    ")",
+	KindStar:      "*",
+	KindEq:        "=",
+	KindNeq:       "!=",
+	KindLt:        "<",
+	KindLte:       "<=",
+	KindGt:        ">",
+	KindGte:       ">=",
+	KindPlus:      "+",
+	KindMinus:     "-",
+	KindSlash:     "/",
+	KindPercent:   "%",
+	KindSemicolon: ";",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a single lexical unit.
+type Token struct {
+	Kind Kind
+	// Text is the token text. Keywords are canonicalized to upper case;
+	// identifiers and literals keep their original spelling (string
+	// literals are unquoted and unescaped).
+	Text string
+	// Pos and End delimit the token's byte range in the source.
+	Pos, End int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case KindEOF:
+		return "end of input"
+	case KindIdent, KindKeyword, KindNumber:
+		return fmt.Sprintf("%q", t.Text)
+	case KindString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+// keywords is the set of reserved words recognized by the lexer. Anything
+// else alphabetic is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "AS": true, "DISTINCT": true, "ALL": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "RIGHT": true, "OUTER": true, "CROSS": true, "ON": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true, "EXISTS": true,
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "TRUE": true, "FALSE": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "TEXT": true, "INT": true,
+	"INTEGER": true, "REAL": true, "FLOAT": true, "BOOL": true,
+	"BOOLEAN": true, "VARCHAR": true, "DATE": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[word] }
