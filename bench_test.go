@@ -17,7 +17,9 @@ package fisql
 
 import (
 	"context"
+	"flag"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -29,6 +31,13 @@ import (
 	"fisql/internal/rag"
 	"fisql/internal/sqlparse"
 )
+
+// benchWorkers bounds the evaluation worker pool used by the experiment
+// drivers (0 = GOMAXPROCS, 1 = serial). Results are identical for every
+// value; only wall-clock changes.
+var benchWorkers = flag.Int("workers", 0, "evaluation worker goroutines for the experiment benchmarks (0 = GOMAXPROCS, 1 = serial)")
+
+func benchGenOpts() eval.RunOptions { return eval.RunOptions{Workers: *benchWorkers} }
 
 var (
 	benchOnce sync.Once
@@ -54,7 +63,7 @@ func benchWorld(b *testing.B) (*System, *System) {
 
 func benchErrors(b *testing.B, sys *System) []eval.GenResult {
 	b.Helper()
-	res, _, err := eval.RunGeneration(context.Background(), sys.Client, sys.DS, sys.K)
+	res, _, err := eval.RunGenerationOpts(context.Background(), sys.Client, sys.DS, sys.K, benchGenOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -69,11 +78,11 @@ func BenchmarkFigure2ZeroShotAccuracy(b *testing.B) {
 	var spAcc, aeAcc eval.Accuracy
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, spAcc, err = eval.RunGeneration(ctx, sp.Client, sp.DS, 0)
+		_, spAcc, err = eval.RunGenerationOpts(ctx, sp.Client, sp.DS, 0, benchGenOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, aeAcc, err = eval.RunGeneration(ctx, ae.Client, ae.DS, 0)
+		_, aeAcc, err = eval.RunGenerationOpts(ctx, ae.Client, ae.DS, 0, benchGenOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,11 +98,11 @@ func BenchmarkSection41ErrorCollection(b *testing.B) {
 	ctx := context.Background()
 	var spErrs, aeErrs, annotated int
 	for i := 0; i < b.N; i++ {
-		spRes, _, err := eval.RunGeneration(ctx, sp.Client, sp.DS, sp.K)
+		spRes, _, err := eval.RunGenerationOpts(ctx, sp.Client, sp.DS, sp.K, benchGenOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		aeRes, _, err := eval.RunGeneration(ctx, ae.Client, ae.DS, ae.K)
+		aeRes, _, err := eval.RunGenerationOpts(ctx, ae.Client, ae.DS, ae.K, benchGenOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +129,7 @@ func BenchmarkTable2FeedbackCorrection(b *testing.B) {
 	ctx := context.Background()
 	cells := map[string]float64{}
 	run := func(name string, sys *System, method Corrector, errs []eval.GenResult) {
-		res, err := eval.RunCorrection(ctx, method, sys.DS, errs, eval.CorrectionOptions{Rounds: 1})
+		res, err := eval.RunCorrection(ctx, method, sys.DS, errs, eval.CorrectionOptions{Rounds: 1, Workers: *benchWorkers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,11 +156,11 @@ func BenchmarkFigure8FeedbackRounds(b *testing.B) {
 	var f, n eval.CorrectionResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = eval.RunCorrection(ctx, sp.FISQL(Options{Routing: true}), sp.DS, errs, eval.CorrectionOptions{Rounds: 2})
+		f, err = eval.RunCorrection(ctx, sp.FISQL(Options{Routing: true}), sp.DS, errs, eval.CorrectionOptions{Rounds: 2, Workers: *benchWorkers})
 		if err != nil {
 			b.Fatal(err)
 		}
-		n, err = eval.RunCorrection(ctx, sp.FISQL(Options{Routing: false}), sp.DS, errs, eval.CorrectionOptions{Rounds: 2})
+		n, err = eval.RunCorrection(ctx, sp.FISQL(Options{Routing: false}), sp.DS, errs, eval.CorrectionOptions{Rounds: 2, Workers: *benchWorkers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +182,7 @@ func BenchmarkTable3Highlighting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run := func(sys *System, errs []eval.GenResult, hl bool) float64 {
 			res, err := eval.RunCorrection(ctx, sys.FISQL(Options{Routing: true, Highlights: hl}),
-				sys.DS, errs, eval.CorrectionOptions{Rounds: 1, Highlights: hl})
+				sys.DS, errs, eval.CorrectionOptions{Rounds: 1, Highlights: hl, Workers: *benchWorkers})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -191,6 +200,62 @@ func BenchmarkTable3Highlighting(b *testing.B) {
 }
 
 // ----------------------------------------------------------------------------
+// Parallel harness scaling
+
+// workerCounts is the sweep for the scaling benchmarks: powers of two up to
+// and including GOMAXPROCS.
+func workerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// BenchmarkGenerationWorkers measures the parallel evaluation harness: the
+// same SPIDER Assistant run sharded over growing worker pools. Every row
+// produces identical results (TestParallelGenerationMatchesSerial in
+// internal/eval asserts it); only wall-clock changes.
+func BenchmarkGenerationWorkers(b *testing.B) {
+	sp, _ := benchWorld(b)
+	ctx := context.Background()
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := eval.RunGenerationOpts(ctx, sp.Client, sp.DS, sp.K, eval.RunOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorrectionWorkers measures the two-round Figure 8 correction
+// protocol over growing worker pools.
+func BenchmarkCorrectionWorkers(b *testing.B) {
+	sp, _ := benchWorld(b)
+	errs := benchErrors(b, sp)
+	ctx := context.Background()
+	method := sp.FISQL(Options{Routing: true})
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := eval.RunCorrection(ctx, method, sp.DS, errs,
+					eval.CorrectionOptions{Rounds: 2, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------------------------------
 // Ablations
 
 // BenchmarkAblationRAGDepth sweeps the number of retrieved demonstrations
@@ -204,7 +269,7 @@ func BenchmarkAblationRAGDepth(b *testing.B) {
 			var acc eval.Accuracy
 			for i := 0; i < b.N; i++ {
 				var err error
-				_, acc, err = eval.RunGeneration(ctx, sp.Client, sp.DS, k)
+				_, acc, err = eval.RunGenerationOpts(ctx, sp.Client, sp.DS, k, benchGenOpts())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -261,7 +326,7 @@ func BenchmarkAblationDynamicDemos(b *testing.B) {
 		metered := &llm.Metered{Inner: sp.Client, Stats: stats}
 		method := &FISQL{Client: metered, DS: sp.DS, Store: sp.Store, K: sp.K,
 			Routing: true, DynamicDemos: dynamic}
-		res, err := eval.RunCorrection(ctx, method, sp.DS, errs, eval.CorrectionOptions{Rounds: 1})
+		res, err := eval.RunCorrection(ctx, method, sp.DS, errs, eval.CorrectionOptions{Rounds: 1, Workers: *benchWorkers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +353,7 @@ func BenchmarkAblationMetricStrictness(b *testing.B) {
 	ctx := context.Background()
 	var execAcc, strAcc float64
 	for i := 0; i < b.N; i++ {
-		res, acc, err := eval.RunGeneration(ctx, sp.Client, sp.DS, sp.K)
+		res, acc, err := eval.RunGenerationOpts(ctx, sp.Client, sp.DS, sp.K, benchGenOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

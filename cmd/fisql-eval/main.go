@@ -25,6 +25,7 @@ func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all", "experiment: figure2, errors, table2, figure8, table3, analysis, router, breakdown, cost, all")
 	rounds := flag.Int("rounds", 2, "feedback rounds for figure8")
+	workers := flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file ('-' for stdout)")
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("build experience-platform corpus: %v", err)
 	}
-	r := runner{sp: sp, ae: ae, ctx: context.Background(), export: eval.NewExport()}
+	r := runner{sp: sp, ae: ae, ctx: context.Background(), export: eval.NewExport(), workers: *workers}
 
 	switch *exp {
 	case "figure2":
@@ -96,15 +97,16 @@ func main() {
 }
 
 type runner struct {
-	sp, ae *fisql.System
-	ctx    context.Context
-	export *eval.Export
+	sp, ae  *fisql.System
+	ctx     context.Context
+	export  *eval.Export
+	workers int
 
 	spErrs, aeErrs []eval.GenResult
 }
 
 func (r *runner) mustGenerate(sys *fisql.System, k int) ([]eval.GenResult, eval.Accuracy) {
-	res, acc, err := eval.RunGeneration(r.ctx, sys.Client, sys.DS, k)
+	res, acc, err := eval.RunGenerationOpts(r.ctx, sys.Client, sys.DS, k, eval.RunOptions{Workers: r.workers})
 	if err != nil {
 		log.Fatalf("generation: %v", err)
 	}
@@ -123,7 +125,8 @@ func (r *runner) ensureErrors() {
 }
 
 func (r *runner) correct(sys *fisql.System, method fisql.Corrector, errs []eval.GenResult, rounds int, hl bool) eval.CorrectionResult {
-	out, err := eval.RunCorrection(r.ctx, method, sys.DS, errs, eval.CorrectionOptions{Rounds: rounds, Highlights: hl})
+	out, err := eval.RunCorrection(r.ctx, method, sys.DS, errs,
+		eval.CorrectionOptions{Rounds: rounds, Highlights: hl, Workers: r.workers})
 	if err != nil {
 		log.Fatalf("correction: %v", err)
 	}

@@ -2,11 +2,15 @@
 // equivalent of the AEP Assistant panel (paper Figure 3). Sessions are
 // created per client and hold the ask/feedback state.
 //
-//	POST /v1/sessions                 {"corpus":"aep","db":"..."}    -> {"session_id":...}
-//	POST /v1/sessions/{id}/ask        {"question":"..."}             -> answer
-//	POST /v1/sessions/{id}/feedback   {"text":"...","highlight":"…"} -> answer
-//	GET  /v1/sessions/{id}/history
-//	GET  /v1/databases?corpus=aep
+//	POST   /v1/sessions                 {"corpus":"aep","db":"..."}    -> {"session_id":...}
+//	POST   /v1/sessions/{id}/ask        {"question":"..."}             -> answer
+//	POST   /v1/sessions/{id}/feedback   {"text":"...","highlight":"…"} -> answer
+//	GET    /v1/sessions/{id}/history
+//	DELETE /v1/sessions/{id}
+//	GET    /v1/databases?corpus=aep
+//
+// The session map is capped (-max-sessions, oldest-first eviction), so a
+// long-running server does not grow without bound.
 package main
 
 import (
@@ -29,6 +33,8 @@ func (a sysAdapter) NewSession(db string) *fisql.Session {
 func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions,
+		"max live sessions before oldest-first eviction (<= 0 for unlimited)")
 	flag.Parse()
 
 	sp, err := fisql.NewSpiderSystem()
@@ -42,7 +48,7 @@ func main() {
 	srv := server.New(map[string]server.SessionFactory{
 		"spider": sysAdapter{sp},
 		"aep":    sysAdapter{ae},
-	})
+	}, server.WithMaxSessions(*maxSessions))
 	log.Printf("fisql-server listening on http://%s", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)

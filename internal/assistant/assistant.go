@@ -20,7 +20,9 @@ import (
 )
 
 // Assistant wires the NL2SQL model, the retrieval store and the execution
-// engine together.
+// engine together. An Assistant is safe for concurrent use as long as its
+// Client is: its own fields are read-only configuration and every call
+// creates its own engine.Executor.
 type Assistant struct {
 	Client llm.Client
 	DS     *dataset.Dataset

@@ -25,7 +25,9 @@ type Corrector interface {
 	Correct(ctx context.Context, db, question, prevSQL string, fb feedback.Feedback) (string, error)
 }
 
-// FISQL is the feedback-infused correction pipeline.
+// FISQL is the feedback-infused correction pipeline. It is safe for
+// concurrent use as long as its Client is: all fields are read-only
+// configuration.
 type FISQL struct {
 	Client llm.Client
 	DS     *dataset.Dataset
@@ -106,7 +108,8 @@ func (f *FISQL) Correct(ctx context.Context, db, question, prevSQL string, fb fe
 }
 
 // QueryRewrite is the baseline that paraphrases question+feedback into a
-// new standalone question and regenerates from scratch.
+// new standalone question and regenerates from scratch. Like FISQL it is
+// safe for concurrent use as long as its Client is.
 type QueryRewrite struct {
 	Client llm.Client
 	DS     *dataset.Dataset

@@ -183,3 +183,36 @@ func TestSessionConversation(t *testing.T) {
 		}
 	}
 }
+
+// TestHistoryReturnsCopy is a regression test: History used to return the
+// internal slice, letting callers corrupt session state.
+func TestHistoryReturnsCopy(t *testing.T) {
+	ds, sim := world(t)
+	store := rag.NewStore(ds.Demos)
+	asst := &assistant.Assistant{Client: sim, DS: ds, Store: store, K: 8}
+	f := &FISQL{Client: sim, DS: ds, Store: store, K: 8, Routing: true}
+	sess := NewSession(asst, f, "experience_platform")
+	ctx := context.Background()
+
+	if _, err := sess.Ask(ctx, "How many audiences were created in January?"); err != nil {
+		t.Fatal(err)
+	}
+	h := sess.History()
+	h[0].Role = "mangled"
+	h[0].Text = "mangled"
+	if got := sess.History(); got[0].Role != "user" {
+		t.Errorf("mutating the returned history leaked into the session: %+v", got[0])
+	}
+
+	// An append to the snapshot must not alias future session turns either.
+	h = sess.History()
+	_ = append(h, Turn{Role: "rogue", Text: "rogue"})
+	if _, err := sess.Feedback(ctx, "we are in 2024", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, turn := range sess.History() {
+		if turn.Role == "rogue" {
+			t.Error("appended turn leaked into session history")
+		}
+	}
+}

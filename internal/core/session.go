@@ -34,8 +34,14 @@ func NewSession(a *assistant.Assistant, c Corrector, db string) *Session {
 	return &Session{Assistant: a, Corrector: c, DB: db}
 }
 
-// History returns the conversation so far.
-func (s *Session) History() []Turn { return s.history }
+// History returns a copy of the conversation so far. Returning the internal
+// slice would let callers mutate session state (or observe appends aliasing
+// their snapshot).
+func (s *Session) History() []Turn {
+	out := make([]Turn, len(s.history))
+	copy(out, s.history)
+	return out
+}
 
 // SQL returns the current query, empty before the first question.
 func (s *Session) SQL() string { return s.sql }

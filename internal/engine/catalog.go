@@ -32,7 +32,9 @@ func (t *Table) ColumnIndex(name string) int {
 	return -1
 }
 
-// Database is a named collection of tables.
+// Database is a named collection of tables. Loading (AddTable, ExecDDL,
+// LoadScript) must happen-before any concurrent use; once loaded, a
+// Database is read-only and safe for any number of concurrent Executors.
 type Database struct {
 	Name   string
 	tables map[string]*Table

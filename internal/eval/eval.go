@@ -6,6 +6,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"fisql/internal/assistant"
 	"fisql/internal/core"
@@ -57,27 +58,54 @@ type GenResult struct {
 	Correct bool
 }
 
+// RunOptions configures how an evaluation run executes. The zero value
+// shards examples across runtime.GOMAXPROCS(0) workers.
+type RunOptions struct {
+	// Workers bounds the worker pool that shards examples across
+	// goroutines; 0 means runtime.GOMAXPROCS(0) and 1 forces the serial
+	// path. Every value produces byte-identical, identically ordered
+	// results and identical accuracy tallies — examples are independent
+	// and the whole substrate (llm.Sim, rag.Store, schema, engine) is
+	// deterministic and safe for concurrent reads.
+	Workers int
+}
+
 // RunGeneration evaluates the NL2SQL pipeline over the whole corpus with k
 // retrieved demonstrations (k=0 reproduces the zero-shot setting of
-// Figure 2; k>0 the Assistant pipeline of §4.1).
+// Figure 2; k>0 the Assistant pipeline of §4.1). It runs with default
+// RunOptions; use RunGenerationOpts to bound the worker pool.
 func RunGeneration(ctx context.Context, client llm.Client, ds *dataset.Dataset, k int) ([]GenResult, Accuracy, error) {
+	return RunGenerationOpts(ctx, client, ds, k, RunOptions{})
+}
+
+// RunGenerationOpts is RunGeneration with an explicit worker-pool bound.
+// The Client must be safe for concurrent use when opt.Workers != 1
+// (llm.Sim, Metered and Recorder all are).
+func RunGenerationOpts(ctx context.Context, client llm.Client, ds *dataset.Dataset, k int, opt RunOptions) ([]GenResult, Accuracy, error) {
 	var store *rag.Store
 	if k > 0 {
 		store = rag.NewStore(ds.Demos)
 	}
 	asst := &assistant.Assistant{Client: client, DS: ds, Store: store, K: k}
-	results := make([]GenResult, 0, len(ds.Examples))
-	acc := Accuracy{Total: len(ds.Examples)}
-	for _, e := range ds.Examples {
+	results := make([]GenResult, len(ds.Examples))
+	gold := newGoldCache()
+	err := forEach(len(ds.Examples), opt.Workers, func(i int) error {
+		e := ds.Examples[i]
 		sql, err := asst.GenerateSQL(ctx, e.DB, e.Question)
 		if err != nil {
-			return nil, Accuracy{}, fmt.Errorf("%s: %w", e.ID, err)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		ok := Match(ds.DBs[e.DB], e.Gold, sql)
-		if ok {
+		results[i] = GenResult{Example: e, SQL: sql, Correct: gold.match(ds.DBs[e.DB], e, sql)}
+		return nil
+	})
+	if err != nil {
+		return nil, Accuracy{}, err
+	}
+	acc := Accuracy{Total: len(ds.Examples)}
+	for _, r := range results {
+		if r.Correct {
 			acc.Correct++
 		}
-		results = append(results, GenResult{Example: e, SQL: sql, Correct: ok})
 	}
 	return results, acc, nil
 }
@@ -95,8 +123,20 @@ func Errors(results []GenResult) []GenResult {
 }
 
 // NewAnnotator builds the simulated annotator for a corpus, rendering
-// column and table names with the schemas' NL phrases.
+// column and table names with the schemas' NL phrases. Schemas are
+// consulted in sorted name order: map iteration order varies call to call,
+// which would make phrase choice — and thus feedback text — nondeterministic
+// whenever more than one schema can render a name.
 func NewAnnotator(ds *dataset.Dataset) *feedback.Annotator {
+	names := make([]string, 0, len(ds.Schemas))
+	for name := range ds.Schemas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	schemas := make([]*schema.Schema, len(names))
+	for i, name := range names {
+		schemas[i] = ds.Schemas[name]
+	}
 	return &feedback.Annotator{
 		ColumnPhrase: func(table, column string) string {
 			lookup := func(s *schema.Schema) string {
@@ -111,7 +151,7 @@ func NewAnnotator(ds *dataset.Dataset) *feedback.Annotator {
 				}
 				return ""
 			}
-			for _, s := range ds.Schemas {
+			for _, s := range schemas {
 				if p := lookup(s); p != "" {
 					return p
 				}
@@ -119,7 +159,7 @@ func NewAnnotator(ds *dataset.Dataset) *feedback.Annotator {
 			return ""
 		},
 		TablePhrase: func(table string) string {
-			for _, s := range ds.Schemas {
+			for _, s := range schemas {
 				if t := s.Table(table); t != nil {
 					return t.Phrase()
 				}
@@ -157,6 +197,21 @@ type CorrectionOptions struct {
 	Rounds int
 	// Highlights lets the annotator attach highlight spans (Table 3).
 	Highlights bool
+	// Workers bounds the worker pool that shards error instances across
+	// goroutines; 0 means runtime.GOMAXPROCS(0) and 1 forces the serial
+	// path. Tallies are identical for every value. The Corrector must be
+	// safe for concurrent use when Workers != 1 (core.FISQL and
+	// core.QueryRewrite are: they hold only read-only configuration).
+	Workers int
+}
+
+// correctionOutcome is one error instance's verdict, folded into the
+// CorrectionResult in input order so tallies never depend on scheduling.
+type correctionOutcome struct {
+	skipped bool
+	// fixedAt is the 1-based round whose repair first matched gold; 0 when
+	// no round fixed the instance.
+	fixedAt int
 }
 
 // RunCorrection executes the feedback-correction protocol: for every
@@ -168,15 +223,16 @@ func RunCorrection(ctx context.Context, corrector core.Corrector, ds *dataset.Da
 		opt.Rounds = 1
 	}
 	annot := NewAnnotator(ds)
-	res := CorrectionResult{Method: corrector.Name(), CumCorrected: make([]int, opt.Rounds)}
-	for _, ge := range errs {
+	gold := newGoldCache()
+	outcomes := make([]correctionOutcome, len(errs))
+	err := forEach(len(errs), opt.Workers, func(i int) error {
+		ge := errs[i]
 		e := ge.Example
 		fb, ok := annot.Annotate(e, ge.SQL, 1, opt.Highlights)
 		if !ok {
-			res.Skipped++
-			continue
+			outcomes[i].skipped = true
+			return nil
 		}
-		res.N++
 		cur := ge.SQL
 		for round := 1; round <= opt.Rounds; round++ {
 			if round > 1 {
@@ -187,14 +243,29 @@ func RunCorrection(ctx context.Context, corrector core.Corrector, ds *dataset.Da
 			}
 			next, err := corrector.Correct(ctx, e.DB, e.Question, cur, fb)
 			if err != nil {
-				return CorrectionResult{}, fmt.Errorf("%s round %d: %w", e.ID, round, err)
+				return fmt.Errorf("%s round %d: %w", e.ID, round, err)
 			}
 			cur = next
-			if Match(ds.DBs[e.DB], e.Gold, cur) {
-				for r := round; r <= opt.Rounds; r++ {
-					res.CumCorrected[r-1]++
-				}
+			if gold.match(ds.DBs[e.DB], e, cur) {
+				outcomes[i].fixedAt = round
 				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return CorrectionResult{}, err
+	}
+	res := CorrectionResult{Method: corrector.Name(), CumCorrected: make([]int, opt.Rounds)}
+	for _, out := range outcomes {
+		if out.skipped {
+			res.Skipped++
+			continue
+		}
+		res.N++
+		if out.fixedAt > 0 {
+			for r := out.fixedAt; r <= opt.Rounds; r++ {
+				res.CumCorrected[r-1]++
 			}
 		}
 	}

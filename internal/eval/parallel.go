@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fisql/internal/dataset"
+	"fisql/internal/engine"
+)
+
+// forEach runs fn(i) for every i in [0, n) on a pool of at most workers
+// goroutines (workers <= 0 means runtime.GOMAXPROCS(0); 1 runs serially on
+// the calling goroutine).
+//
+// Indices are claimed in increasing order, so when any call fails the error
+// returned is the one at the lowest failing index — exactly the error a
+// serial loop would have stopped at. Remaining indices are abandoned on a
+// best-effort basis after the first failure.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Claims are strictly increasing, so every index below a claimed one
+	// was claimed too; the first non-nil entry is therefore the lowest
+	// failing index overall, independent of goroutine interleaving.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goldCache memoizes each example's executed gold result, so the
+// multi-round correction protocol stops re-running the gold SQL on every
+// Match. Safe for concurrent use. A nil cached result records a gold query
+// that failed to parse or execute.
+type goldCache struct {
+	mu sync.Mutex
+	m  map[*dataset.Example]*engine.Result
+}
+
+func newGoldCache() *goldCache {
+	return &goldCache{m: make(map[*dataset.Example]*engine.Result)}
+}
+
+// gold returns the example's gold result, executing the gold SQL at most
+// once per example (modulo benign duplicated work under contention — the
+// result is deterministic either way).
+func (c *goldCache) gold(db *engine.Database, e *dataset.Example) (*engine.Result, bool) {
+	c.mu.Lock()
+	res, hit := c.m[e]
+	c.mu.Unlock()
+	if hit {
+		return res, res != nil
+	}
+	res, err := engine.NewExecutor(db).Query(e.Gold)
+	if err != nil {
+		res = nil
+	}
+	c.mu.Lock()
+	c.m[e] = res
+	c.mu.Unlock()
+	return res, res != nil
+}
+
+// match is Match with the gold side served from the cache. EqualResults
+// never mutates its arguments, so the cached result can be shared across
+// workers.
+func (c *goldCache) match(db *engine.Database, e *dataset.Example, predSQL string) bool {
+	gold, ok := c.gold(db, e)
+	if !ok {
+		return false
+	}
+	pred, err := engine.NewExecutor(db).Query(predSQL)
+	if err != nil {
+		return false
+	}
+	return engine.EqualResults(gold, pred)
+}

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/rag"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		var hits [100]atomic.Int32
+		if err := forEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := forEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachFirstErrorWins checks the error contract: regardless of worker
+// count and scheduling, the error surfaced is the one at the lowest failing
+// index — what a serial loop would have stopped at.
+func TestForEachFirstErrorWins(t *testing.T) {
+	fail := map[int]bool{23: true, 61: true, 97: true}
+	for _, workers := range []int{1, 2, 8} {
+		err := forEach(100, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("index %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 23" {
+			t.Errorf("workers=%d: got %v, want index 23", workers, err)
+		}
+	}
+}
+
+// TestParallelGenerationMatchesSerial is the concurrency cross-check the
+// harness's determinism contract rests on: sharding examples across workers
+// must produce byte-identical, identically ordered results and the same
+// accuracy tally as the serial path, on both corpora. Run under -race this
+// also audits the shared substrate (llm.Sim, rag.Store, schema, engine).
+func TestParallelGenerationMatchesSerial(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		ds   *dataset.Dataset
+		k    int
+	}{
+		{"spider/zero-shot", w.spider, 0},
+		{"spider/rag", w.spider, 8},
+		{"aep/rag", w.aep, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serialRes, serialAcc, err := RunGenerationOpts(ctx, w.client, tc.ds, tc.k, RunOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRes, parAcc, err := RunGenerationOpts(ctx, w.client, tc.ds, tc.k, RunOptions{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parAcc != serialAcc {
+				t.Errorf("accuracy: parallel %v, serial %v", parAcc, serialAcc)
+			}
+			if len(parRes) != len(serialRes) {
+				t.Fatalf("result count: parallel %d, serial %d", len(parRes), len(serialRes))
+			}
+			for i := range serialRes {
+				if !reflect.DeepEqual(parRes[i], serialRes[i]) {
+					t.Fatalf("result %d differs:\nparallel: %+v\nserial:   %+v", i, parRes[i], serialRes[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCorrectionMatchesSerial does the same cross-check for the
+// multi-round correction protocol, for both correction methods.
+func TestParallelCorrectionMatchesSerial(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		ds   *dataset.Dataset
+	}{
+		{"spider", w.spider},
+		{"aep", w.aep},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, _, err := RunGenerationOpts(ctx, w.client, tc.ds, 8, RunOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs := Errors(res)
+			store := rag.NewStore(tc.ds.Demos)
+			methods := []core.Corrector{
+				&core.FISQL{Client: w.client, DS: tc.ds, Store: store, K: 8, Routing: true},
+				&core.QueryRewrite{Client: w.client, DS: tc.ds, Store: store, K: 8},
+			}
+			for _, m := range methods {
+				serial, err := RunCorrection(ctx, m, tc.ds, errs,
+					CorrectionOptions{Rounds: 2, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := RunCorrection(ctx, m, tc.ds, errs,
+					CorrectionOptions{Rounds: 2, Workers: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(par, serial) {
+					t.Errorf("%s: parallel %+v, serial %+v", m.Name(), par, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCorrectionErrorDeterministic checks that a failing corrector
+// surfaces the same (first-by-input-order) error from the parallel path as
+// from the serial one.
+func TestParallelCorrectionErrorDeterministic(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+	res, _, err := RunGenerationOpts(ctx, w.client, w.aep, 8, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Errors(res)
+	serialErr := correctionError(ctx, t, w.aep, errs, 1)
+	parErr := correctionError(ctx, t, w.aep, errs, 8)
+	if serialErr.Error() != parErr.Error() {
+		t.Errorf("serial error %q, parallel error %q", serialErr, parErr)
+	}
+}
+
+func correctionError(ctx context.Context, t *testing.T, ds *dataset.Dataset, errs []GenResult, workers int) error {
+	t.Helper()
+	_, err := RunCorrection(ctx, failingCorrector{}, ds, errs,
+		CorrectionOptions{Rounds: 1, Workers: workers})
+	if err == nil {
+		t.Fatal("corrector error must propagate")
+	}
+	return err
+}

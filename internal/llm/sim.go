@@ -26,6 +26,9 @@ import (
 //     otherwise — the FISQL vs FISQL(-Routing) difference.
 //   - Routing prompts: classify the feedback like the few-shot router.
 //   - Rewrite prompts: fold the feedback into the question.
+//
+// A Sim is safe for concurrent use: every map is populated in NewSim and
+// only read afterwards, and each Complete call works on per-call state.
 type Sim struct {
 	worlds []*dataset.Dataset
 

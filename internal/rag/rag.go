@@ -11,7 +11,9 @@ import (
 	"fisql/internal/dataset"
 )
 
-// Store is an immutable TF-IDF index over demonstrations.
+// Store is an immutable TF-IDF index over demonstrations. It is safe for
+// concurrent use: the index is built once by NewStore and Search touches
+// only per-call state.
 type Store struct {
 	demos []dataset.Demo
 	vecs  []map[string]float64
@@ -124,8 +126,11 @@ type Result struct {
 
 // Search returns the top-k demonstrations for the query, restricted to the
 // given database (empty db means no restriction). Ties break by pool order
-// for determinism.
+// for determinism. k <= 0 returns nil.
 func (s *Store) Search(query, db string, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
 	qv := s.vector(Tokenize(query))
 	var hits []Result
 	for i, d := range s.demos {

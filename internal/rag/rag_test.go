@@ -155,3 +155,14 @@ func TestLargePoolTopK(t *testing.T) {
 		t.Errorf("k not respected: %d", len(hits))
 	}
 }
+
+// Regression: k <= 0 used to slice with a negative bound (hits[:k]) and
+// panic whenever any demonstration matched the query.
+func TestSearchNonPositiveK(t *testing.T) {
+	s := NewStore(pool())
+	for _, k := range []int{0, -1, -8} {
+		if hits := s.Search("how many singers are there", "", k); hits != nil {
+			t.Errorf("k=%d: want nil, got %d hits", k, len(hits))
+		}
+	}
+}

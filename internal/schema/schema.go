@@ -147,6 +147,9 @@ func (r Ref) String() string {
 // phrase is ambiguous, candidates are kept in priority order: the first is
 // what a naive linker picks. Closed-domain traps are built by registering
 // the *wrong* resolution first.
+//
+// Registration (Add, AddFirst) must happen-before any concurrent use; once
+// built, a Lexicon is read-only and safe for concurrent resolution.
 type Lexicon struct {
 	entries map[string][]Ref
 }

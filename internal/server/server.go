@@ -22,14 +22,23 @@ type SessionFactory interface {
 	Databases() []string
 }
 
+// DefaultMaxSessions caps the session map of a server built without an
+// explicit WithMaxSessions: a long-running server must not grow its session
+// state without bound.
+const DefaultMaxSessions = 10000
+
 // Server is the HTTP handler. Create with New.
 type Server struct {
-	mux     *http.ServeMux
-	systems map[string]SessionFactory
+	mux         *http.ServeMux
+	systems     map[string]SessionFactory
+	maxSessions int
 
 	mu       sync.Mutex
 	nextID   int
 	sessions map[string]*session
+	// order lists live session ids oldest-first, driving eviction when the
+	// cap is reached.
+	order []string
 }
 
 type session struct {
@@ -38,15 +47,29 @@ type session struct {
 	db   string
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxSessions caps the number of live sessions; creating one past the
+// cap evicts the oldest. n <= 0 means unlimited.
+func WithMaxSessions(n int) Option {
+	return func(s *Server) { s.maxSessions = n }
+}
+
 // New builds the server over named corpora.
-func New(systems map[string]SessionFactory) *Server {
+func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	s := &Server{
-		systems:  systems,
-		sessions: make(map[string]*session),
+		systems:     systems,
+		sessions:    make(map[string]*session),
+		maxSessions: DefaultMaxSessions,
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/databases", s.handleDatabases)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/ask", s.handleAsk)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
@@ -109,11 +132,38 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	for s.maxSessions > 0 && len(s.sessions) >= s.maxSessions && len(s.order) > 0 {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.sessions, oldest)
+	}
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
 	s.sessions[id] = &session{sess: sys.NewSession(req.DB), db: req.DB}
+	s.order = append(s.order, id)
 	s.mu.Unlock()
 	writeJSON(w, map[string]any{"session_id": id, "db": req.DB})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		for i, sid := range s.order {
+			if sid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return
+	}
+	writeJSON(w, map[string]any{"session_id": id, "deleted": true})
 }
 
 func (s *Server) session(r *http.Request) (*session, error) {
@@ -217,9 +267,15 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	defer sess.mu.Unlock()
 	var hl *feedback.Highlight
 	if req.Highlight != "" {
-		if idx := strings.Index(sess.sess.SQL(), req.Highlight); idx >= 0 {
-			hl = &feedback.Highlight{Start: idx, End: idx + len(req.Highlight), Text: req.Highlight}
+		idx := strings.Index(sess.sess.SQL(), req.Highlight)
+		if idx < 0 {
+			// Silently dropping the highlight would let the client believe
+			// its grounding was used; tell it the span does not occur.
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("highlight %q does not occur in the current SQL", req.Highlight))
+			return
 		}
+		hl = &feedback.Highlight{Start: idx, End: idx + len(req.Highlight), Text: req.Highlight}
 	}
 	ans, err := sess.sess.Feedback(r.Context(), req.Text, hl)
 	if err != nil {

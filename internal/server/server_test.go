@@ -38,12 +38,13 @@ func (f *testFactory) Databases() []string {
 }
 
 var (
-	srvOnce sync.Once
-	srvTS   *httptest.Server
-	srvErr  error
+	srvOnce    sync.Once
+	srvFactory *testFactory
+	srvTS      *httptest.Server
+	srvErr     error
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func factory(t *testing.T) *testFactory {
 	t.Helper()
 	srvOnce.Do(func() {
 		ds, err := aep.Build()
@@ -51,12 +52,18 @@ func testServer(t *testing.T) *httptest.Server {
 			srvErr = err
 			return
 		}
-		f := &testFactory{ds: ds, sim: llm.NewSim(ds), store: rag.NewStore(ds.Demos)}
-		srvTS = httptest.NewServer(New(map[string]SessionFactory{"aep": f}))
+		srvFactory = &testFactory{ds: ds, sim: llm.NewSim(ds), store: rag.NewStore(ds.Demos)}
+		srvTS = httptest.NewServer(New(map[string]SessionFactory{"aep": srvFactory}))
 	})
 	if srvErr != nil {
 		t.Fatal(srvErr)
 	}
+	return srvFactory
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	factory(t)
 	return srvTS
 }
 
@@ -193,5 +200,87 @@ func TestHighlightParameter(t *testing.T) {
 		"text": "we are in 2024", "highlight": frag})
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("feedback with highlight: %d", resp.StatusCode)
+	}
+}
+
+func TestHighlightNotInSQLRejected(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+	id, _ := created["session_id"].(string)
+	base := ts.URL + "/v1/sessions/" + id
+	_, _ = postJSON(t, base+"/ask", map[string]string{
+		"question": "How many audiences were created in January?"})
+	// Regression: a highlight absent from the current SQL used to be
+	// silently dropped; the client must learn its grounding was ignored.
+	resp, out := postJSON(t, base+"/feedback", map[string]string{
+		"text": "we are in 2024", "highlight": "NO SUCH FRAGMENT"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unmatched highlight: status %d, body %v", resp.StatusCode, out)
+	}
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "highlight") {
+		t.Errorf("error message should mention the highlight: %q", msg)
+	}
+}
+
+func TestDeleteSession(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+	id, _ := created["session_id"].(string)
+	base := ts.URL + "/v1/sessions/" + id
+
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+
+	// The session is gone for every endpoint.
+	resp2, _ := postJSON(t, base+"/ask", map[string]string{"question": "x"})
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("ask after delete: %d", resp2.StatusCode)
+	}
+	// Deleting again 404s.
+	resp3, err := http.DefaultClient.Do(req.Clone(req.Context()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete: %d", resp3.StatusCode)
+	}
+}
+
+// TestSessionCapEvictsOldest checks the -max-sessions bound: the session
+// map never exceeds the cap and the oldest session is evicted first.
+func TestSessionCapEvictsOldest(t *testing.T) {
+	f := factory(t)
+	ts := httptest.NewServer(New(map[string]SessionFactory{"aep": f}, WithMaxSessions(2)))
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+		id, _ := created["session_id"].(string)
+		if id == "" {
+			t.Fatalf("create %d failed: %v", i, created)
+		}
+		ids = append(ids, id)
+	}
+	// Session 0 was evicted by session 2; sessions 1 and 2 survive.
+	resp, _ := postJSON(t, ts.URL+"/v1/sessions/"+ids[0]+"/ask", map[string]string{"question": "x"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest should be evicted: %d", resp.StatusCode)
+	}
+	for _, id := range ids[1:] {
+		resp, _ := postJSON(t, ts.URL+"/v1/sessions/"+id+"/ask", map[string]string{
+			"question": "How many audiences were created in January?"})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("session %s should survive: %d", id, resp.StatusCode)
+		}
 	}
 }
