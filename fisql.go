@@ -61,6 +61,8 @@ type (
 	Highlight = feedback.Highlight
 	// Result is an executed query's result set.
 	Result = engine.Result
+	// Cache is a shared parse+plan cache for repeated query execution.
+	Cache = engine.Cache
 	// Accuracy is a correct/total tally.
 	Accuracy = eval.Accuracy
 	// CorrectionResult is a method's multi-round correction outcome.
@@ -74,6 +76,11 @@ type System struct {
 	Store  *rag.Store
 	// K is the number of retrieved demonstrations per prompt.
 	K int
+	// Cache is the system-wide parse+plan cache. Every Assistant (and thus
+	// every session, including the server's) shares it, so concurrent users
+	// asking the same questions — or one user iterating on feedback — reuse
+	// each query's plan. Safe for concurrent use.
+	Cache *Cache
 }
 
 // Options configures a session's correction method.
@@ -112,12 +119,14 @@ func NewExperiencePlatformSystem() (*System, error) {
 // NewSystem assembles a system from a corpus and any Client (use a real API
 // client in production, llm.NewSim for the offline benchmarks).
 func NewSystem(ds *Dataset, client Client) *System {
-	return &System{DS: ds, Client: client, Store: rag.NewStore(ds.Demos), K: 8}
+	return &System{DS: ds, Client: client, Store: rag.NewStore(ds.Demos), K: 8,
+		Cache: engine.NewCache(0)}
 }
 
-// Assistant returns the retrieval-augmented assistant over this system.
+// Assistant returns the retrieval-augmented assistant over this system,
+// sharing the system-wide plan cache.
 func (s *System) Assistant() *Assistant {
-	return &assistant.Assistant{Client: s.Client, DS: s.DS, Store: s.Store, K: s.K}
+	return &assistant.Assistant{Client: s.Client, DS: s.DS, Store: s.Store, K: s.K, Cache: s.Cache}
 }
 
 // FISQL returns the feedback-incorporation pipeline with the given options.

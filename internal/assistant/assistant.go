@@ -21,8 +21,8 @@ import (
 
 // Assistant wires the NL2SQL model, the retrieval store and the execution
 // engine together. An Assistant is safe for concurrent use as long as its
-// Client is: its own fields are read-only configuration and every call
-// creates its own engine.Executor.
+// Client is: its own fields are read-only configuration, every call creates
+// its own engine.Executor, and the Cache is itself concurrency-safe.
 type Assistant struct {
 	Client llm.Client
 	DS     *dataset.Dataset
@@ -30,6 +30,10 @@ type Assistant struct {
 	// K is the number of retrieved demonstrations (0 disables retrieval,
 	// yielding the zero-shot prompt of Figure 1).
 	K int
+	// Cache, when set, serves parsed+planned queries so repeated Answer
+	// calls on the same SQL (feedback rounds, concurrent sessions) skip the
+	// parse and planning passes. Nil falls back to uncached interpretation.
+	Cache *engine.Cache
 }
 
 // Answer is the Assistant's response to one question.
@@ -75,13 +79,28 @@ func (a *Assistant) GenerateSQL(ctx context.Context, db, question string) (strin
 	return strings.TrimSpace(resp.Text), nil
 }
 
-// Answer executes the SQL and assembles the four user-facing outputs.
+// Answer executes the SQL and assembles the four user-facing outputs. With
+// a Cache configured, the parse and plan are served from it and only
+// execution runs per call.
 func (a *Assistant) Answer(db, sql string) *Answer {
 	ans := &Answer{SQL: sql}
-	sel, err := sqlparse.ParseSelect(sql)
-	if err != nil {
-		ans.ExecErr = err
-		return ans
+	dbase := a.DS.DBs[db]
+	var sel *sqlast.SelectStmt
+	var plan *engine.Plan
+	if a.Cache != nil {
+		p, err := a.Cache.Plan(dbase, sql)
+		if err != nil {
+			ans.ExecErr = err
+			return ans
+		}
+		plan, sel = p, p.Stmt
+	} else {
+		s, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			ans.ExecErr = err
+			return ans
+		}
+		sel = s
 	}
 	ans.Reformulation = Reformulate(sel)
 	ans.Explanation = Explain(sel)
@@ -90,8 +109,14 @@ func (a *Assistant) Answer(db, sql string) *Answer {
 	if printed == sql {
 		ans.Spans = spans
 	}
-	ex := engine.NewExecutor(a.DS.DBs[db])
-	res, err := ex.Select(sel)
+	ex := engine.NewExecutor(dbase)
+	var res *engine.Result
+	var err error
+	if plan != nil {
+		res, err = ex.Run(plan)
+	} else {
+		res, err = ex.Select(sel)
+	}
 	if err != nil {
 		ans.ExecErr = err
 		return ans

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity bounds a Cache built with NewCache(0). The evaluation
+// harness replays a few thousand distinct (gold, candidate) queries per
+// corpus, so this holds a full experiment's working set without growing
+// without bound under adversarial traffic.
+const DefaultCacheCapacity = 4096
+
+// Cache is a bounded, mutex-guarded parse+plan cache keyed by (database,
+// SQL text). It removes the dominant repeated work of the evaluation loop —
+// correction experiments re-execute the same gold and candidate queries
+// across feedback rounds — by parsing and planning each distinct query once.
+//
+// Thread-safety contract: the Cache itself is safe for concurrent use from
+// any number of goroutines, and the *Plan values it returns are immutable
+// and shared. Executors are NOT concurrency-safe — each goroutine must run
+// plans on its own Executor (Cache.Query does this for you).
+//
+// Keying and invalidation: databases are immutable after load, so the key
+// uses *Database pointer identity — there is no invalidation protocol;
+// loading a new Database yields new keys and old entries age out via LRU
+// eviction. Parse and plan errors are cached too (negative caching): the
+// harness re-submits known-bad candidate SQL on every feedback round, and
+// re-discovering the same error is as wasteful as re-planning a good query.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	db  *Database
+	sql string
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	plan *Plan
+	err  error
+}
+
+// NewCache builds an empty cache holding at most capacity entries;
+// capacity <= 0 means DefaultCacheCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+	}
+}
+
+// Plan returns the plan (or remembered error) for sql against db, preparing
+// and inserting it on a miss.
+func (c *Cache) Plan(db *Database, sql string) (*Plan, error) {
+	k := cacheKey{db: db, sql: sql}
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return e.plan, e.err
+	}
+	c.mu.Unlock()
+
+	// Prepare outside the lock: planning is deterministic, so two goroutines
+	// racing on the same miss just duplicate some work; the first insert wins
+	// and both return equivalent results.
+	p, err := Prepare(db, sql)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		return e.plan, e.err
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, plan: p, err: err})
+	for c.ll.Len() > c.capacity {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.entries, old.Value.(*cacheEntry).key)
+	}
+	return p, err
+}
+
+// Query plans sql via the cache and executes it on a fresh per-call
+// Executor, making it safe to call concurrently.
+func (c *Cache) Query(db *Database, sql string) (*Result, error) {
+	p, err := c.Plan(db, sql)
+	if err != nil {
+		return nil, err
+	}
+	return NewExecutor(db).Run(p)
+}
+
+// Len reports the number of cached entries (hits and remembered errors).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -7,19 +7,27 @@ import (
 	"strings"
 
 	"fisql/internal/sqlast"
-	"fisql/internal/sqlparse"
 )
 
 // Executor runs SELECT statements against one database. An Executor is not
 // safe for concurrent use; they are cheap, so create one per goroutine.
 type Executor struct {
 	db *Database
-	// maxRows caps intermediate join sizes to guard against accidental
-	// cartesian blowups from generated queries.
+	// maxRows caps base-table scans, subquery materialization and
+	// intermediate join sizes to guard against accidental cartesian blowups
+	// from generated queries.
 	maxRows int
 	// lastProjected holds the projection context of the most recent
 	// execCore call, consumed immediately by orderRows.
 	lastProjected []projected
+	// plan, when set, supplies resolved column slots so eval can index
+	// binding values directly instead of scanning names per row.
+	plan *Plan
+	// noHashJoin forces the nested-loop join path; see SetHashJoin.
+	noHashJoin bool
+	// likePatterns memoizes lowercased LIKE patterns so the per-row match
+	// does not re-lower the pattern for every candidate row.
+	likePatterns map[string]string
 }
 
 // NewExecutor returns an executor over db.
@@ -27,16 +35,40 @@ func NewExecutor(db *Database) *Executor {
 	return &Executor{db: db, maxRows: 2_000_000}
 }
 
-// Query parses and executes a SELECT given as text.
+// SetHashJoin toggles the hash equi-join fast path (on by default). The
+// nested-loop path is semantically identical; the knob exists so
+// differential tests and benchmarks can pin one side.
+func (ex *Executor) SetHashJoin(on bool) { ex.noHashJoin = !on }
+
+// Query parses, plans and executes a SELECT given as text. Use a shared
+// Cache to amortize the parse+plan work across repeated queries.
 func (ex *Executor) Query(sql string) (*Result, error) {
-	sel, err := sqlparse.ParseSelect(sql)
+	p, err := Prepare(ex.db, sql)
 	if err != nil {
 		return nil, err
 	}
-	return ex.Select(sel)
+	return ex.Run(p)
 }
 
-// Select executes a parsed SELECT.
+// Run executes a prepared plan. The plan must have been prepared against the
+// executor's database.
+func (ex *Executor) Run(p *Plan) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("nil plan")
+	}
+	if p.db != ex.db {
+		return nil, fmt.Errorf("plan prepared against a different database")
+	}
+	prev := ex.plan
+	ex.plan = p
+	defer func() { ex.plan = prev }()
+	return ex.execSelect(p.Stmt, nil)
+}
+
+// Select executes a parsed SELECT without a planning pass: every column
+// reference resolves through the dynamic per-row lookup. This is the
+// reference interpreter the differential tests compare planned execution
+// against; production paths should prefer Query/Run.
 func (ex *Executor) Select(sel *sqlast.SelectStmt) (*Result, error) {
 	return ex.execSelect(sel, nil)
 }
@@ -101,7 +133,9 @@ func (env *rowEnv) lookup(table, col string) (Value, error) {
 // ----------------------------------------------------------------------------
 // FROM evaluation
 
-// sourceRows materializes one table source as a binding list per row.
+// sourceRows materializes one table source as a binding list per row. Scans
+// and subquery materializations are capped at maxRows so a huge generated
+// base table errors instead of exhausting memory downstream.
 func (ex *Executor) sourceRows(ts sqlast.TableSource, outer *rowEnv) (alias string, cols []string, rows [][]Value, err error) {
 	if ts.Sub != nil {
 		res, err := ex.execSelect(ts.Sub, outer)
@@ -112,6 +146,9 @@ func (ex *Executor) sourceRows(ts sqlast.TableSource, outer *rowEnv) (alias stri
 		if alias == "" {
 			alias = "subquery"
 		}
+		if len(res.Rows) > ex.maxRows {
+			return "", nil, nil, fmt.Errorf("FROM subquery %q exceeds %d rows", alias, ex.maxRows)
+		}
 		return alias, res.Columns, res.Rows, nil
 	}
 	t, ok := ex.db.Table(ts.Name)
@@ -121,6 +158,9 @@ func (ex *Executor) sourceRows(ts sqlast.TableSource, outer *rowEnv) (alias stri
 	alias = strings.ToLower(ts.Alias)
 	if alias == "" {
 		alias = strings.ToLower(ts.Name)
+	}
+	if len(t.Rows) > ex.maxRows {
+		return "", nil, nil, fmt.Errorf("table %q exceeds %d rows", ts.Name, ex.maxRows)
 	}
 	cols = make([]string, len(t.Columns))
 	for i, c := range t.Columns {
@@ -134,61 +174,488 @@ func (ex *Executor) fromRows(from *sqlast.FromClause, outer *rowEnv) ([]*rowEnv,
 	if from == nil {
 		return []*rowEnv{{outer: outer}}, nil
 	}
-	alias, cols, rows, err := ex.sourceRows(from.First, outer)
+	envs, err := ex.baseEnvs(from.First, outer)
 	if err != nil {
 		return nil, err
 	}
-	envs := make([]*rowEnv, 0, len(rows))
-	for _, r := range rows {
-		envs = append(envs, &rowEnv{
-			bindings: []binding{{alias: alias, cols: cols, vals: r}},
-			outer:    outer,
-		})
-	}
-	for _, j := range from.Joins {
+	for i := range from.Joins {
+		j := &from.Joins[i]
 		jAlias, jCols, jRows, err := ex.sourceRows(j.Source, outer)
 		if err != nil {
 			return nil, err
 		}
-		joined := make([]*rowEnv, 0, len(envs))
-		for _, left := range envs {
-			matched := false
-			for _, r := range jRows {
-				cand := &rowEnv{
-					bindings: append(append([]binding{}, left.bindings...),
-						binding{alias: jAlias, cols: jCols, vals: r}),
-					outer: outer,
-				}
-				if j.On != nil {
-					ok, err := ex.evalBool(j.On, cand, nil)
-					if err != nil {
-						return nil, err
-					}
-					if !ok {
-						continue
-					}
-				}
-				matched = true
-				joined = append(joined, cand)
-				if len(joined) > ex.maxRows {
-					return nil, fmt.Errorf("join result exceeds %d rows", ex.maxRows)
-				}
-			}
-			if !matched && j.Type == sqlast.JoinLeft {
-				nulls := make([]Value, len(jCols))
-				for i := range nulls {
-					nulls[i] = Null()
-				}
-				joined = append(joined, &rowEnv{
-					bindings: append(append([]binding{}, left.bindings...),
-						binding{alias: jAlias, cols: jCols, vals: nulls}),
-					outer: outer,
-				})
-			}
+		envs, err = ex.joinRows(envs, j, jAlias, jCols, jRows, outer)
+		if err != nil {
+			return nil, err
 		}
-		envs = joined
 	}
 	return envs, nil
+}
+
+// baseEnvs materializes the first FROM source into row environments. A
+// base-table scan with no outer scope reuses the database's shared scan
+// environments, so the per-query cost is one pointer-slice copy (the slice
+// the WHERE filter compacts in place); everything else bulk-allocates the
+// environments and their single-binding slices in three allocations.
+// Downstream stages never append to an emitted env's bindings (joins copy
+// into a fresh scratch), so the capped one-element slices are safe to share.
+func (ex *Executor) baseEnvs(ts sqlast.TableSource, outer *rowEnv) ([]*rowEnv, error) {
+	if ts.Sub == nil && outer == nil {
+		if t, ok := ex.db.Table(ts.Name); ok {
+			if len(t.Rows) > ex.maxRows {
+				return nil, fmt.Errorf("table %q exceeds %d rows", ts.Name, ex.maxRows)
+			}
+			alias := strings.ToLower(ts.Alias)
+			if alias == "" {
+				alias = strings.ToLower(ts.Name)
+			}
+			shared := ex.db.scanEnvs(t, alias)
+			envs := make([]*rowEnv, len(shared))
+			copy(envs, shared)
+			return envs, nil
+		}
+	}
+	alias, cols, rows, err := ex.sourceRows(ts, outer)
+	if err != nil {
+		return nil, err
+	}
+	envs := make([]*rowEnv, len(rows))
+	envStore := make([]rowEnv, len(rows))
+	bindStore := make([]binding, len(rows))
+	for i, r := range rows {
+		bindStore[i] = binding{alias: alias, cols: cols, vals: r}
+		envStore[i] = rowEnv{bindings: bindStore[i : i+1 : i+1], outer: outer}
+		envs[i] = &envStore[i]
+	}
+	return envs, nil
+}
+
+// joinRows joins the accumulated left side against one new source,
+// dispatching to the hash equi-join when the ON clause qualifies and the
+// nested loop otherwise. Both paths emit rows in identical (left-major,
+// right-source) order, so downstream LIMIT-without-ORDER-BY results and the
+// maxRows error point are the same either way.
+func (ex *Executor) joinRows(envs []*rowEnv, j *sqlast.Join, jAlias string, jCols []string, jRows [][]Value, outer *rowEnv) ([]*rowEnv, error) {
+	if !ex.noHashJoin {
+		if spec, ok := ex.equiJoinSpec(envs, j, jAlias, jCols, jRows); ok {
+			joined, done, err := ex.hashJoin(envs, j, jAlias, jCols, jRows, outer, spec)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return joined, nil
+			}
+		}
+	}
+	return ex.nestedJoin(envs, j, jAlias, jCols, jRows, outer)
+}
+
+// envArena snapshots scratch environments for emitted join rows, handing
+// out rowEnv structs and binding slices from 256-entry blocks so a join
+// emitting k rows costs ~2k/256 heap allocations instead of 2k. The binding
+// structs are copied (column-name and value slices stay shared), and the
+// carved slices are capacity-capped, so emitted environments are as
+// isolated as individually allocated clones.
+type envArena struct {
+	envs  []rowEnv
+	binds []binding
+}
+
+func (a *envArena) clone(src *rowEnv) *rowEnv {
+	if len(a.envs) == 0 {
+		a.envs = make([]rowEnv, 256)
+	}
+	e := &a.envs[0]
+	a.envs = a.envs[1:]
+	need := len(src.bindings)
+	if len(a.binds) < need {
+		a.binds = make([]binding, 256*need)
+	}
+	b := a.binds[:need:need]
+	a.binds = a.binds[need:]
+	copy(b, src.bindings)
+	e.bindings = b
+	e.outer = src.outer
+	return e
+}
+
+// nestedJoin is the O(n·m) join: every (left, right) pair is materialized
+// into a reusable scratch environment and tested against the ON clause; the
+// scratch is cloned only for pairs that survive.
+func (ex *Executor) nestedJoin(envs []*rowEnv, j *sqlast.Join, jAlias string, jCols []string, jRows [][]Value, outer *rowEnv) ([]*rowEnv, error) {
+	joined := make([]*rowEnv, 0, len(envs))
+	var nulls []Value
+	if j.Type == sqlast.JoinLeft {
+		nulls = make([]Value, len(jCols))
+		for i := range nulls {
+			nulls[i] = Null()
+		}
+	}
+	scratch := &rowEnv{outer: outer}
+	var arena envArena
+	for _, left := range envs {
+		nb := len(left.bindings)
+		if cap(scratch.bindings) < nb+1 {
+			scratch.bindings = make([]binding, nb+1)
+		}
+		scratch.bindings = scratch.bindings[:nb+1]
+		copy(scratch.bindings, left.bindings)
+		scratch.bindings[nb] = binding{alias: jAlias, cols: jCols}
+		matched := false
+		for _, r := range jRows {
+			scratch.bindings[nb].vals = r
+			if j.On != nil {
+				ok, err := ex.evalBool(j.On, scratch, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			joined = append(joined, arena.clone(scratch))
+			if len(joined) > ex.maxRows {
+				return nil, fmt.Errorf("join result exceeds %d rows", ex.maxRows)
+			}
+		}
+		if !matched && j.Type == sqlast.JoinLeft {
+			scratch.bindings[nb].vals = nulls
+			joined = append(joined, arena.clone(scratch))
+		}
+	}
+	return joined, nil
+}
+
+// ----------------------------------------------------------------------------
+// Hash equi-join
+//
+// The fast path replaces the nested loop when the ON clause is a conjunction
+// in which (a) one equality compares a column of the accumulated left side
+// with a column of the newly joined source, (b) every conjunct is free of
+// runtime errors by construction (so skipping its evaluation for pairs the
+// hash table filters out cannot suppress an error the nested loop would
+// raise), and (c) the key columns' non-NULL values are all numeric or all
+// text on both sides. Condition (c) matters because Compare's equality is
+// not transitive across types — Text("5") equals Int(5) and Bool(true)
+// equals both Int(1) and Text("true") — so a string hash key is only
+// faithful on a homogeneous domain: numbers hash by their float64 rendering
+// (Compare treats int/float numerically) and text hashes by the exact string
+// (case-insensitive compare plus exact tiebreak makes text equality exact
+// string equality). Anything else bails to the nested loop.
+
+// equiJoinSpec describes one hashable equality conjunct of a JOIN ON plus
+// the remaining (residual) conjuncts evaluated per candidate pair.
+type equiJoinSpec struct {
+	leftBinding int // key column on the accumulated left side...
+	leftCol     int
+	rightCol    int  // ...equated with this column of the new source
+	numeric     bool // key domain: numeric (int/float) vs text
+	residual    []sqlast.Expr
+}
+
+// splitAnd flattens a conjunction into its top-level conjuncts.
+func splitAnd(e sqlast.Expr) []sqlast.Expr {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == sqlast.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+// resolveJoinRef resolves a column reference against the join's two sides
+// using the same rules as rowEnv.lookup (first alias match wins; bare names
+// must be unambiguous). ok=false means the reference is unknown, ambiguous,
+// or belongs to an outer scope — all reasons to keep the nested loop.
+func resolveJoinRef(left []binding, rightAlias string, rightCols []string, table, col string) (onRight bool, bindIdx, colIdx int, ok bool) {
+	if table != "" {
+		want := strings.ToLower(table)
+		for bi := range left {
+			if left[bi].alias != want {
+				continue
+			}
+			for ci, cn := range left[bi].cols {
+				if strings.EqualFold(cn, col) {
+					return false, bi, ci, true
+				}
+			}
+			return false, 0, 0, false // first alias match lacks the column
+		}
+		if rightAlias == want {
+			for ci, cn := range rightCols {
+				if strings.EqualFold(cn, col) {
+					return true, 0, ci, true
+				}
+			}
+		}
+		return false, 0, 0, false
+	}
+	count := 0
+	for bi := range left {
+		for ci, cn := range left[bi].cols {
+			if strings.EqualFold(cn, col) {
+				count++
+				if count == 1 {
+					onRight, bindIdx, colIdx = false, bi, ci
+				}
+			}
+		}
+	}
+	for ci, cn := range rightCols {
+		if strings.EqualFold(cn, col) {
+			count++
+			if count == 1 {
+				onRight, colIdx = true, ci
+			}
+		}
+	}
+	if count != 1 {
+		return false, 0, 0, false
+	}
+	return onRight, bindIdx, colIdx, true
+}
+
+// joinOperandSafe reports whether e evaluates without any possibility of
+// error for every candidate join row: a resolvable column reference or a
+// literal whose text parses.
+func joinOperandSafe(e sqlast.Expr, left []binding, rightAlias string, rightCols []string) bool {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		_, _, _, ok := resolveJoinRef(left, rightAlias, rightCols, x.Table, x.Column)
+		return ok
+	case *sqlast.Literal:
+		if x.Kind != sqlast.LitNumber {
+			return true
+		}
+		// Number literals are re-parsed at eval time and can fail there.
+		var err error
+		if strings.Contains(x.Text, ".") {
+			_, err = strconv.ParseFloat(x.Text, 64)
+		} else {
+			_, err = strconv.ParseInt(x.Text, 10, 64)
+		}
+		return err == nil
+	}
+	return false
+}
+
+// joinConjunctSafe restricts residual conjuncts to comparisons and IS NULL
+// checks over safe operands — forms whose evaluation cannot error, so the
+// hash path skipping them for non-matching pairs is unobservable.
+func joinConjunctSafe(e sqlast.Expr, left []binding, rightAlias string, rightCols []string) bool {
+	switch x := e.(type) {
+	case *sqlast.Binary:
+		switch x.Op {
+		case sqlast.OpEq, sqlast.OpNeq, sqlast.OpLt, sqlast.OpLte, sqlast.OpGt, sqlast.OpGte:
+			return joinOperandSafe(x.L, left, rightAlias, rightCols) &&
+				joinOperandSafe(x.R, left, rightAlias, rightCols)
+		}
+		return false
+	case *sqlast.IsNullExpr:
+		return joinOperandSafe(x.X, left, rightAlias, rightCols)
+	}
+	return false
+}
+
+// equiJoinSpec extracts a hashable equality from the ON clause, or reports
+// that this join must run as a nested loop.
+func (ex *Executor) equiJoinSpec(envs []*rowEnv, j *sqlast.Join, jAlias string, jCols []string, jRows [][]Value) (*equiJoinSpec, bool) {
+	if j.On == nil || len(envs) == 0 {
+		return nil, false
+	}
+	left := envs[0].bindings // all envs share the same binding structure
+	conjs := splitAnd(j.On)
+	for _, c := range conjs {
+		if !joinConjunctSafe(c, left, jAlias, jCols) {
+			return nil, false
+		}
+	}
+	spec := &equiJoinSpec{}
+	keyIdx := -1
+	for i, c := range conjs {
+		b, ok := c.(*sqlast.Binary)
+		if !ok || b.Op != sqlast.OpEq {
+			continue
+		}
+		lref, lok := b.L.(*sqlast.ColumnRef)
+		rref, rok := b.R.(*sqlast.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		lRight, lb, lc, ok1 := resolveJoinRef(left, jAlias, jCols, lref.Table, lref.Column)
+		rRight, rb, rc, ok2 := resolveJoinRef(left, jAlias, jCols, rref.Table, rref.Column)
+		if !ok1 || !ok2 || lRight == rRight {
+			continue // both operands on the same side: not a cross-side key
+		}
+		if lRight {
+			spec.leftBinding, spec.leftCol, spec.rightCol = rb, rc, lc
+		} else {
+			spec.leftBinding, spec.leftCol, spec.rightCol = lb, lc, rc
+		}
+		keyIdx = i
+		break
+	}
+	if keyIdx < 0 {
+		return nil, false
+	}
+	spec.residual = append(conjs[:keyIdx:keyIdx], conjs[keyIdx+1:]...)
+
+	// Verify the key domain is homogeneous (all numeric or all text across
+	// both sides' non-NULL values); Bool or a mixed domain bails out.
+	const (
+		domNone = iota
+		domNum
+		domText
+	)
+	dom := domNone
+	classify := func(v Value) bool {
+		switch v.T {
+		case TypeNull:
+			return true
+		case TypeInt, TypeFloat:
+			if dom == domText {
+				return false
+			}
+			dom = domNum
+			return true
+		case TypeText:
+			if dom == domNum {
+				return false
+			}
+			dom = domText
+			return true
+		}
+		return false // TypeBool equates with both numbers and text
+	}
+	for _, le := range envs {
+		if !classify(le.bindings[spec.leftBinding].vals[spec.leftCol]) {
+			return nil, false
+		}
+	}
+	for _, r := range jRows {
+		if !classify(r[spec.rightCol]) {
+			return nil, false
+		}
+	}
+	spec.numeric = dom == domNum
+	return spec, true
+}
+
+// joinKey renders a join key value for hashing. Numeric keys collapse
+// int/float the way Compare does; -0.0 folds into 0.
+func joinKey(v Value, numeric bool) string {
+	if numeric {
+		f, _ := v.AsFloat()
+		if f == 0 {
+			f = 0
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return v.S
+}
+
+// hashJoin executes the join described by spec, building a hash table on the
+// smaller side. Emission order is left-major regardless of build side: when
+// the left side is the build side, right-row matches are accumulated per
+// left row first. done=false (with nil error) means the accumulation grew
+// past maxRows and the caller should fall back to the nested loop, which
+// owns the exact error-point semantics for pathological joins.
+func (ex *Executor) hashJoin(envs []*rowEnv, j *sqlast.Join, jAlias string, jCols []string, jRows [][]Value, outer *rowEnv, spec *equiJoinSpec) ([]*rowEnv, bool, error) {
+	leftKey := func(le *rowEnv) Value { return le.bindings[spec.leftBinding].vals[spec.leftCol] }
+
+	// probe yields the candidate right-row indices for one left row, in
+	// right-source order. NULL keys never match (Compare-equality with NULL
+	// is unknown), so they are skipped on both sides.
+	var probe func(li int, le *rowEnv) []int
+	if len(jRows) <= len(envs) {
+		ht := make(map[string][]int, len(jRows))
+		for ri, r := range jRows {
+			v := r[spec.rightCol]
+			if v.IsNull() {
+				continue
+			}
+			ht[joinKey(v, spec.numeric)] = append(ht[joinKey(v, spec.numeric)], ri)
+		}
+		probe = func(_ int, le *rowEnv) []int {
+			v := leftKey(le)
+			if v.IsNull() {
+				return nil
+			}
+			return ht[joinKey(v, spec.numeric)]
+		}
+	} else {
+		ht := make(map[string][]int, len(envs))
+		for li, le := range envs {
+			v := leftKey(le)
+			if v.IsNull() {
+				continue
+			}
+			ht[joinKey(v, spec.numeric)] = append(ht[joinKey(v, spec.numeric)], li)
+		}
+		lists := make([][]int, len(envs))
+		total := 0
+		for ri, r := range jRows {
+			v := r[spec.rightCol]
+			if v.IsNull() {
+				continue
+			}
+			for _, li := range ht[joinKey(v, spec.numeric)] {
+				lists[li] = append(lists[li], ri)
+				total++
+				if total > ex.maxRows {
+					return nil, false, nil
+				}
+			}
+		}
+		probe = func(li int, _ *rowEnv) []int { return lists[li] }
+	}
+
+	joined := make([]*rowEnv, 0, len(envs))
+	var nulls []Value
+	if j.Type == sqlast.JoinLeft {
+		nulls = make([]Value, len(jCols))
+		for i := range nulls {
+			nulls[i] = Null()
+		}
+	}
+	scratch := &rowEnv{outer: outer}
+	var arena envArena
+	for li, left := range envs {
+		nb := len(left.bindings)
+		if cap(scratch.bindings) < nb+1 {
+			scratch.bindings = make([]binding, nb+1)
+		}
+		scratch.bindings = scratch.bindings[:nb+1]
+		copy(scratch.bindings, left.bindings)
+		scratch.bindings[nb] = binding{alias: jAlias, cols: jCols}
+		matched := false
+		for _, ri := range probe(li, left) {
+			scratch.bindings[nb].vals = jRows[ri]
+			pass := true
+			for _, c := range spec.residual {
+				ok, err := ex.evalBool(c, scratch, nil)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+			matched = true
+			joined = append(joined, arena.clone(scratch))
+			if len(joined) > ex.maxRows {
+				return nil, false, fmt.Errorf("join result exceeds %d rows", ex.maxRows)
+			}
+		}
+		if !matched && j.Type == sqlast.JoinLeft {
+			scratch.bindings[nb].vals = nulls
+			joined = append(joined, arena.clone(scratch))
+		}
+	}
+	return joined, true, nil
 }
 
 // ----------------------------------------------------------------------------
@@ -211,6 +678,25 @@ func (ex *Executor) evalBool(e sqlast.Expr, env *rowEnv, ctx *evalCtx) (bool, er
 func (ex *Executor) eval(e sqlast.Expr, env *rowEnv, ctx *evalCtx) (Value, error) {
 	switch x := e.(type) {
 	case *sqlast.ColumnRef:
+		// Planned references read their value by slot index; anything the
+		// planner left unresolved (or an env shape the slot does not fit,
+		// e.g. the empty representative env of a global aggregation over no
+		// rows) falls back to the dynamic name scan, which raises the
+		// interpreter's errors at the interpreter's moments.
+		if ex.plan != nil {
+			if slot, ok := ex.plan.cols[x]; ok {
+				e := env
+				for d := 0; d < slot.depth && e != nil; d++ {
+					e = e.outer
+				}
+				if e != nil && slot.binding < len(e.bindings) {
+					b := &e.bindings[slot.binding]
+					if slot.col < len(b.vals) {
+						return b.vals[slot.col], nil
+					}
+				}
+			}
+		}
 		return env.lookup(x.Table, x.Column)
 	case *sqlast.Literal:
 		switch x.Kind {
@@ -297,7 +783,7 @@ func (ex *Executor) eval(e sqlast.Expr, env *rowEnv, ctx *evalCtx) (Value, error
 		if v.IsNull() || pat.IsNull() {
 			return Null(), nil
 		}
-		m := likeMatch(v.String(), pat.String())
+		m := ex.like(v.String(), pat.String())
 		if x.Not {
 			m = !m
 		}
@@ -474,10 +960,12 @@ func (ex *Executor) evalIn(x *sqlast.InExpr, env *rowEnv, ctx *evalCtx) (Value, 
 		if len(res.Columns) != 1 {
 			return Value{}, fmt.Errorf("IN subquery returned %d columns", len(res.Columns))
 		}
+		candidates = make([]Value, 0, len(res.Rows))
 		for _, row := range res.Rows {
 			candidates = append(candidates, row[0])
 		}
 	} else {
+		candidates = make([]Value, 0, len(x.List))
 		for _, le := range x.List {
 			c, err := ex.eval(le, env, ctx)
 			if err != nil {
@@ -503,28 +991,51 @@ func (ex *Executor) evalIn(x *sqlast.InExpr, env *rowEnv, ctx *evalCtx) (Value, 
 	return Bool(x.Not), nil
 }
 
-// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively.
-func likeMatch(s, pattern string) bool {
-	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+// like matches s against a LIKE pattern, memoizing the lowered pattern so a
+// WHERE ... LIKE 'literal' lowers the pattern once per query, not per row.
+func (ex *Executor) like(s, pattern string) bool {
+	lp, ok := ex.likePatterns[pattern]
+	if !ok {
+		if ex.likePatterns == nil || len(ex.likePatterns) >= 256 {
+			ex.likePatterns = make(map[string]string)
+		}
+		lp = strings.ToLower(pattern)
+		ex.likePatterns[pattern] = lp
+	}
+	return likeMatchLower(strings.ToLower(s), lp)
 }
 
-func likeRec(s, p string) bool {
-	if p == "" {
-		return s == ""
-	}
-	switch p[0] {
-	case '%':
-		for i := 0; i <= len(s); i++ {
-			if likeRec(s[i:], p[1:]) {
-				return true
-			}
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively.
+func likeMatch(s, pattern string) bool {
+	return likeMatchLower(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+// likeMatchLower is an iterative two-pointer matcher over pre-lowered
+// inputs: O(len(s)·len(p)) worst case. On a mismatch it backtracks to the
+// most recent '%' and retries with that wildcard consuming one more byte,
+// instead of the exponential recursion a naive matcher does on patterns
+// like %a%a%a%...
+func likeMatchLower(s, p string) bool {
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		if pi < len(p) && (p[pi] == '_' || p[pi] == s[si]) {
+			si++
+			pi++
+		} else if pi < len(p) && p[pi] == '%' {
+			starP, starS = pi, si
+			pi++
+		} else if starP >= 0 {
+			starS++
+			si, pi = starS, starP+1
+		} else {
+			return false
 		}
-		return false
-	case '_':
-		return s != "" && likeRec(s[1:], p[1:])
-	default:
-		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
 	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
 }
 
 // ----------------------------------------------------------------------------
@@ -644,8 +1155,19 @@ func (ex *Executor) evalAggregate(x *sqlast.FuncCall, group []*rowEnv) (Value, e
 	if len(x.Args) != 1 {
 		return Value{}, fmt.Errorf("%s takes 1 argument", x.Name)
 	}
-	var vals []Value
-	seen := map[string]bool{}
+	// One streaming pass: the argument is evaluated for every row (so
+	// argument-evaluation errors surface exactly as before) and folded into
+	// the running aggregate without materializing a value slice. The
+	// SUM/AVG non-numeric error is deferred until after the loop because
+	// the two-pass version it replaces reported evaluation errors from
+	// later rows ahead of it.
+	var seen map[string]bool
+	var kb []byte
+	n := 0
+	sum := 0.0
+	allInt := true
+	badNumeric := false
+	var best Value
 	for _, env := range group {
 		v, err := ex.eval(x.Args[0], env, nil)
 		if err != nil {
@@ -655,50 +1177,57 @@ func (ex *Executor) evalAggregate(x *sqlast.FuncCall, group []*rowEnv) (Value, e
 			continue
 		}
 		if x.Distinct {
-			k := v.Key()
-			if seen[k] {
+			if seen == nil {
+				seen = map[string]bool{}
+			}
+			kb = v.appendKey(kb[:0])
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 		}
-		vals = append(vals, v)
-	}
-	switch x.Name {
-	case "COUNT":
-		return Int(int64(len(vals))), nil
-	case "SUM", "AVG":
-		if len(vals) == 0 {
-			return Null(), nil
-		}
-		sum := 0.0
-		allInt := true
-		for _, v := range vals {
+		n++
+		switch x.Name {
+		case "SUM", "AVG":
 			f, ok := v.AsFloat()
 			if !ok {
-				return Value{}, fmt.Errorf("%s of non-numeric value", x.Name)
+				badNumeric = true
+				continue
 			}
 			if v.T != TypeInt {
 				allInt = false
 			}
-			sum += f
+			if !badNumeric {
+				sum += f
+			}
+		case "MIN", "MAX":
+			if n == 1 {
+				best = v
+			} else if c := Compare(v, best); (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+	}
+	switch x.Name {
+	case "COUNT":
+		return Int(int64(n)), nil
+	case "SUM", "AVG":
+		if badNumeric {
+			return Value{}, fmt.Errorf("%s of non-numeric value", x.Name)
+		}
+		if n == 0 {
+			return Null(), nil
 		}
 		if x.Name == "AVG" {
-			return Float(sum / float64(len(vals))), nil
+			return Float(sum / float64(n)), nil
 		}
 		if allInt {
 			return Int(int64(sum)), nil
 		}
 		return Float(sum), nil
 	case "MIN", "MAX":
-		if len(vals) == 0 {
+		if n == 0 {
 			return Null(), nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c := Compare(v, best)
-			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
-				best = v
-			}
 		}
 		return best, nil
 	}
@@ -773,24 +1302,28 @@ func combineSetOp(op sqlast.SetOp, a, b [][]Value) [][]Value {
 		return append(a, b...)
 	case sqlast.SetIntersect:
 		keys := map[string]bool{}
+		var kb []byte
 		for _, r := range b {
 			keys[rowKey(r)] = true
 		}
 		var out [][]Value
 		for _, r := range a {
-			if keys[rowKey(r)] {
+			kb = rowKeyAppend(kb[:0], r)
+			if keys[string(kb)] {
 				out = append(out, r)
 			}
 		}
 		return out
 	case sqlast.SetExcept:
 		keys := map[string]bool{}
+		var kb []byte
 		for _, r := range b {
 			keys[rowKey(r)] = true
 		}
 		var out [][]Value
 		for _, r := range a {
-			if !keys[rowKey(r)] {
+			kb = rowKeyAppend(kb[:0], r)
+			if !keys[string(kb)] {
 				out = append(out, r)
 			}
 		}
@@ -800,14 +1333,15 @@ func combineSetOp(op sqlast.SetOp, a, b [][]Value) [][]Value {
 }
 
 func dedupeRows(rows [][]Value) [][]Value {
-	seen := map[string]bool{}
+	seen := make(map[string]bool, len(rows))
 	out := rows[:0]
+	var kb []byte
 	for _, r := range rows {
-		k := rowKey(r)
-		if seen[k] {
+		kb = rowKeyAppend(kb[:0], r)
+		if seen[string(kb)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(kb)] = true
 		out = append(out, r)
 	}
 	return out
@@ -842,16 +1376,38 @@ func (ex *Executor) orderRows(sel *sqlast.SelectStmt, res *Result) error {
 		// Set operations changed the row set; order on output columns only.
 		projRows = nil
 	}
+	// Hoist the row-independent work out of the per-row loop: the parsed
+	// ordinal, the bare-column form, and the printed expressions compared
+	// against printed select items are the same for every row.
+	specs := make([]orderSpec, len(sel.OrderBy))
+	for k, ob := range sel.OrderBy {
+		specs[k] = orderSpec{expr: ob.Expr, want: sqlast.PrintExpr(ob.Expr)}
+		if lit, ok := ob.Expr.(*sqlast.Literal); ok && lit.Kind == sqlast.LitNumber {
+			if n, err := strconv.Atoi(lit.Text); err == nil {
+				specs[k].ord, specs[k].hasOrd = n, true
+			}
+		}
+		if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
+			specs[k].cr = cr
+		}
+	}
+	itemPrints := make([]string, len(sel.Items))
+	for j, it := range sel.Items {
+		if it.Expr != nil {
+			itemPrints[j] = sqlast.PrintExpr(it.Expr)
+		}
+	}
 	type sortRow struct {
 		row  []Value
 		keys []Value
 	}
 	rows := make([]sortRow, len(res.Rows))
+	keyStore := make([]Value, len(res.Rows)*len(sel.OrderBy))
 	for i, r := range res.Rows {
 		rows[i].row = r
-		rows[i].keys = make([]Value, len(sel.OrderBy))
-		for k, ob := range sel.OrderBy {
-			v, err := ex.orderKey(ob.Expr, sel, res, r, projRows, i)
+		rows[i].keys = keyStore[i*len(sel.OrderBy) : (i+1)*len(sel.OrderBy)]
+		for k := range sel.OrderBy {
+			v, err := ex.orderKey(&specs[k], sel, res, itemPrints, r, projRows, i)
 			if err != nil {
 				return err
 			}
@@ -876,27 +1432,32 @@ func (ex *Executor) orderRows(sel *sqlast.SelectStmt, res *Result) error {
 	return nil
 }
 
+// orderSpec carries the row-independent pieces of one ORDER BY key.
+type orderSpec struct {
+	expr   sqlast.Expr
+	ord    int // parsed ordinal literal (ORDER BY 2), valid when hasOrd
+	hasOrd bool
+	cr     *sqlast.ColumnRef // unqualified column/alias reference, if any
+	want   string            // printed expression for select-item matching
+}
+
 // orderKey evaluates one ORDER BY key for row i.
-func (ex *Executor) orderKey(e sqlast.Expr, sel *sqlast.SelectStmt, res *Result, row []Value, projRows []projected, i int) (Value, error) {
+func (ex *Executor) orderKey(sp *orderSpec, sel *sqlast.SelectStmt, res *Result, itemPrints []string, row []Value, projRows []projected, i int) (Value, error) {
 	// Ordinal: ORDER BY 2.
-	if lit, ok := e.(*sqlast.Literal); ok && lit.Kind == sqlast.LitNumber {
-		n, err := strconv.Atoi(lit.Text)
-		if err == nil && n >= 1 && n <= len(row) {
-			return row[n-1], nil
-		}
+	if sp.hasOrd && sp.ord >= 1 && sp.ord <= len(row) {
+		return row[sp.ord-1], nil
 	}
 	// Output column / alias match.
-	if cr, ok := e.(*sqlast.ColumnRef); ok && cr.Table == "" {
+	if sp.cr != nil {
 		for j, c := range res.Columns {
-			if strings.EqualFold(c, cr.Column) {
+			if strings.EqualFold(c, sp.cr.Column) {
 				return row[j], nil
 			}
 		}
 	}
 	// Expression match against a select item (e.g. ORDER BY COUNT(*)).
-	want := sqlast.PrintExpr(e)
 	for j, it := range sel.Items {
-		if it.Expr != nil && sqlast.PrintExpr(it.Expr) == want && j < len(row) {
+		if it.Expr != nil && itemPrints[j] == sp.want && j < len(row) {
 			return row[j], nil
 		}
 	}
@@ -907,9 +1468,9 @@ func (ex *Executor) orderKey(e sqlast.Expr, sel *sqlast.SelectStmt, res *Result,
 		if p.group != nil {
 			ctx = &evalCtx{group: p.group}
 		}
-		return ex.eval(e, p.env, ctx)
+		return ex.eval(sp.expr, p.env, ctx)
 	}
-	return Value{}, fmt.Errorf("cannot resolve ORDER BY expression %s", want)
+	return Value{}, fmt.Errorf("cannot resolve ORDER BY expression %s", sp.want)
 }
 
 // project evaluates FROM/WHERE/GROUP BY/HAVING and the select list.
@@ -977,6 +1538,7 @@ func (ex *Executor) project(sel *sqlast.SelectStmt, outer *rowEnv) ([]projected,
 			out = append(out, projected{row: row, env: rep, group: group})
 		}
 	} else {
+		out = make([]projected, 0, len(envs))
 		for _, env := range envs {
 			row, err := ex.projectRow(sel, env, nil)
 			if err != nil {
@@ -987,14 +1549,15 @@ func (ex *Executor) project(sel *sqlast.SelectStmt, outer *rowEnv) ([]projected,
 	}
 
 	if sel.Distinct {
-		seen := map[string]bool{}
+		seen := make(map[string]bool, len(out))
 		kept := out[:0]
+		var kb []byte
 		for _, p := range out {
-			k := rowKey(p.row)
-			if seen[k] {
+			kb = rowKeyAppend(kb[:0], p.row)
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 			kept = append(kept, p)
 		}
 		out = kept
@@ -1016,21 +1579,21 @@ func (ex *Executor) groupRows(sel *sqlast.SelectStmt, envs []*rowEnv) ([][]*rowE
 	index := map[string]int{}
 	var groups [][]*rowEnv
 	var reps []*rowEnv
+	var kb []byte
 	for _, env := range envs {
-		var kb strings.Builder
+		kb = kb[:0]
 		for _, g := range sel.GroupBy {
 			v, err := ex.eval(g, env, nil)
 			if err != nil {
 				return nil, nil, err
 			}
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x1f')
+			kb = v.appendKey(kb)
+			kb = append(kb, '\x1f')
 		}
-		k := kb.String()
-		gi, ok := index[k]
+		gi, ok := index[string(kb)]
 		if !ok {
 			gi = len(groups)
-			index[k] = gi
+			index[string(kb)] = gi
 			groups = append(groups, nil)
 			reps = append(reps, env)
 		}
@@ -1041,7 +1604,7 @@ func (ex *Executor) groupRows(sel *sqlast.SelectStmt, envs []*rowEnv) ([][]*rowE
 
 // projectRow evaluates the select list for one row/group.
 func (ex *Executor) projectRow(sel *sqlast.SelectStmt, env *rowEnv, ctx *evalCtx) ([]Value, error) {
-	var row []Value
+	row := make([]Value, 0, len(sel.Items))
 	for _, it := range sel.Items {
 		switch {
 		case it.Star:

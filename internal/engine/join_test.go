@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fisql/internal/sqlparse"
+)
+
+// joinDB builds a fixture with NULL keys, duplicate keys and mixed-type
+// keys for the hash-join edge cases.
+func joinDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("join_edge")
+	script := `
+CREATE TABLE l (id INT, tag TEXT);
+INSERT INTO l VALUES (1, 'a'), (2, 'b'), (NULL, 'c'), (2, 'd'), (5, 'e');
+CREATE TABLE r (id INT, val TEXT);
+INSERT INTO r VALUES (2, 'x'), (NULL, 'y'), (2, 'z'), (9, 'w'), (1, 'v');
+CREATE TABLE mixed (k TEXT, note TEXT);
+INSERT INTO mixed VALUES ('2', 'two'), ('true', 'yes'), ('5', 'five');
+`
+	if err := db.LoadScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// assertHashNestedAgree runs sql with the hash path enabled and disabled and
+// requires byte-identical formatted results (row order included).
+func assertHashNestedAgree(t *testing.T, db *Database, sql string) *Result {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	nested := NewExecutor(db)
+	nested.SetHashJoin(false)
+	nRes, nErr := nested.Select(sel)
+	hRes, hErr := NewExecutor(db).Select(sel)
+	if (nErr == nil) != (hErr == nil) || (nErr != nil && nErr.Error() != hErr.Error()) {
+		t.Fatalf("query %q: nested err %v, hash err %v", sql, nErr, hErr)
+	}
+	if nErr != nil {
+		return nil
+	}
+	if nRes.Format() != hRes.Format() {
+		t.Fatalf("query %q:\nnested:\n%s\nhash:\n%s", sql, nRes.Format(), hRes.Format())
+	}
+	return hRes
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	db := joinDB(t)
+	res := assertHashNestedAgree(t, db, "SELECT l.tag, r.val FROM l JOIN r ON l.id = r.id")
+	// l NULL row and r NULL row must both be absent: 1-v, plus 2-{x,z} for
+	// each of the two left id=2 rows.
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 6 rows (NULL keys dropped), got %d:\n%s", len(res.Rows), res.Format())
+	}
+	for _, row := range res.Rows {
+		if row[0].String() == "c" || row[1].String() == "y" {
+			t.Fatalf("NULL-keyed row matched: %s", res.Format())
+		}
+	}
+}
+
+func TestHashJoinLeftJoinNullExtension(t *testing.T) {
+	db := joinDB(t)
+	res := assertHashNestedAgree(t, db, "SELECT l.tag, r.val FROM l LEFT JOIN r ON l.id = r.id")
+	// Unmatched left rows (id NULL and id 5) null-extend, in left order.
+	if len(res.Rows) != 7 {
+		t.Fatalf("expected 8 rows, got %d:\n%s", len(res.Rows), res.Format())
+	}
+	nulls := 0
+	for _, row := range res.Rows {
+		if row[1].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Fatalf("expected 2 null-extended rows, got %d:\n%s", nulls, res.Format())
+	}
+}
+
+func TestHashJoinDuplicateKeys(t *testing.T) {
+	db := joinDB(t)
+	// Two left id=2 rows each match two right id=2 rows.
+	res := assertHashNestedAgree(t, db, "SELECT l.tag, r.val FROM l JOIN r ON l.id = r.id WHERE l.id = 2")
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 rows from the 2x2 duplicate keys, got %d", len(res.Rows))
+	}
+}
+
+// TestHashJoinMixedTypeDomainFallsBack: Compare treats Text("5") equal to
+// Int(5), which a string-keyed hash table cannot reproduce. The executor
+// must detect the mixed domain and take the nested loop, keeping results
+// identical.
+func TestHashJoinMixedTypeDomainFallsBack(t *testing.T) {
+	db := joinDB(t)
+	res := assertHashNestedAgree(t, db, "SELECT l.tag, mixed.note FROM l JOIN mixed ON l.id = mixed.k")
+	// Int 2 (twice), 2 and 5 compare equal to Text '2' and '5'.
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 cross-type matches, got %d:\n%s", len(res.Rows), res.Format())
+	}
+}
+
+// TestHashJoinAliasShadowing: the inner query joins under an alias that also
+// exists in the outer scope; the join key must resolve to the inner binding.
+func TestHashJoinAliasShadowing(t *testing.T) {
+	db := testDB(t)
+	queries := []string{
+		// Inner s shadows outer s inside the EXISTS join.
+		"SELECT s.name FROM singer AS s WHERE EXISTS (SELECT 1 FROM concert AS s JOIN singer_in_concert AS sc ON s.concert_id = sc.concert_id WHERE sc.singer_id = 3)",
+		// Correlated reference from the ON clause to the outer row keeps the
+		// nested loop (the key is not a two-sided column equality).
+		"SELECT s.name FROM singer AS s WHERE EXISTS (SELECT 1 FROM singer_in_concert AS sc JOIN concert AS c ON c.concert_id = sc.concert_id AND sc.singer_id = s.id)",
+	}
+	for _, q := range queries {
+		assertHashNestedAgree(t, db, q)
+	}
+}
+
+func TestHashJoinPreservesRowOrderUnderLimit(t *testing.T) {
+	db := testDB(t)
+	// No ORDER BY: LIMIT keeps the first rows in join emission order, which
+	// must be identical on both paths.
+	assertHashNestedAgree(t, db,
+		"SELECT s.name, sc.concert_id FROM singer AS s JOIN singer_in_concert AS sc ON s.id = sc.singer_id LIMIT 4")
+}
+
+func TestHashJoinThreeWay(t *testing.T) {
+	db := testDB(t)
+	assertHashNestedAgree(t, db,
+		"SELECT s.name, c.concert_name FROM singer AS s JOIN singer_in_concert AS sc ON s.id = sc.singer_id JOIN concert AS c ON sc.concert_id = c.concert_id")
+}
+
+func TestHashJoinResidualConjuncts(t *testing.T) {
+	db := testDB(t)
+	assertHashNestedAgree(t, db,
+		"SELECT s.name, c.concert_name FROM singer AS s JOIN singer_in_concert AS sc ON s.id = sc.singer_id AND sc.concert_id > 2 AND s.age < 50")
+}
+
+// TestScanRowCap: maxRows applies to base-table scans and subquery
+// materialization, not only join outputs.
+func TestScanRowCap(t *testing.T) {
+	db := NewDatabase("big")
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE big (x INT);\nINSERT INTO big VALUES (0)")
+	for i := 1; i < 300; i++ {
+		fmt.Fprintf(&sb, ", (%d)", i)
+	}
+	sb.WriteString(";")
+	if err := db.LoadScript(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(db)
+	ex.maxRows = 100
+	if _, err := ex.Query("SELECT COUNT(*) FROM big"); err == nil {
+		t.Error("scan past maxRows did not error")
+	}
+	// Subquery cap: each base scan (300 rows) stays under the 350 cap, but
+	// the materialized UNION ALL (600 rows) exceeds it.
+	ex2 := NewExecutor(db)
+	ex2.maxRows = 350
+	if _, err := ex2.Query("SELECT COUNT(*) FROM (SELECT x FROM big WHERE x < 50) AS s"); err != nil {
+		t.Errorf("small subquery should pass: %v", err)
+	}
+	if _, err := ex2.Query("SELECT COUNT(*) FROM (SELECT x FROM big UNION ALL SELECT x FROM big) AS s"); err == nil {
+		t.Error("subquery materialization past maxRows did not error")
+	}
+}
+
+// TestLikePathological pins the iterative matcher: the old recursive
+// implementation is exponential on stacked %a% groups and would hang here.
+func TestLikePathological(t *testing.T) {
+	s := strings.Repeat("a", 60) + "b"
+	pattern := strings.Repeat("%a", 18) + "%c"
+	start := time.Now()
+	if likeMatch(s, pattern) {
+		t.Error("pattern should not match")
+	}
+	if likeMatch(strings.Repeat("a", 200)+"c", pattern) != true {
+		t.Error("pattern should match")
+	}
+	if d := time.Since(start); d > 250*time.Millisecond {
+		t.Fatalf("pathological LIKE took %v; matcher is not linear in backtracking", d)
+	}
+
+	db := testDB(t)
+	res, err := NewExecutor(db).Query("SELECT name FROM singer WHERE name LIKE '%o%e%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // Joe Sharp, Rose White
+		t.Fatalf("LIKE '%%o%%e%%' matched %d rows, want 2:\n%s", len(res.Rows), res.Format())
+	}
+}

@@ -15,15 +15,19 @@ type Result struct {
 }
 
 // rowKey renders one row as a canonical string.
-func rowKey(row []Value) string {
-	var sb strings.Builder
+func rowKey(row []Value) string { return string(rowKeyAppend(nil, row)) }
+
+// rowKeyAppend appends the row's dedup key to dst; callers that key many
+// rows reuse one buffer and use map lookups on string(buf), which Go
+// performs without allocating.
+func rowKeyAppend(dst []byte, row []Value) []byte {
 	for i, v := range row {
 		if i > 0 {
-			sb.WriteByte('\x1f')
+			dst = append(dst, '\x1f')
 		}
-		sb.WriteString(v.Key())
+		dst = v.appendKey(dst)
 	}
-	return sb.String()
+	return dst
 }
 
 // Fingerprint returns a canonical rendering of the result's data: ordered

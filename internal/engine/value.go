@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Type is the dynamic type of a Value.
@@ -118,26 +120,31 @@ func (v Value) String() string {
 // Key renders the value as a canonical map key. Integers and integral floats
 // collapse to the same key so that e.g. COUNT results compare equal across
 // numeric types.
-func (v Value) Key() string {
+func (v Value) Key() string { return string(v.appendKey(nil)) }
+
+// appendKey appends the exact bytes Key returns to dst, letting hot dedup
+// and grouping loops reuse one scratch buffer instead of allocating a
+// string per value.
+func (v Value) appendKey(dst []byte) []byte {
 	switch v.T {
 	case TypeNull:
-		return "\x00N"
+		return append(dst, "\x00N"...)
 	case TypeInt:
-		return "#" + strconv.FormatInt(v.I, 10)
+		return strconv.AppendInt(append(dst, '#'), v.I, 10)
 	case TypeFloat:
 		if v.F == float64(int64(v.F)) {
-			return "#" + strconv.FormatInt(int64(v.F), 10)
+			return strconv.AppendInt(append(dst, '#'), int64(v.F), 10)
 		}
-		return "#" + strconv.FormatFloat(v.F, 'g', -1, 64)
+		return strconv.AppendFloat(append(dst, '#'), v.F, 'g', -1, 64)
 	case TypeText:
-		return "s" + v.S
+		return append(append(dst, 's'), v.S...)
 	case TypeBool:
 		if v.B {
-			return "#1"
+			return append(dst, "#1"...)
 		}
-		return "#0"
+		return append(dst, "#0"...)
 	}
-	return "?"
+	return append(dst, '?')
 }
 
 // Compare orders two values: -1, 0, +1. NULL sorts before everything.
@@ -169,15 +176,60 @@ func Compare(a, b Value) int {
 		}
 	}
 	as, bs := a.String(), b.String()
-	al, bl := strings.ToLower(as), strings.ToLower(bs)
-	switch {
-	case al < bl:
-		return -1
-	case al > bl:
-		return 1
-	default:
-		return strings.Compare(as, bs)
+	if c := compareFold(as, bs); c != 0 {
+		return c
 	}
+	return strings.Compare(as, bs)
+}
+
+// compareFold orders a and b exactly as comparing strings.ToLower(a) to
+// strings.ToLower(b) would, without allocating the lowered copies. Lowered
+// runes are compared in code-point order, which for UTF-8 text equals byte
+// order of the lowered strings (no encoding is a prefix of another);
+// invalid bytes decode to U+FFFD, the same replacement ToLower emits.
+func compareFold(a, b string) int {
+	for len(a) > 0 && len(b) > 0 {
+		var ra, rb rune
+		if c := a[0]; c < utf8.RuneSelf {
+			ra, a = rune(c), a[1:]
+		} else {
+			r, size := utf8.DecodeRuneInString(a)
+			ra, a = r, a[size:]
+		}
+		if c := b[0]; c < utf8.RuneSelf {
+			rb, b = rune(c), b[1:]
+		} else {
+			r, size := utf8.DecodeRuneInString(b)
+			rb, b = r, b[size:]
+		}
+		if ra == rb {
+			continue
+		}
+		la, lb := lowerRune(ra), lowerRune(rb)
+		if la != lb {
+			if la < lb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) > 0:
+		return 1
+	case len(b) > 0:
+		return -1
+	}
+	return 0
+}
+
+func lowerRune(r rune) rune {
+	if r < utf8.RuneSelf {
+		if 'A' <= r && r <= 'Z' {
+			return r + ('a' - 'A')
+		}
+		return r
+	}
+	return unicode.ToLower(r)
 }
 
 func (v Value) numeric() (float64, bool) {

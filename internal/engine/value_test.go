@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -180,5 +181,30 @@ func TestLikeMatch(t *testing.T) {
 		if got := likeMatch(tc.s, tc.p); got != tc.want {
 			t.Errorf("likeMatch(%q, %q) = %v", tc.s, tc.p, got)
 		}
+	}
+}
+
+// TestCompareFoldMatchesToLower pins the allocation-free text comparison to
+// the definition it replaced: lexicographic order of strings.ToLower copies.
+func TestCompareFoldMatchesToLower(t *testing.T) {
+	ref := func(a, b string) int {
+		al, bl := strings.ToLower(a), strings.ToLower(b)
+		return strings.Compare(al, bl)
+	}
+	fixed := []string{
+		"", "a", "A", "ab", "AB", "aB", "abc", "ABD", "z", "Z",
+		"Straße", "STRASSE", "ñ", "Ñ", "É", "é", "日本語", "日本",
+		"\xff", "a\xffb", "a\xc3", "�", "\U00010000", "K", "K",
+	}
+	for _, a := range fixed {
+		for _, b := range fixed {
+			if got, want := compareFold(a, b), ref(a, b); got != want {
+				t.Errorf("compareFold(%q, %q) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	f := func(a, b string) bool { return compareFold(a, b) == ref(a, b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
 	}
 }

@@ -35,16 +35,21 @@ func (a Accuracy) String() string {
 	return fmt.Sprintf("%d/%d (%.1f%%)", a.Correct, a.Total, a.Pct())
 }
 
+// planCache is shared by every run in the process: correction experiments
+// re-execute the same gold and candidate queries across rounds and methods,
+// so each distinct (database, SQL) pair is parsed and planned exactly once.
+// Plans are immutable and executed on per-call Executors, so concurrent
+// workers can share entries freely.
+var planCache = engine.NewCache(0)
+
 // Match reports execution-accuracy: both queries run and produce equal
 // results. A prediction that fails to parse or execute is wrong.
 func Match(db *engine.Database, goldSQL, predSQL string) bool {
-	exGold := engine.NewExecutor(db)
-	gold, err := exGold.Query(goldSQL)
+	gold, err := planCache.Query(db, goldSQL)
 	if err != nil {
 		return false
 	}
-	exPred := engine.NewExecutor(db)
-	pred, err := exPred.Query(predSQL)
+	pred, err := planCache.Query(db, predSQL)
 	if err != nil {
 		return false
 	}
@@ -86,7 +91,7 @@ func RunGenerationOpts(ctx context.Context, client llm.Client, ds *dataset.Datas
 	if k > 0 {
 		store = rag.NewStore(ds.Demos)
 	}
-	asst := &assistant.Assistant{Client: client, DS: ds, Store: store, K: k}
+	asst := &assistant.Assistant{Client: client, DS: ds, Store: store, K: k, Cache: planCache}
 	results := make([]GenResult, len(ds.Examples))
 	gold := newGoldCache()
 	err := forEach(len(ds.Examples), opt.Workers, func(i int) error {

@@ -87,7 +87,7 @@ func (c *goldCache) gold(db *engine.Database, e *dataset.Example) (*engine.Resul
 	if hit {
 		return res, res != nil
 	}
-	res, err := engine.NewExecutor(db).Query(e.Gold)
+	res, err := planCache.Query(db, e.Gold)
 	if err != nil {
 		res = nil
 	}
@@ -105,7 +105,7 @@ func (c *goldCache) match(db *engine.Database, e *dataset.Example, predSQL strin
 	if !ok {
 		return false
 	}
-	pred, err := engine.NewExecutor(db).Query(predSQL)
+	pred, err := planCache.Query(db, predSQL)
 	if err != nil {
 		return false
 	}

@@ -14,8 +14,8 @@ package llm
 import (
 	"context"
 	"errors"
-	"strings"
 	"sync"
+	"unicode"
 )
 
 // Request is one chat-completion call.
@@ -42,7 +42,21 @@ var ErrEmptyPrompt = errors.New("llm: empty prompt")
 
 // CountTokens approximates token usage as whitespace-separated words; it
 // only needs to be monotone in text length for the accounting benchmarks.
-func CountTokens(text string) int { return len(strings.Fields(text)) }
+func CountTokens(text string) int {
+	// Counts exactly what len(strings.Fields(text)) would, without
+	// materializing the field slice for every prompt.
+	n := 0
+	inField := false
+	for _, r := range text {
+		if unicode.IsSpace(r) {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+	}
+	return n
+}
 
 // ----------------------------------------------------------------------------
 // Middleware

@@ -33,12 +33,21 @@ type Sim struct {
 	worlds []*dataset.Dataset
 
 	byQuestion map[string]resolved
-	lexByDB    map[string]*schema.Lexicon
+	// byContain holds every example's normalized trimmed question in corpus
+	// order, precomputed so the containment fallback of resolve does not
+	// re-normalize the whole corpus on every rewritten-question lookup.
+	byContain []containEntry
+	lexByDB   map[string]*schema.Lexicon
 }
 
 type resolved struct {
 	ds *dataset.Dataset
 	ex *dataset.Example
+}
+
+type containEntry struct {
+	norm string
+	r    resolved
 }
 
 // NewSim builds a simulator whose latent knowledge covers the given
@@ -51,7 +60,11 @@ func NewSim(worlds ...*dataset.Dataset) *Sim {
 	}
 	for _, w := range worlds {
 		for _, e := range w.Examples {
-			s.byQuestion[schema.Normalize(e.Question)] = resolved{ds: w, ex: e}
+			r := resolved{ds: w, ex: e}
+			s.byQuestion[schema.Normalize(e.Question)] = r
+			if trimmed := strings.TrimRight(e.Question, "?. "); trimmed != "" {
+				s.byContain = append(s.byContain, containEntry{norm: schema.Normalize(trimmed), r: r})
+			}
 		}
 		for db, lx := range w.Lexicons {
 			s.lexByDB[db] = lx
@@ -94,11 +107,9 @@ func (s *Sim) resolve(question string) (resolved, bool, bool) {
 	if r, ok := s.byQuestion[key]; ok {
 		return r, false, true
 	}
-	for _, w := range s.worlds {
-		for _, e := range w.Examples {
-			if dataset.ContainsPhrase(question, strings.TrimRight(e.Question, "?. ")) {
-				return resolved{ds: w, ex: e}, true, true
-			}
+	for _, c := range s.byContain {
+		if strings.Contains(key, c.norm) {
+			return c.r, true, true
 		}
 	}
 	return resolved{}, false, false
@@ -118,9 +129,13 @@ func (s *Sim) generate(p *prompt.Parsed) string {
 		return "SELECT NULL -- question not understood"
 	}
 	e := r.ex
+	demoNorms := make([]string, len(p.Demos))
+	for i, d := range p.Demos {
+		demoNorms[i] = schema.Normalize(d.Question)
+	}
 	var mask uint8
 	for i, t := range e.Traps {
-		if s.trapAvoided(t, p, rewritten) {
+		if s.trapAvoided(t, demoNorms, rewritten) {
 			continue
 		}
 		mask |= 1 << i
@@ -133,13 +148,16 @@ func (s *Sim) generate(p *prompt.Parsed) string {
 }
 
 // trapAvoided decides whether the model dodges one planted trap given the
-// prompt contents.
-func (s *Sim) trapAvoided(t dataset.Trap, p *prompt.Parsed, rewritten bool) bool {
+// prompt's demonstration questions (pre-normalized by the caller).
+func (s *Sim) trapAvoided(t dataset.Trap, demoNorms []string, rewritten bool) bool {
 	// An in-context demonstration using the ambiguous phrase shows the
-	// correct reading.
-	for _, d := range p.Demos {
-		if dataset.ContainsPhrase(d.Question, t.Phrase) {
-			return true
+	// correct reading (the same containment rule as dataset.ContainsPhrase).
+	if t.Phrase != "" {
+		np := schema.Normalize(t.Phrase)
+		for _, nd := range demoNorms {
+			if strings.Contains(nd, np) {
+				return true
+			}
 		}
 	}
 	// A rewritten question that folds clarifying feedback in rescues the

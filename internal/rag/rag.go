@@ -11,12 +11,20 @@ import (
 	"fisql/internal/dataset"
 )
 
+// posting is one (term, weight) entry of a normalized TF-IDF vector.
+// Vectors are stored as term-sorted posting lists so cosine similarity is a
+// linear merge-join instead of map probes over re-sorted keys per Search.
+type posting struct {
+	term string
+	w    float64
+}
+
 // Store is an immutable TF-IDF index over demonstrations. It is safe for
 // concurrent use: the index is built once by NewStore and Search touches
 // only per-call state.
 type Store struct {
 	demos []dataset.Demo
-	vecs  []map[string]float64
+	vecs  [][]posting
 	idf   map[string]float64
 }
 
@@ -41,7 +49,8 @@ func Tokenize(text string) []string {
 	return toks
 }
 
-// NewStore indexes the demonstration pool.
+// NewStore indexes the demonstration pool, precomputing each demo's sorted
+// posting list once.
 func NewStore(demos []dataset.Demo) *Store {
 	s := &Store{demos: demos, idf: make(map[string]float64)}
 	df := map[string]int{}
@@ -61,59 +70,63 @@ func NewStore(demos []dataset.Demo) *Store {
 	for t, d := range df {
 		s.idf[t] = math.Log(n / (1 + float64(d)))
 	}
-	s.vecs = make([]map[string]float64, len(demos))
+	s.vecs = make([][]posting, len(demos))
 	for i, toks := range tokenLists {
 		s.vecs[i] = s.vector(toks)
 	}
 	return s
 }
 
-// vector builds a normalized TF-IDF vector. Accumulation follows sorted
-// term order: floating-point sums depend on order, and map iteration order
-// varies run to run, which would make equal-similarity ties — and thus
-// retrieval results — nondeterministic.
-func (s *Store) vector(toks []string) map[string]float64 {
+// vector builds a normalized TF-IDF posting list sorted by term.
+// Accumulation follows sorted term order: floating-point sums depend on
+// order, and map iteration order varies run to run, which would make
+// equal-similarity ties — and thus retrieval results — nondeterministic.
+func (s *Store) vector(toks []string) []posting {
 	tf := map[string]float64{}
 	for _, t := range toks {
 		tf[t]++
 	}
-	terms := make([]string, 0, len(tf))
-	for t := range tf {
-		terms = append(terms, t)
+	vec := make([]posting, 0, len(tf))
+	for t, c := range tf {
+		vec = append(vec, posting{term: t, w: c})
 	}
-	sort.Strings(terms)
+	sort.Slice(vec, func(i, j int) bool { return vec[i].term < vec[j].term })
 	var norm float64
-	for _, t := range terms {
-		idf, ok := s.idf[t]
+	for i := range vec {
+		idf, ok := s.idf[vec[i].term]
 		if !ok {
 			idf = math.Log(float64(len(s.demos)) + 1) // unseen term
 		}
-		tf[t] *= idf
-		norm += tf[t] * tf[t]
+		vec[i].w *= idf
+		norm += vec[i].w * vec[i].w
 	}
 	if norm > 0 {
 		norm = math.Sqrt(norm)
-		for _, t := range terms {
-			tf[t] /= norm
+		for i := range vec {
+			vec[i].w /= norm
 		}
 	}
-	return tf
+	return vec
 }
 
-// cosine computes the dot product in sorted term order, for the same
-// determinism reason as vector.
-func cosine(a, b map[string]float64) float64 {
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	terms := make([]string, 0, len(a))
-	for t := range a {
-		terms = append(terms, t)
-	}
-	sort.Strings(terms)
+// cosine merge-joins two term-sorted posting lists. Shared terms are visited
+// in sorted term order — the same accumulation order the map-based
+// implementation used, and TF-IDF weights are non-negative with absent terms
+// contributing exactly +0.0 — so scores are bit-identical to it.
+func cosine(a, b []posting) float64 {
 	var dot float64
-	for _, t := range terms {
-		dot += a[t] * b[t]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].term == b[j].term:
+			dot += a[i].w * b[j].w
+			i++
+			j++
+		case a[i].term < b[j].term:
+			i++
+		default:
+			j++
+		}
 	}
 	return dot
 }
@@ -132,7 +145,12 @@ func (s *Store) Search(query, db string, k int) []Result {
 		return nil
 	}
 	qv := s.vector(Tokenize(query))
-	var hits []Result
+	// Bounded top-k selection: keep at most k hits, ordered by descending
+	// score with pool order breaking ties. Inserting each new hit after all
+	// entries scoring >= its score reproduces exactly what a stable
+	// descending sort of all hits followed by truncation would keep, without
+	// materializing or sorting the full hit list.
+	hits := make([]Result, 0, k+1)
 	for i, d := range s.demos {
 		if db != "" && d.DB != db {
 			continue
@@ -141,11 +159,19 @@ func (s *Store) Search(query, db string, k int) []Result {
 		if sc <= 0 {
 			continue
 		}
-		hits = append(hits, Result{Demo: d, Score: sc})
-	}
-	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
-	if len(hits) > k {
-		hits = hits[:k]
+		if len(hits) == k && hits[k-1].Score >= sc {
+			continue
+		}
+		pos := len(hits)
+		for pos > 0 && hits[pos-1].Score < sc {
+			pos--
+		}
+		hits = append(hits, Result{})
+		copy(hits[pos+1:], hits[pos:])
+		hits[pos] = Result{Demo: d, Score: sc}
+		if len(hits) > k {
+			hits = hits[:k]
+		}
 	}
 	return hits
 }

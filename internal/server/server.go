@@ -1,5 +1,10 @@
 // Package server implements the REST API of cmd/fisql-server: the headless
 // Assistant with per-session ask/feedback state.
+//
+// Sessions are created through the SessionFactory (fisql.System in
+// production), whose Assistant carries the system-wide engine.Cache: all
+// concurrent sessions of one corpus share parsed+planned queries, so
+// repeated questions across users hit the plan cache instead of re-parsing.
 package server
 
 import (
