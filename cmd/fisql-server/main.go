@@ -8,15 +8,23 @@
 //	GET    /v1/sessions/{id}/history
 //	DELETE /v1/sessions/{id}
 //	GET    /v1/databases?corpus=aep
+//	GET    /v1/healthz
 //
-// The session map is capped (-max-sessions, oldest-first eviction), so a
-// long-running server does not grow without bound.
+// The session store is capped (-max-sessions, true-LRU eviction) and can
+// expire idle sessions (-session-ttl), so a long-running server does not
+// grow without bound. On SIGINT/SIGTERM the server stops accepting
+// connections and drains in-flight asks before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fisql"
 	"fisql/internal/server"
@@ -34,7 +42,11 @@ func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions,
-		"max live sessions before oldest-first eviction (<= 0 for unlimited)")
+		"max live sessions before LRU eviction (<= 0 for unlimited)")
+	sessionTTL := flag.Duration("session-ttl", 0,
+		"expire sessions idle for longer than this (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long shutdown waits for in-flight requests to finish")
 	flag.Parse()
 
 	sp, err := fisql.NewSpiderSystem()
@@ -45,12 +57,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("build experience-platform corpus: %v", err)
 	}
-	srv := server.New(map[string]server.SessionFactory{
+	h := server.New(map[string]server.SessionFactory{
 		"spider": sysAdapter{sp},
 		"aep":    sysAdapter{ae},
-	}, server.WithMaxSessions(*maxSessions))
-	log.Printf("fisql-server listening on http://%s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	}, server.WithMaxSessions(*maxSessions), server.WithSessionTTL(*sessionTTL))
+
+	srv := &http.Server{Addr: *addr, Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fisql-server listening on http://%s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (port in use, ...).
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("fisql-server shutting down, draining in-flight requests (up to %s)", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
 	}
 }

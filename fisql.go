@@ -63,6 +63,9 @@ type (
 	Result = engine.Result
 	// Cache is a shared parse+plan cache for repeated query execution.
 	Cache = engine.Cache
+	// AnswerMemo is a shared cross-session cache of finished Answers with
+	// singleflight collapsing of concurrent identical questions.
+	AnswerMemo = assistant.AnswerMemo
 	// Accuracy is a correct/total tally.
 	Accuracy = eval.Accuracy
 	// CorrectionResult is a method's multi-round correction outcome.
@@ -81,6 +84,14 @@ type System struct {
 	// asking the same questions — or one user iterating on feedback — reuse
 	// each query's plan. Safe for concurrent use.
 	Cache *Cache
+	// Memo is the system-wide answer memo: fresh questions are pure in
+	// (db, question), so every session shares finished Answers and a
+	// thundering herd of identical questions runs the pipeline once
+	// (singleflight). Feedback turns are never memoized — they depend on
+	// per-session history. Set to nil before creating sessions when the
+	// Client is non-deterministic (a real sampled LLM). Safe for concurrent
+	// use.
+	Memo *AnswerMemo
 }
 
 // Options configures a session's correction method.
@@ -120,13 +131,14 @@ func NewExperiencePlatformSystem() (*System, error) {
 // client in production, llm.NewSim for the offline benchmarks).
 func NewSystem(ds *Dataset, client Client) *System {
 	return &System{DS: ds, Client: client, Store: rag.NewStore(ds.Demos), K: 8,
-		Cache: engine.NewCache(0)}
+		Cache: engine.NewCache(0), Memo: assistant.NewAnswerMemo(0)}
 }
 
 // Assistant returns the retrieval-augmented assistant over this system,
-// sharing the system-wide plan cache.
+// sharing the system-wide plan cache and answer memo.
 func (s *System) Assistant() *Assistant {
-	return &assistant.Assistant{Client: s.Client, DS: s.DS, Store: s.Store, K: s.K, Cache: s.Cache}
+	return &assistant.Assistant{Client: s.Client, DS: s.DS, Store: s.Store, K: s.K,
+		Cache: s.Cache, Memo: s.Memo}
 }
 
 // FISQL returns the feedback-incorporation pipeline with the given options.

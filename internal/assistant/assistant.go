@@ -9,6 +9,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fisql/internal/dataset"
 	"fisql/internal/engine"
@@ -34,9 +36,16 @@ type Assistant struct {
 	// calls on the same SQL (feedback rounds, concurrent sessions) skip the
 	// parse and planning passes. Nil falls back to uncached interpretation.
 	Cache *engine.Cache
+	// Memo, when set, serves whole Answers for repeated Ask calls on the
+	// same (db, question) across sessions, collapsing concurrent identical
+	// misses into one pipeline run (see memo.go). Only sound when Client is
+	// deterministic; nil disables memoization.
+	Memo *AnswerMemo
 }
 
-// Answer is the Assistant's response to one question.
+// Answer is the Assistant's response to one question. An Answer is
+// immutable once returned: memoized answers are shared across sessions,
+// so consumers must only read it.
 type Answer struct {
 	SQL           string
 	Result        *engine.Result
@@ -49,10 +58,50 @@ type Answer struct {
 	// ExecErr is non-nil when the generated SQL failed to run; Result is
 	// nil in that case (the UI shows "We found nothing for your query").
 	ExecErr error
+
+	// wire caches one transport encoding of this Answer (the REST server's
+	// JSON body). Answers are immutable, so any encoding is too; rendering
+	// once per Answer lets every session sharing a memoized Answer skip
+	// re-serializing the result rows. Opaque to this package.
+	wire atomic.Value // []byte
 }
 
-// Ask runs the full pipeline for a question against one database.
+// Wire returns the cached transport encoding, or nil if none was set.
+func (a *Answer) Wire() []byte {
+	if b, ok := a.wire.Load().([]byte); ok {
+		return b
+	}
+	return nil
+}
+
+// SetWire caches a transport encoding. The caller must not mutate b after
+// the call. Concurrent setters race benignly: every encoding of an
+// immutable Answer is identical, so either write may win.
+func (a *Answer) SetWire(b []byte) { a.wire.Store(b) }
+
+// presentation is the plan-derived half of an Answer — everything except
+// the execution result. It is a pure function of the planned statement and
+// its SQL text, so it is computed once per cached plan and hung off
+// engine.Plan.Aux (sharing the plan cache's LRU lifetime).
+type presentation struct {
+	reformulation string
+	explanation   []string
+	spans         []sqlast.Span
+}
+
+// Ask runs the full pipeline for a question against one database. With a
+// Memo configured, repeated questions are served from it and concurrent
+// identical misses compute once.
 func (a *Assistant) Ask(ctx context.Context, db, question string) (*Answer, error) {
+	if a.Memo == nil {
+		return a.ask(ctx, db, question)
+	}
+	return a.Memo.Do(ctx, db, question, func() (*Answer, error) {
+		return a.ask(ctx, db, question)
+	})
+}
+
+func (a *Assistant) ask(ctx context.Context, db, question string) (*Answer, error) {
 	sql, err := a.GenerateSQL(ctx, db, question)
 	if err != nil {
 		return nil, err
@@ -60,19 +109,30 @@ func (a *Assistant) Ask(ctx context.Context, db, question string) (*Answer, erro
 	return a.Answer(db, sql), nil
 }
 
+// demoPool recycles the per-Ask demonstration slice: its length is bounded
+// by K (single digits), so one pooled backing array serves every request.
+var demoPool = sync.Pool{New: func() any {
+	s := make([]prompt.Demo, 0, 16)
+	return &s
+}}
+
 // GenerateSQL produces SQL for the question (retrieval-augmented when K>0).
 func (a *Assistant) GenerateSQL(ctx context.Context, db, question string) (string, error) {
 	s, ok := a.DS.Schemas[db]
 	if !ok {
 		return "", fmt.Errorf("unknown database %q", db)
 	}
-	var demos []prompt.Demo
+	demosp := demoPool.Get().(*[]prompt.Demo)
+	demos := (*demosp)[:0]
 	if a.K > 0 && a.Store != nil {
 		for _, hit := range a.Store.Search(question, db, a.K) {
 			demos = append(demos, prompt.Demo{Question: hit.Demo.Question, SQL: hit.Demo.SQL})
 		}
 	}
-	resp, err := a.Client.Complete(ctx, llm.Request{Prompt: prompt.NL2SQL(s, demos, question)})
+	p := prompt.NL2SQL(s, demos, question)
+	*demosp = demos[:0]
+	demoPool.Put(demosp)
+	resp, err := a.Client.Complete(ctx, llm.Request{Prompt: p})
 	if err != nil {
 		return "", err
 	}
@@ -81,8 +141,20 @@ func (a *Assistant) GenerateSQL(ctx context.Context, db, question string) (strin
 
 // Answer executes the SQL and assembles the four user-facing outputs. With
 // a Cache configured, the parse and plan are served from it and only
-// execution runs per call.
+// execution runs per call. With a Memo configured, the finished Answer is
+// additionally shared per (db, sql) across sessions — sound because the
+// assembly is a pure function of its arguments over immutable databases.
 func (a *Assistant) Answer(db, sql string) *Answer {
+	if a.Memo == nil {
+		return a.answer(db, sql)
+	}
+	ans, _ := a.Memo.DoSQL(context.Background(), db, sql, func() (*Answer, error) {
+		return a.answer(db, sql), nil
+	})
+	return ans
+}
+
+func (a *Assistant) answer(db, sql string) *Answer {
 	ans := &Answer{SQL: sql}
 	dbase := a.DS.DBs[db]
 	var sel *sqlast.SelectStmt
@@ -102,12 +174,24 @@ func (a *Assistant) Answer(db, sql string) *Answer {
 		}
 		sel = s
 	}
-	ans.Reformulation = Reformulate(sel)
-	ans.Explanation = Explain(sel)
-	// Re-print to guarantee the spans index into the exact displayed text.
-	printed, spans := sqlast.PrintWithSpans(sel)
-	if printed == sql {
-		ans.Spans = spans
+	if plan != nil {
+		// The presentation depends only on the planned statement and its
+		// SQL text — both fixed per plan-cache entry — so compute it once
+		// per plan. Feedback rounds converging on the same corrected SQL
+		// skip the reformulate/explain/re-print passes entirely.
+		pres, ok := plan.Aux.Load().(*presentation)
+		if !ok {
+			pres = buildPresentation(sel, sql)
+			plan.Aux.Store(pres)
+		}
+		ans.Reformulation = pres.reformulation
+		ans.Explanation = pres.explanation
+		ans.Spans = pres.spans
+	} else {
+		pres := buildPresentation(sel, sql)
+		ans.Reformulation = pres.reformulation
+		ans.Explanation = pres.explanation
+		ans.Spans = pres.spans
 	}
 	ex := engine.NewExecutor(dbase)
 	var res *engine.Result
@@ -123,6 +207,20 @@ func (a *Assistant) Answer(db, sql string) *Answer {
 	}
 	ans.Result = res
 	return ans
+}
+
+// buildPresentation renders the non-result outputs for a parsed statement.
+func buildPresentation(sel *sqlast.SelectStmt, sql string) *presentation {
+	pres := &presentation{
+		reformulation: Reformulate(sel),
+		explanation:   Explain(sel),
+	}
+	// Re-print to guarantee the spans index into the exact displayed text.
+	printed, spans := sqlast.PrintWithSpans(sel)
+	if printed == sql {
+		pres.spans = spans
+	}
+	return pres
 }
 
 // ----------------------------------------------------------------------------

@@ -1,0 +1,193 @@
+// Answer memoization: the serving-path cache above the plan cache.
+//
+// Assistant.Ask is a pure function of (db, question): the retrieval store,
+// schema and client configuration are immutable, the session history does
+// not feed into a fresh question, and the shipped clients (llm.Sim) are
+// deterministic. Thousands of sessions asking the same first-turn question
+// therefore recompute the identical Answer through the full RAG → prompt →
+// LLM → parse → execute pipeline. AnswerMemo caches the finished *Answer
+// per (db, question) in a sharded bounded LRU and collapses concurrent
+// identical misses into one pipeline execution (singleflight).
+//
+// Feedback turns are never memoized: a repair depends on the session's
+// current SQL and feedback text, which vary per session, and Session
+// routes them through Corrector.Correct + Assistant.Answer, not Ask.
+//
+// Cached *Answer values are shared across sessions and must be treated as
+// immutable — every consumer in the repo (history, JSON rendering) only
+// reads them. A non-deterministic Client (a real sampled LLM) should run
+// with a nil memo.
+package assistant
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMemoCapacity bounds an AnswerMemo built with NewAnswerMemo(0).
+// Sized like the engine's plan cache: holds a full corpus working set
+// (every distinct question of both shipped corpora) with room to spare.
+const DefaultMemoCapacity = 4096
+
+// memoShards stripes the memo's locks; question hashes spread uniformly,
+// so concurrent asks of different questions rarely contend.
+const memoShards = 16
+
+// AnswerMemo is a sharded, bounded LRU of finished Answers keyed by
+// (db, question), with singleflight collapsing of concurrent misses. Safe
+// for concurrent use. The zero value is not usable; build with
+// NewAnswerMemo.
+type AnswerMemo struct {
+	capacity int // per-shard
+	shards   [memoShards]memoShard
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+type memoShard struct {
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+}
+
+type memoEntry struct {
+	key string
+	ans *Answer
+}
+
+// flight is one in-progress pipeline execution that concurrent identical
+// asks wait on instead of recomputing.
+type flight struct {
+	done    chan struct{}
+	ans     *Answer
+	err     error
+	waiters atomic.Int64 // callers blocked on done, for tests/metrics
+}
+
+// NewAnswerMemo builds an empty memo holding at most capacity answers;
+// capacity <= 0 means DefaultMemoCapacity.
+func NewAnswerMemo(capacity int) *AnswerMemo {
+	if capacity <= 0 {
+		capacity = DefaultMemoCapacity
+	}
+	perShard := (capacity + memoShards - 1) / memoShards
+	m := &AnswerMemo{capacity: perShard}
+	for i := range m.shards {
+		m.shards[i].ll = list.New()
+		m.shards[i].entries = make(map[string]*list.Element)
+		m.shards[i].inflight = make(map[string]*flight)
+	}
+	return m
+}
+
+// Key namespaces: a question and a SQL text could collide as strings, so
+// each kind gets its own prefix. db and payload are joined with NUL, which
+// occurs in neither.
+func askKey(db, question string) string { return "q\x00" + db + "\x00" + question }
+func sqlKey(db, sql string) string      { return "s\x00" + db + "\x00" + sql }
+
+func (m *AnswerMemo) shardFor(key string) *memoShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &m.shards[h.Sum32()&(memoShards-1)]
+}
+
+// Do returns the memoized Answer for a fresh question on (db, question),
+// computing it with fn on a miss. Concurrent calls for the same key while
+// fn runs block until the one execution finishes and share its result (or
+// its error; errors are not cached, so the next call retries). A waiter
+// whose ctx is canceled unblocks with ctx.Err() without disturbing the
+// computation.
+func (m *AnswerMemo) Do(ctx context.Context, db, question string, fn func() (*Answer, error)) (*Answer, error) {
+	return m.do(ctx, askKey(db, question), fn)
+}
+
+// DoSQL returns the memoized executed Answer for (db, sql). Answer
+// assembly — plan, execute, reformulate, explain — is pure in (db, sql)
+// (databases are immutable), so it is shared across sessions even for
+// feedback turns: the correction step that *produced* the SQL depends on
+// session history and always runs live, but two sessions whose corrections
+// converge on the same SQL share one execution.
+func (m *AnswerMemo) DoSQL(ctx context.Context, db, sql string, fn func() (*Answer, error)) (*Answer, error) {
+	return m.do(ctx, sqlKey(db, sql), fn)
+}
+
+func (m *AnswerMemo) do(ctx context.Context, key string, fn func() (*Answer, error)) (*Answer, error) {
+	sh := m.shardFor(key)
+
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.ll.MoveToFront(el)
+		ans := el.Value.(*memoEntry).ans
+		sh.mu.Unlock()
+		m.hits.Add(1)
+		return ans, nil
+	}
+	if fl, ok := sh.inflight[key]; ok {
+		fl.waiters.Add(1)
+		sh.mu.Unlock()
+		m.hits.Add(1)
+		select {
+		case <-fl.done:
+			return fl.ans, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+	m.misses.Add(1)
+
+	fl.ans, fl.err = fn()
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if fl.err == nil {
+		sh.entries[key] = sh.ll.PushFront(&memoEntry{key: key, ans: fl.ans})
+		for sh.ll.Len() > m.capacity {
+			old := sh.ll.Back()
+			sh.ll.Remove(old)
+			delete(sh.entries, old.Value.(*memoEntry).key)
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return fl.ans, fl.err
+}
+
+// Get returns the memoized Answer for (db, question) without computing.
+func (m *AnswerMemo) Get(db, question string) (*Answer, bool) {
+	key := askKey(db, question)
+	sh := m.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	return el.Value.(*memoEntry).ans, true
+}
+
+// Len reports the number of memoized answers across shards.
+func (m *AnswerMemo) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports cumulative (hits, misses); collapsed singleflight waiters
+// count as hits.
+func (m *AnswerMemo) Stats() (hits, misses int64) {
+	return m.hits.Load(), m.misses.Load()
+}

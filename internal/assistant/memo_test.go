@@ -1,0 +1,207 @@
+package assistant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMemoDoCachesAndPromotes(t *testing.T) {
+	m := NewAnswerMemo(64)
+	var calls atomic.Int64
+	fn := func() (*Answer, error) {
+		calls.Add(1)
+		return &Answer{SQL: "SELECT 1"}, nil
+	}
+	a1, err := m.Do(context.Background(), "db", "q", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Do(context.Background(), "db", "q", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("second Do should return the cached *Answer")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	if hits, misses := m.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if got, ok := m.Get("db", "q"); !ok || got != a1 {
+		t.Errorf("Get = (%v, %v), want the cached answer", got, ok)
+	}
+	if _, ok := m.Get("db", "other"); ok {
+		t.Error("Get of an unknown question should miss")
+	}
+}
+
+// TestMemoSingleflight proves the exactly-once contract: N concurrent asks
+// of the same (db, question) run the pipeline function exactly once, and
+// every caller receives the one shared *Answer.
+func TestMemoSingleflight(t *testing.T) {
+	const waiters = 8
+	m := NewAnswerMemo(64)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	fn := func() (*Answer, error) {
+		calls.Add(1)
+		close(entered)
+		<-release // hold the flight open so the others must join it
+		return &Answer{SQL: "SELECT 42"}, nil
+	}
+
+	results := make(chan *Answer, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a, err := m.Do(context.Background(), "db", "q", fn)
+		if err != nil {
+			t.Error(err)
+		}
+		results <- a
+	}()
+	<-entered // the leader is inside fn; its flight is registered
+
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := m.Do(context.Background(), "db", "q", fn)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- a
+		}()
+	}
+	// Wait until all followers are parked on the flight before releasing it,
+	// so this test genuinely exercises the waiter path.
+	fl := func() *flight {
+		key := askKey("db", "q")
+		sh := m.shardFor(key)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.inflight[key]
+	}()
+	if fl == nil {
+		t.Fatal("no inflight entry while fn is blocked")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fl.waiters.Load() < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters joined the flight", fl.waiters.Load(), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("pipeline ran %d times for %d concurrent asks, want exactly 1", n, waiters+1)
+	}
+	var first *Answer
+	for a := range results {
+		if first == nil {
+			first = a
+		}
+		if a != first {
+			t.Fatal("concurrent asks returned different Answer pointers")
+		}
+	}
+	if first == nil || first.SQL != "SELECT 42" {
+		t.Fatalf("unexpected answer %+v", first)
+	}
+}
+
+func TestMemoErrorNotCached(t *testing.T) {
+	m := NewAnswerMemo(64)
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	fn := func() (*Answer, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+	if _, err := m.Do(context.Background(), "db", "q", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := m.Do(context.Background(), "db", "q", fn); !errors.Is(err, boom) {
+		t.Fatalf("second err = %v, want boom (errors must not be cached)", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("fn ran %d times, want 2 — a failed flight must retry", n)
+	}
+	if m.Len() != 0 {
+		t.Errorf("memo holds %d entries after failures, want 0", m.Len())
+	}
+}
+
+func TestMemoWaiterHonorsContext(t *testing.T) {
+	m := NewAnswerMemo(64)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	go m.Do(context.Background(), "db", "q", func() (*Answer, error) {
+		close(entered)
+		<-release
+		return &Answer{}, nil
+	})
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.Do(ctx, "db", "q", func() (*Answer, error) {
+		t.Error("canceled waiter must not start its own flight")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+// TestMemoKeyNamespaces checks that an ask for question X and an executed
+// SQL that happens to equal X do not collide in the cache.
+func TestMemoKeyNamespaces(t *testing.T) {
+	m := NewAnswerMemo(64)
+	text := "SELECT * FROM t"
+	askAns := &Answer{SQL: "ask"}
+	sqlAns := &Answer{SQL: "sql"}
+	m.Do(context.Background(), "db", text, func() (*Answer, error) { return askAns, nil })
+	got, err := m.DoSQL(context.Background(), "db", text, func() (*Answer, error) { return sqlAns, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sqlAns {
+		t.Error("DoSQL hit the ask-namespace entry; namespaces must be disjoint")
+	}
+	if m.Len() != 2 {
+		t.Errorf("memo holds %d entries, want 2", m.Len())
+	}
+}
+
+func TestMemoEvictsLRU(t *testing.T) {
+	// Capacity 16 spreads to exactly 1 entry per shard, so any two keys that
+	// land in the same shard exercise eviction of the least recently used.
+	m := NewAnswerMemo(16)
+	const n = 64
+	for i := 0; i < n; i++ {
+		q := fmt.Sprintf("question %d", i)
+		m.Do(context.Background(), "db", q, func() (*Answer, error) {
+			return &Answer{SQL: q}, nil
+		})
+	}
+	if got := m.Len(); got > 16 {
+		t.Errorf("memo holds %d entries, capacity is 16", got)
+	}
+	// The most recent insertion into its shard must still be resident.
+	if _, ok := m.Get("db", fmt.Sprintf("question %d", n-1)); !ok {
+		t.Error("most recently used entry was evicted")
+	}
+}

@@ -38,8 +38,24 @@ func NewSession(a *assistant.Assistant, c Corrector, db string) *Session {
 // slice would let callers mutate session state (or observe appends aliasing
 // their snapshot).
 func (s *Session) History() []Turn {
-	out := make([]Turn, len(s.history))
-	copy(out, s.history)
+	return s.HistorySince(0)
+}
+
+// HistoryLen reports the number of turns so far.
+func (s *Session) HistoryLen() int { return len(s.history) }
+
+// HistorySince returns a copy of the turns from index n on. History is
+// append-only, so callers that already consumed the first n turns (the
+// server's incremental history rendering) receive exactly the new suffix.
+func (s *Session) HistorySince(n int) []Turn {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(s.history) {
+		n = len(s.history)
+	}
+	out := make([]Turn, len(s.history)-n)
+	copy(out, s.history[n:])
 	return out
 }
 

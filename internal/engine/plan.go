@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"fisql/internal/sqlast"
 	"fisql/internal/sqlparse"
@@ -38,6 +39,13 @@ type colSlot struct {
 type Plan struct {
 	// Stmt is the planned statement. Shared, read-only.
 	Stmt *sqlast.SelectStmt
+
+	// Aux caches derived read-only data a higher layer computes from this
+	// plan exactly once (the assistant stores its rendered presentation —
+	// reformulation, explanation, highlight spans — here). Tying the cache
+	// to the plan gives it the plan cache's lifetime: LRU eviction drops
+	// both together, so no side table can leak. Opaque to the engine.
+	Aux atomic.Value
 
 	db    *Database
 	cols  map[*sqlast.ColumnRef]colSlot

@@ -11,6 +11,7 @@ package prompt
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"fisql/internal/dataset"
 	"fisql/internal/feedback"
@@ -44,16 +45,42 @@ type Demo struct {
 	SQL      string
 }
 
+// schemaTextCache memoizes Schema.PromptText per schema. Schemas are
+// immutable after corpus construction (see the concurrency contract in
+// DESIGN.md) and keyed by pointer identity like the engine's plan cache,
+// so the serialization — the largest block of every prompt — is built once
+// per schema instead of once per request. The cache is unbounded but holds
+// one entry per database of the loaded corpora.
+var schemaTextCache sync.Map // *schema.Schema -> string
+
+func schemaText(s *schema.Schema) string {
+	if v, ok := schemaTextCache.Load(s); ok {
+		return v.(string)
+	}
+	text := s.PromptText()
+	schemaTextCache.Store(s, text)
+	return text
+}
+
 // NL2SQL builds the generation prompt: instructions, full schema, optional
 // retrieved demonstrations, and the question. With no demos this is the
 // zero-shot prompt of Figure 1.
 func NL2SQL(s *schema.Schema, demos []Demo, question string) string {
 	var sb strings.Builder
+	// Pre-size to the known components so the hot serving path builds the
+	// prompt in one allocation instead of log(n) growth copies. The slack
+	// constant covers markers, separators and per-demo framing.
+	st := schemaText(s)
+	n := len(Instructions) + len(st) + len(question) + 128
+	for _, d := range demos {
+		n += len(d.Question) + len(d.SQL) + 16
+	}
+	sb.Grow(n)
 	sb.WriteString(Instructions)
 	sb.WriteString("\n\n")
 	sb.WriteString(markSchema)
 	sb.WriteString("\n")
-	sb.WriteString(s.PromptText())
+	sb.WriteString(st)
 	if len(demos) > 0 {
 		sb.WriteString("\n")
 		sb.WriteString(markDemos)
@@ -77,7 +104,7 @@ func Repair(s *schema.Schema, demos []Demo, routed []feedback.RepairDemo, routed
 	sb.WriteString("\n\n")
 	sb.WriteString(markSchema)
 	sb.WriteString("\n")
-	sb.WriteString(s.PromptText())
+	sb.WriteString(schemaText(s))
 	if len(demos) > 0 {
 		sb.WriteString("\n")
 		sb.WriteString(markDemos)

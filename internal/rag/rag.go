@@ -7,6 +7,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"unicode"
 
 	"fisql/internal/dataset"
 )
@@ -30,15 +32,22 @@ type Store struct {
 
 // Tokenize splits text into lowercase alphanumeric terms.
 func Tokenize(text string) []string {
-	var toks []string
+	return appendTokens(nil, text)
+}
+
+// appendTokens appends text's tokens to dst. Lowering happens per rune
+// (identical to strings.ToLower, which applies unicode.ToLower rune-wise)
+// so no lowered copy of the whole text is materialized.
+func appendTokens(dst []string, text string) []string {
 	var sb strings.Builder
 	flush := func() {
 		if sb.Len() > 0 {
-			toks = append(toks, sb.String())
+			dst = append(dst, sb.String())
 			sb.Reset()
 		}
 	}
-	for _, r := range strings.ToLower(text) {
+	for _, r := range text {
+		r = unicode.ToLower(r)
 		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
 			sb.WriteRune(r)
 		} else {
@@ -46,7 +55,7 @@ func Tokenize(text string) []string {
 		}
 	}
 	flush()
-	return toks
+	return dst
 }
 
 // NewStore indexes the demonstration pool, precomputing each demo's sorted
@@ -82,11 +91,20 @@ func NewStore(demos []dataset.Demo) *Store {
 // order, and map iteration order varies run to run, which would make
 // equal-similarity ties — and thus retrieval results — nondeterministic.
 func (s *Store) vector(toks []string) []posting {
+	return s.vectorInto(nil, toks)
+}
+
+// vectorInto builds the vector into vec's backing array (the Search
+// scratch); scores are bit-identical to an unpooled build because the
+// postings are sorted before any floating-point accumulation.
+func (s *Store) vectorInto(vec []posting, toks []string) []posting {
 	tf := map[string]float64{}
 	for _, t := range toks {
 		tf[t]++
 	}
-	vec := make([]posting, 0, len(tf))
+	if vec == nil {
+		vec = make([]posting, 0, len(tf))
+	}
 	for t, c := range tf {
 		vec = append(vec, posting{term: t, w: c})
 	}
@@ -137,6 +155,17 @@ type Result struct {
 	Score float64
 }
 
+// queryScratch holds the per-Search temporaries — token list and query
+// posting vector — so the serving path's hottest retrieval allocations are
+// recycled across requests. The scratch never escapes: hits are built
+// fresh, and qv is returned to the pool before Search returns.
+type queryScratch struct {
+	toks []string
+	qv   []posting
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
 // Search returns the top-k demonstrations for the query, restricted to the
 // given database (empty db means no restriction). Ties break by pool order
 // for determinism. k <= 0 returns nil.
@@ -144,7 +173,11 @@ func (s *Store) Search(query, db string, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
-	qv := s.vector(Tokenize(query))
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	sc.toks = appendTokens(sc.toks[:0], query)
+	qv := s.vectorInto(sc.qv[:0], sc.toks)
+	sc.qv = qv
 	// Bounded top-k selection: keep at most k hits, ordered by descending
 	// score with pool order breaking ties. Inserting each new hit after all
 	// entries scoring >= its score reproduces exactly what a stable

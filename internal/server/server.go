@@ -2,18 +2,27 @@
 // Assistant with per-session ask/feedback state.
 //
 // Sessions are created through the SessionFactory (fisql.System in
-// production), whose Assistant carries the system-wide engine.Cache: all
-// concurrent sessions of one corpus share parsed+planned queries, so
-// repeated questions across users hit the plan cache instead of re-parsing.
+// production), whose Assistant carries the system-wide engine.Cache and
+// answer memo: all concurrent sessions of one corpus share parsed+planned
+// queries and memoized first-turn answers, so repeated questions across
+// users skip the pipeline instead of re-running it.
+//
+// The session registry is sharded and lock-striped (see store.go): requests
+// for different sessions proceed on different shard locks, eviction is
+// true-LRU in O(1), and sessions evicted while a request is in flight
+// answer 410 Gone.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fisql/internal/assistant"
 	"fisql/internal/core"
@@ -27,7 +36,7 @@ type SessionFactory interface {
 	Databases() []string
 }
 
-// DefaultMaxSessions caps the session map of a server built without an
+// DefaultMaxSessions caps the session store of a server built without an
 // explicit WithMaxSessions: a long-running server must not grow its session
 // state without bound.
 const DefaultMaxSessions = 10000
@@ -37,41 +46,41 @@ type Server struct {
 	mux         *http.ServeMux
 	systems     map[string]SessionFactory
 	maxSessions int
+	sessionTTL  time.Duration
 
-	mu       sync.Mutex
-	nextID   int
-	sessions map[string]*session
-	// order lists live session ids oldest-first, driving eviction when the
-	// cap is reached.
-	order []string
-}
-
-type session struct {
-	mu   sync.Mutex
-	sess *core.Session
-	db   string
+	nextID atomic.Int64
+	store  *sessionStore
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
 // WithMaxSessions caps the number of live sessions; creating one past the
-// cap evicts the oldest. n <= 0 means unlimited.
+// cap evicts the least recently used. n <= 0 means unlimited.
 func WithMaxSessions(n int) Option {
 	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithSessionTTL expires sessions idle for longer than d (no ask, feedback,
+// or history access). Expiry is lazy — checked on lookup and during
+// create-path sweeps — so no background goroutine runs. d <= 0 (the
+// default) disables expiry.
+func WithSessionTTL(d time.Duration) Option {
+	return func(s *Server) { s.sessionTTL = d }
 }
 
 // New builds the server over named corpora.
 func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	s := &Server{
 		systems:     systems,
-		sessions:    make(map[string]*session),
 		maxSessions: DefaultMaxSessions,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.store = newSessionStore(s.maxSessions, s.sessionTTL)
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/databases", s.handleDatabases)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
@@ -85,6 +94,10 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // ----------------------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "sessions": s.store.len()})
+}
 
 func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
 	sys, ok := s.systems[corpusOf(r)]
@@ -136,35 +149,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown database "+req.DB)
 		return
 	}
-	s.mu.Lock()
-	for s.maxSessions > 0 && len(s.sessions) >= s.maxSessions && len(s.order) > 0 {
-		oldest := s.order[0]
-		s.order = s.order[1:]
-		delete(s.sessions, oldest)
-	}
-	s.nextID++
-	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = &session{sess: sys.NewSession(req.DB), db: req.DB}
-	s.order = append(s.order, id)
-	s.mu.Unlock()
+	id := "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+	s.store.put(id, &session{sess: sys.NewSession(req.DB), db: req.DB})
 	writeJSON(w, map[string]any{"session_id": id, "db": req.DB})
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	if ok {
-		delete(s.sessions, id)
-		for i, sid := range s.order {
-			if sid == id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-	}
-	s.mu.Unlock()
-	if !ok {
+	if _, ok := s.store.remove(id); !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
 		return
 	}
@@ -173,13 +165,27 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) session(r *http.Request) (*session, error) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
+	sess, ok := s.store.get(id)
 	if !ok {
 		return nil, fmt.Errorf("unknown session %q", id)
 	}
 	return sess, nil
+}
+
+// lockLive acquires sess.mu and verifies the session still exists. A
+// session can be evicted or deleted between the store lookup and the lock
+// acquisition (another request may hold the mutex for a long pipeline run);
+// operating on it anyway would answer on a zombie whose state no other
+// request can ever see again. The caller must hold the returned lock via
+// defer sess.mu.Unlock() when ok.
+func lockLive(w http.ResponseWriter, sess *session) (ok bool) {
+	sess.mu.Lock()
+	if sess.gone.Load() {
+		sess.mu.Unlock()
+		httpError(w, http.StatusGone, "session evicted")
+		return false
+	}
+	return true
 }
 
 type askReq struct {
@@ -216,8 +222,11 @@ func toJSON(ans *assistant.Answer) answerJSON {
 		Reformulation: ans.Reformulation,
 		Explanation:   ans.Explanation,
 	}
-	for _, sp := range ans.Spans {
-		out.Spans = append(out.Spans, spanJSON{Clause: sp.Clause.String(), Start: sp.Start, End: sp.End})
+	if len(ans.Spans) > 0 {
+		out.Spans = make([]spanJSON, len(ans.Spans))
+		for i, sp := range ans.Spans {
+			out.Spans[i] = spanJSON{Clause: sp.Clause.String(), Start: sp.Start, End: sp.End}
+		}
 	}
 	if ans.ExecErr != nil {
 		out.Error = ans.ExecErr.Error()
@@ -225,12 +234,18 @@ func toJSON(ans *assistant.Answer) answerJSON {
 	}
 	if ans.Result != nil {
 		out.Columns = ans.Result.Columns
-		for _, row := range ans.Result.Rows {
-			cells := make([]string, len(row))
-			for i, v := range row {
-				cells[i] = v.String()
+		if rows := ans.Result.Rows; len(rows) > 0 {
+			// One backing array for all cells: a result is rendered cell by
+			// cell, and per-row allocations dominated this path.
+			out.Rows = make([][]string, len(rows))
+			flat := make([]string, 0, len(rows)*len(ans.Result.Columns))
+			for i, row := range rows {
+				start := len(flat)
+				for _, v := range row {
+					flat = append(flat, v.String())
+				}
+				out.Rows[i] = flat[start:len(flat):len(flat)]
 			}
-			out.Rows = append(out.Rows, cells)
 		}
 	}
 	return out
@@ -247,14 +262,16 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing question")
 		return
 	}
-	sess.mu.Lock()
+	if !lockLive(w, sess) {
+		return
+	}
 	defer sess.mu.Unlock()
 	ans, err := sess.sess.Ask(r.Context(), req.Question)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, toJSON(ans))
+	writeAnswer(w, ans)
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -268,7 +285,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing feedback text")
 		return
 	}
-	sess.mu.Lock()
+	if !lockLive(w, sess) {
+		return
+	}
 	defer sess.mu.Unlock()
 	var hl *feedback.Highlight
 	if req.Highlight != "" {
@@ -287,7 +306,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, toJSON(ans))
+	writeAnswer(w, ans)
+}
+
+type historyTurn struct {
+	Role string `json:"role"`
+	Text string `json:"text"`
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
@@ -296,26 +320,101 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	sess.mu.Lock()
+	if !lockLive(w, sess) {
+		return
+	}
 	defer sess.mu.Unlock()
-	type turn struct {
-		Role string `json:"role"`
-		Text string `json:"text"`
+	// Render only the turns appended since the last history request; older
+	// fragments are already encoded in sess.histBuf. The stitched body is
+	// byte-identical to encoding {"db": ..., "turns": [...]} in full (JSON
+	// object keys sort "db" < "turns"), and an empty history yields
+	// "turns": [] — a fresh session has no turns, not unknown turns (null).
+	for _, t := range sess.sess.HistorySince(sess.histTurns) {
+		frag, err := json.Marshal(historyTurn{Role: t.Role, Text: t.Text})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+			return
+		}
+		if sess.histTurns > 0 {
+			sess.histBuf = append(sess.histBuf, ',')
+		}
+		sess.histBuf = append(sess.histBuf, frag...)
+		sess.histTurns++
 	}
-	var turns []turn
-	for _, t := range sess.sess.History() {
-		turns = append(turns, turn{Role: t.Role, Text: t.Text})
+	dbJSON, err := json.Marshal(sess.db)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
 	}
-	writeJSON(w, map[string]any{"db": sess.db, "turns": turns})
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"db":`)
+	buf.Write(dbJSON)
+	buf.WriteString(`,"turns":[`)
+	buf.Write(sess.histBuf)
+	buf.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+	bufPool.Put(buf)
+}
+
+// ----------------------------------------------------------------------------
+// Response writing. Bodies are encoded into pooled buffers: the encoder
+// error surfaces as a 500 before any bytes hit the wire (a direct
+// json.NewEncoder(w) write would already have committed a 200), and the
+// per-request buffer+encoder allocations disappear.
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeAnswer sends an Assistant answer, rendering each distinct Answer to
+// JSON exactly once: the bytes are cached on the (immutable) Answer, so
+// every later request served by the same memoized Answer — a thundering
+// herd of sessions asking the same question — skips the row rendering and
+// encoding entirely.
+func writeAnswer(w http.ResponseWriter, ans *assistant.Answer) {
+	body := ans.Wire()
+	if body == nil {
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := json.NewEncoder(buf).Encode(toJSON(ans)); err != nil {
+			bufPool.Put(buf)
+			httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+			return
+		}
+		body = make([]byte, buf.Len())
+		copy(body, buf.Bytes())
+		bufPool.Put(buf)
+		ans.SetWire(body)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		bufPool.Put(buf)
+		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+	bufPool.Put(buf)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	// A map[string]string cannot fail to encode; ignore-with-blank would
+	// still be wrong for the success path above.
+	_ = json.NewEncoder(buf).Encode(map[string]string{"error": msg})
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_, _ = w.Write(buf.Bytes())
+	bufPool.Put(buf)
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"fisql/internal/core"
 	"fisql/internal/dataset"
 	"fisql/internal/dataset/aep"
+	"fisql/internal/engine"
 	"fisql/internal/llm"
 	"fisql/internal/rag"
 )
@@ -21,10 +23,11 @@ type testFactory struct {
 	ds    *dataset.Dataset
 	sim   *llm.Sim
 	store *rag.Store
+	cache *engine.Cache
 }
 
 func (f *testFactory) NewSession(db string) *core.Session {
-	asst := &assistant.Assistant{Client: f.sim, DS: f.ds, Store: f.store, K: 8}
+	asst := &assistant.Assistant{Client: f.sim, DS: f.ds, Store: f.store, K: 8, Cache: f.cache}
 	method := &core.FISQL{Client: f.sim, DS: f.ds, Store: f.store, K: 8, Routing: true, Highlights: true}
 	return core.NewSession(asst, method, db)
 }
@@ -44,17 +47,20 @@ var (
 	srvErr     error
 )
 
+func buildSharedFactory() {
+	ds, err := aep.Build()
+	if err != nil {
+		srvErr = err
+		return
+	}
+	srvFactory = &testFactory{ds: ds, sim: llm.NewSim(ds), store: rag.NewStore(ds.Demos),
+		cache: engine.NewCache(0)}
+	srvTS = httptest.NewServer(New(map[string]SessionFactory{"aep": srvFactory}))
+}
+
 func factory(t *testing.T) *testFactory {
 	t.Helper()
-	srvOnce.Do(func() {
-		ds, err := aep.Build()
-		if err != nil {
-			srvErr = err
-			return
-		}
-		srvFactory = &testFactory{ds: ds, sim: llm.NewSim(ds), store: rag.NewStore(ds.Demos)}
-		srvTS = httptest.NewServer(New(map[string]SessionFactory{"aep": srvFactory}))
-	})
+	srvOnce.Do(buildSharedFactory)
 	if srvErr != nil {
 		t.Fatal(srvErr)
 	}
@@ -67,17 +73,30 @@ func testServer(t *testing.T) *httptest.Server {
 	return srvTS
 }
 
-func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
-	t.Helper()
+func postJSONRaw(url string, body any) (*http.Response, map[string]any, error) {
 	buf, _ := json.Marshal(body)
 	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
 	if err != nil {
-		t.Fatal(err)
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	var out map[string]any
 	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out, nil
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, out, err := postJSONRaw(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return resp, out
+}
+
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 }
 
 func TestDatabasesEndpoint(t *testing.T) {
