@@ -19,6 +19,7 @@ import (
 
 	"fisql"
 	"fisql/internal/eval"
+	"fisql/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func main() {
 	rounds := flag.Int("rounds", 2, "feedback rounds for figure8")
 	workers := flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file ('-' for stdout)")
+	metrics := flag.Bool("metrics", false,
+		"collect per-stage latency histograms across all experiments and print the summary")
 	flag.Parse()
 
 	sp, err := fisql.NewSpiderSystem()
@@ -38,6 +41,9 @@ func main() {
 		log.Fatalf("build experience-platform corpus: %v", err)
 	}
 	r := runner{sp: sp, ae: ae, ctx: context.Background(), export: eval.NewExport(), workers: *workers}
+	if *metrics {
+		r.obs = obs.NewMetrics()
+	}
 
 	switch *exp {
 	case "figure2":
@@ -80,6 +86,12 @@ func main() {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
 
+	if r.obs != nil {
+		fmt.Println()
+		fmt.Println("Pipeline stage timings (aggregate across experiments)")
+		r.obs.WriteStageSummary(os.Stdout)
+	}
+
 	if *jsonOut != "" {
 		out := os.Stdout
 		if *jsonOut != "-" {
@@ -101,12 +113,16 @@ type runner struct {
 	ctx     context.Context
 	export  *eval.Export
 	workers int
+	// obs aggregates per-stage latency histograms across every experiment
+	// the run executes; nil (the default) disables tracing entirely.
+	obs *obs.Metrics
 
 	spErrs, aeErrs []eval.GenResult
 }
 
 func (r *runner) mustGenerate(sys *fisql.System, k int) ([]eval.GenResult, eval.Accuracy) {
-	res, acc, err := eval.RunGenerationOpts(r.ctx, sys.Client, sys.DS, k, eval.RunOptions{Workers: r.workers})
+	res, acc, err := eval.RunGenerationOpts(r.ctx, sys.Client, sys.DS, k,
+		eval.RunOptions{Workers: r.workers, Obs: r.obs})
 	if err != nil {
 		log.Fatalf("generation: %v", err)
 	}
@@ -126,7 +142,7 @@ func (r *runner) ensureErrors() {
 
 func (r *runner) correct(sys *fisql.System, method fisql.Corrector, errs []eval.GenResult, rounds int, hl bool) eval.CorrectionResult {
 	out, err := eval.RunCorrection(r.ctx, method, sys.DS, errs,
-		eval.CorrectionOptions{Rounds: rounds, Highlights: hl, Workers: r.workers})
+		eval.CorrectionOptions{Rounds: rounds, Highlights: hl, Workers: r.workers, Obs: r.obs})
 	if err != nil {
 		log.Fatalf("correction: %v", err)
 	}

@@ -13,6 +13,13 @@
 // needing a separate process). Pass -addr to aim at a live fisql-server
 // instead — e.g. a pre-change binary for paired A/B runs.
 //
+// With -metrics (the default) the in-process server runs with observability
+// enabled; after the run the generator scrapes /v1/metrics, verifies both
+// the JSON and Prometheus forms are well-formed, and folds the per-stage
+// latency breakdown and cache counters into the report. Against -addr the
+// scrape is attempted and skipped with a warning if the target was started
+// without -metrics.
+//
 //	fisql-loadgen -corpus aep -sessions 32 -duration 5s
 //	fisql-loadgen -addr 127.0.0.1:8321 -corpus spider -mix 6:2:2 -json out.json
 package main
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"fisql"
+	"fisql/internal/obs"
 	"fisql/internal/server"
 )
 
@@ -84,6 +92,19 @@ type report struct {
 	Asks     int64   `json:"asks"`
 	Feedback int64   `json:"feedback"`
 	History  int64   `json:"history"`
+	// Stages and Counters come from the target's /v1/metrics scrape; empty
+	// when metrics are disabled or the target does not expose them.
+	Stages   []stageJSON      `json:"stages,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// stageJSON is one pipeline stage's server-side latency summary.
+type stageJSON struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
 }
 
 func main() {
@@ -95,6 +116,8 @@ func main() {
 	addr := flag.String("addr", "", "target a live fisql-server (host:port); empty runs one in-process")
 	seed := flag.Int64("seed", 1, "question-selection seed")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
+	metricsOn := flag.Bool("metrics", true,
+		"enable server metrics (in-process) and report the per-stage breakdown")
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -123,10 +146,17 @@ func main() {
 	dbs := sys.Databases()
 
 	base := "http://" + *addr
-	if *addr == "" {
+	inProcess := *addr == ""
+	if inProcess {
+		var opts []server.Option
+		if *metricsOn {
+			m := obs.NewMetrics()
+			sys.Observe(m.Registry)
+			opts = append(opts, server.WithMetrics(m))
+		}
 		ts := httptest.NewServer(server.New(map[string]server.SessionFactory{
 			*corpus: sysAdapter{sys},
-		}))
+		}, opts...))
 		defer ts.Close()
 		base = ts.URL
 	}
@@ -210,12 +240,17 @@ func main() {
 		rep.Maxms = ms(all[len(all)-1])
 	}
 
+	if *metricsOn {
+		scrapeMetrics(client, base, inProcess, &rep)
+	}
+
 	fmt.Printf("fisql-loadgen: corpus=%s sessions=%d duration=%s mix=%s target=%s\n",
 		rep.Corpus, rep.Sessions, rep.Duration, rep.Mix, targetName(*addr))
 	fmt.Printf("requests=%d (ask=%d feedback=%d history=%d) errors=%d\n",
 		rep.Requests, rep.Asks, rep.Feedback, rep.History, rep.Errors)
 	fmt.Printf("rps=%.1f latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		rep.RPS, rep.P50ms, rep.P95ms, rep.P99ms, rep.Maxms)
+	printStageBreakdown(&rep)
 
 	if *jsonOut != "" {
 		buf, _ := json.MarshalIndent(rep, "", "  ")
@@ -236,6 +271,110 @@ func targetName(addr string) string {
 		return "in-process"
 	}
 	return addr
+}
+
+// scrapeMetrics pulls /v1/metrics in both forms, checks they are
+// well-formed, and folds the per-stage histograms and the cache counters
+// into the report. Malformed output from the in-process server is a bug in
+// this repo and fatal; a -addr target may simply run without -metrics, so
+// absence there only warns.
+func scrapeMetrics(client *http.Client, base string, inProcess bool, rep *report) {
+	fail := func(format string, args ...any) {
+		if inProcess {
+			log.Fatalf("metrics scrape: "+format, args...)
+		}
+		log.Printf("warning: metrics scrape skipped: "+format, args...)
+	}
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		fail("%v", err)
+		return
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		fail("status %d (target started without -metrics?)", resp.StatusCode)
+		return
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fail("JSON body did not decode: %v", err)
+		return
+	}
+	if len(snap.Histograms) == 0 {
+		fail("snapshot has no histograms")
+		return
+	}
+	for name, h := range snap.Histograms {
+		if h.Count < 0 || len(h.Buckets) == 0 {
+			fail("histogram %s malformed: count=%d buckets=%d", name, h.Count, len(h.Buckets))
+			return
+		}
+		if last := h.Buckets[len(h.Buckets)-1]; last.LE != "+Inf" || last.Count != h.Count {
+			fail("histogram %s: last bucket %s=%d, want +Inf=%d", name, last.LE, last.Count, h.Count)
+			return
+		}
+	}
+
+	// The Prometheus text form must expose the same families.
+	presp, err := client.Get(base + "/v1/metrics?format=prometheus")
+	if err != nil {
+		fail("prometheus form: %v", err)
+		return
+	}
+	defer drain(presp)
+	ptext, err := io.ReadAll(presp.Body)
+	if err != nil || presp.StatusCode != http.StatusOK {
+		fail("prometheus form: status %d err %v", presp.StatusCode, err)
+		return
+	}
+	for _, want := range []string{"# TYPE ", "_bucket{le=\"+Inf\"}", "_count"} {
+		if !strings.Contains(string(ptext), want) {
+			fail("prometheus text missing %q", want)
+			return
+		}
+	}
+
+	var stageNames []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "fisql_stage_") {
+			stageNames = append(stageNames, name)
+		}
+	}
+	sort.Strings(stageNames)
+	for _, name := range stageNames {
+		h := snap.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(name, "fisql_stage_"), "_seconds")
+		rep.Stages = append(rep.Stages, stageJSON{
+			Stage: stage, Count: h.Count, P50ms: h.P50ms, P95ms: h.P95ms, P99ms: h.P99ms,
+		})
+	}
+	rep.Counters = snap.Counters
+}
+
+// printStageBreakdown renders the scraped per-stage summary under the
+// client-side numbers.
+func printStageBreakdown(rep *report) {
+	if len(rep.Stages) == 0 {
+		return
+	}
+	fmt.Println("server-side stage breakdown:")
+	fmt.Printf("  %-10s %10s %10s %10s %10s\n", "stage", "count", "p50_ms", "p95_ms", "p99_ms")
+	for _, s := range rep.Stages {
+		fmt.Printf("  %-10s %10d %10.3f %10.3f %10.3f\n", s.Stage, s.Count, s.P50ms, s.P95ms, s.P99ms)
+	}
+	var names []string
+	for name := range rep.Counters {
+		if strings.Contains(name, "_cache_") || strings.Contains(name, "_memo_") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s=%d\n", name, rep.Counters[name])
+	}
 }
 
 func parseMix(s string) ([numOps]int, error) {

@@ -9,6 +9,13 @@
 //	DELETE /v1/sessions/{id}
 //	GET    /v1/databases?corpus=aep
 //	GET    /v1/healthz
+//	GET    /v1/metrics[?format=prometheus]
+//
+// Observability is on by default (-metrics=false disables it): every
+// request is traced through the pipeline stages and /v1/metrics serves the
+// per-stage latency histograms plus the plan-cache, answer-memo, render
+// cache and session-store counters of both corpora. -pprof additionally
+// mounts net/http/pprof under /debug/pprof/.
 //
 // The session store is capped (-max-sessions, true-LRU eviction) and can
 // expire idle sessions (-session-ttl), so a long-running server does not
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"fisql"
+	"fisql/internal/obs"
 	"fisql/internal/server"
 )
 
@@ -47,6 +55,9 @@ func main() {
 		"expire sessions idle for longer than this (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long shutdown waits for in-flight requests to finish")
+	metrics := flag.Bool("metrics", true,
+		"per-stage tracing, cache counters and the /v1/metrics endpoint")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	sp, err := fisql.NewSpiderSystem()
@@ -57,10 +68,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("build experience-platform corpus: %v", err)
 	}
+	opts := []server.Option{
+		server.WithMaxSessions(*maxSessions),
+		server.WithSessionTTL(*sessionTTL),
+	}
+	if *metrics {
+		m := obs.NewMetrics()
+		// Both corpora report into one registry; duplicate-name sources sum.
+		sp.Observe(m.Registry)
+		ae.Observe(m.Registry)
+		opts = append(opts, server.WithMetrics(m))
+	}
+	if *pprofOn {
+		opts = append(opts, server.WithPprof())
+	}
 	h := server.New(map[string]server.SessionFactory{
 		"spider": sysAdapter{sp},
 		"aep":    sysAdapter{ae},
-	}, server.WithMaxSessions(*maxSessions), server.WithSessionTTL(*sessionTTL))
+	}, opts...)
 
 	srv := &http.Server{Addr: *addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -53,7 +53,7 @@ func ExampleAssistant() {
 		log.Fatal(err)
 	}
 	a := sys.Assistant()
-	ans := a.Answer("concert_singer", "SELECT COUNT(*) FROM singer WHERE age > 40")
+	ans := a.Answer(context.Background(), "concert_singer", "SELECT COUNT(*) FROM singer WHERE age > 40")
 	fmt.Println(ans.Reformulation)
 	for _, step := range ans.Explanation {
 		fmt.Println("-", step)

@@ -28,6 +28,7 @@ import (
 	"fisql/internal/eval"
 	"fisql/internal/feedback"
 	"fisql/internal/llm"
+	"fisql/internal/obs"
 	"fisql/internal/rag"
 )
 
@@ -92,6 +93,28 @@ type System struct {
 	// Client is non-deterministic (a real sampled LLM). Safe for concurrent
 	// use.
 	Memo *AnswerMemo
+}
+
+// Observe registers the system's cache statistics on a metrics registry:
+// plan-cache and answer-memo hit/miss counters plus live-entry gauges. The
+// sources are the always-on atomic tallies the caches keep anyway, read at
+// scrape time — the serving path pays nothing. Registering two systems
+// (spider + aep) on one registry sums their series. A nil registry is a
+// no-op.
+func (s *System) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	if c := s.Cache; c != nil {
+		r.CounterFunc("fisql_plan_cache_hits_total", func() int64 { h, _ := c.Stats(); return h })
+		r.CounterFunc("fisql_plan_cache_misses_total", func() int64 { _, m := c.Stats(); return m })
+		r.GaugeFunc("fisql_plan_cache_entries", func() int64 { return int64(c.Len()) })
+	}
+	if m := s.Memo; m != nil {
+		r.CounterFunc("fisql_answer_memo_hits_total", func() int64 { h, _ := m.Stats(); return h })
+		r.CounterFunc("fisql_answer_memo_misses_total", func() int64 { _, mi := m.Stats(); return mi })
+		r.GaugeFunc("fisql_answer_memo_entries", func() int64 { return int64(m.Len()) })
+	}
 }
 
 // Options configures a session's correction method.

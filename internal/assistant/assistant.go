@@ -15,6 +15,7 @@ import (
 	"fisql/internal/dataset"
 	"fisql/internal/engine"
 	"fisql/internal/llm"
+	"fisql/internal/obs"
 	"fisql/internal/prompt"
 	"fisql/internal/rag"
 	"fisql/internal/sqlast"
@@ -106,7 +107,7 @@ func (a *Assistant) ask(ctx context.Context, db, question string) (*Answer, erro
 	if err != nil {
 		return nil, err
 	}
-	return a.Answer(db, sql), nil
+	return a.Answer(ctx, db, sql), nil
 }
 
 // demoPool recycles the per-Ask demonstration slice: its length is bounded
@@ -117,22 +118,31 @@ var demoPool = sync.Pool{New: func() any {
 }}
 
 // GenerateSQL produces SQL for the question (retrieval-augmented when K>0).
+// When the context carries an obs.Trace, the retrieve/prompt/llm stages are
+// timed onto it (a context without one costs a nil check per stage).
 func (a *Assistant) GenerateSQL(ctx context.Context, db, question string) (string, error) {
 	s, ok := a.DS.Schemas[db]
 	if !ok {
 		return "", fmt.Errorf("unknown database %q", db)
 	}
+	tr := obs.TraceFrom(ctx)
 	demosp := demoPool.Get().(*[]prompt.Demo)
 	demos := (*demosp)[:0]
 	if a.K > 0 && a.Store != nil {
+		sp := tr.Start(obs.StageRetrieve)
 		for _, hit := range a.Store.Search(question, db, a.K) {
 			demos = append(demos, prompt.Demo{Question: hit.Demo.Question, SQL: hit.Demo.SQL})
 		}
+		sp.End()
 	}
+	sp := tr.Start(obs.StagePrompt)
 	p := prompt.NL2SQL(s, demos, question)
+	sp.End()
 	*demosp = demos[:0]
 	demoPool.Put(demosp)
+	sp = tr.Start(obs.StageLLM)
 	resp, err := a.Client.Complete(ctx, llm.Request{Prompt: p})
+	sp.End()
 	if err != nil {
 		return "", err
 	}
@@ -144,24 +154,32 @@ func (a *Assistant) GenerateSQL(ctx context.Context, db, question string) (strin
 // execution runs per call. With a Memo configured, the finished Answer is
 // additionally shared per (db, sql) across sessions — sound because the
 // assembly is a pure function of its arguments over immutable databases.
-func (a *Assistant) Answer(db, sql string) *Answer {
+// An obs.Trace carried by ctx times the plan/execute/render stages.
+func (a *Assistant) Answer(ctx context.Context, db, sql string) *Answer {
 	if a.Memo == nil {
-		return a.answer(db, sql)
+		return a.answer(ctx, db, sql)
 	}
+	// The wait context stays Background on purpose: fn never errors, so the
+	// only DoSQL error is a canceled waiter — which would surface here as a
+	// nil Answer to callers that cannot express one. The closure still sees
+	// ctx, so a trace records the stages when this call computes the miss.
 	ans, _ := a.Memo.DoSQL(context.Background(), db, sql, func() (*Answer, error) {
-		return a.answer(db, sql), nil
+		return a.answer(ctx, db, sql), nil
 	})
 	return ans
 }
 
-func (a *Assistant) answer(db, sql string) *Answer {
+func (a *Assistant) answer(ctx context.Context, db, sql string) *Answer {
+	tr := obs.TraceFrom(ctx)
 	ans := &Answer{SQL: sql}
 	dbase := a.DS.DBs[db]
 	var sel *sqlast.SelectStmt
 	var plan *engine.Plan
+	sp := tr.Start(obs.StagePlan)
 	if a.Cache != nil {
 		p, err := a.Cache.Plan(dbase, sql)
 		if err != nil {
+			sp.End()
 			ans.ExecErr = err
 			return ans
 		}
@@ -169,11 +187,14 @@ func (a *Assistant) answer(db, sql string) *Answer {
 	} else {
 		s, err := sqlparse.ParseSelect(sql)
 		if err != nil {
+			sp.End()
 			ans.ExecErr = err
 			return ans
 		}
 		sel = s
 	}
+	sp.End()
+	sp = tr.Start(obs.StageRender)
 	if plan != nil {
 		// The presentation depends only on the planned statement and its
 		// SQL text — both fixed per plan-cache entry — so compute it once
@@ -193,14 +214,17 @@ func (a *Assistant) answer(db, sql string) *Answer {
 		ans.Explanation = pres.explanation
 		ans.Spans = pres.spans
 	}
+	sp.End()
 	ex := engine.NewExecutor(dbase)
 	var res *engine.Result
 	var err error
+	sp = tr.Start(obs.StageExecute)
 	if plan != nil {
 		res, err = ex.Run(plan)
 	} else {
 		res, err = ex.Select(sel)
 	}
+	sp.End()
 	if err != nil {
 		ans.ExecErr = err
 		return ans

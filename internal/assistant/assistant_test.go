@@ -125,11 +125,11 @@ func TestAnswerWithBadSQL(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := &Assistant{Client: llm.NewSim(ds), DS: ds}
-	ans := a.Answer("concert_singer", "THIS IS NOT SQL")
+	ans := a.Answer(context.Background(), "concert_singer", "THIS IS NOT SQL")
 	if ans.ExecErr == nil {
 		t.Error("bad SQL should surface an execution error")
 	}
-	ans = a.Answer("concert_singer", "SELECT missing_column FROM singer")
+	ans = a.Answer(context.Background(), "concert_singer", "SELECT missing_column FROM singer")
 	if ans.ExecErr == nil {
 		t.Error("unknown column should surface an execution error")
 	}
@@ -145,7 +145,7 @@ func TestAnswerSpans(t *testing.T) {
 	}
 	a := &Assistant{Client: llm.NewSim(ds), DS: ds}
 	sql := "SELECT name FROM singer WHERE age > 20 ORDER BY name ASC"
-	ans := a.Answer("concert_singer", sql)
+	ans := a.Answer(context.Background(), "concert_singer", sql)
 	if len(ans.Spans) == 0 {
 		t.Fatal("no spans")
 	}
@@ -161,7 +161,7 @@ func TestAnswerSpans(t *testing.T) {
 	}
 	// Non-canonical SQL (spans would not index the displayed text) yields
 	// no spans rather than wrong ones.
-	ans = a.Answer("concert_singer", "select   name from singer")
+	ans = a.Answer(context.Background(), "concert_singer", "select   name from singer")
 	if len(ans.Spans) != 0 {
 		t.Errorf("non-canonical SQL should not carry spans: %+v", ans.Spans)
 	}

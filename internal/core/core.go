@@ -13,6 +13,7 @@ import (
 	"fisql/internal/dataset"
 	"fisql/internal/feedback"
 	"fisql/internal/llm"
+	"fisql/internal/obs"
 	"fisql/internal/prompt"
 	"fisql/internal/rag"
 )
@@ -73,21 +74,27 @@ func (f *FISQL) Route(ctx context.Context, fbText string) (dataset.Op, error) {
 }
 
 // Correct regenerates the SQL taking the feedback into account (Figure 6
-// prompt, with Figure 5 routed demonstrations when Routing is on).
+// prompt, with Figure 5 routed demonstrations when Routing is on). An
+// obs.Trace carried by ctx times the route/retrieve/prompt/repair stages
+// of the correction path.
 func (f *FISQL) Correct(ctx context.Context, db, question, prevSQL string, fb feedback.Feedback) (string, error) {
 	s, ok := f.DS.Schemas[db]
 	if !ok {
 		return "", fmt.Errorf("unknown database %q", db)
 	}
+	tr := obs.TraceFrom(ctx)
 	var routedOp *dataset.Op
 	var routedDemos []feedback.RepairDemo
 	if f.Routing {
+		sp := tr.Start(obs.StageRoute)
 		op, err := f.Route(ctx, fb.Text)
 		if err != nil {
+			sp.End()
 			return "", err
 		}
 		routedOp = &op
 		routedDemos = feedback.SelectDemos(op, fb.Text, prevSQL, f.DynamicDemos)
+		sp.End()
 	}
 	var hl *feedback.Highlight
 	if f.Highlights {
@@ -95,12 +102,18 @@ func (f *FISQL) Correct(ctx context.Context, db, question, prevSQL string, fb fe
 	}
 	var demos []prompt.Demo
 	if f.K > 0 && f.Store != nil {
+		sp := tr.Start(obs.StageRetrieve)
 		for _, hit := range f.Store.Search(question, db, f.K) {
 			demos = append(demos, prompt.Demo{Question: hit.Demo.Question, SQL: hit.Demo.SQL})
 		}
+		sp.End()
 	}
+	sp := tr.Start(obs.StagePrompt)
 	p := prompt.Repair(s, demos, routedDemos, routedOp, question, prevSQL, fb.Text, hl)
+	sp.End()
+	sp = tr.Start(obs.StageRepair)
 	resp, err := f.Client.Complete(ctx, llm.Request{Prompt: p})
+	sp.End()
 	if err != nil {
 		return "", err
 	}

@@ -87,7 +87,7 @@ func (s *Session) Feedback(ctx context.Context, text string, hl *feedback.Highli
 		return nil, err
 	}
 	s.sql = sql
-	ans := s.Assistant.Answer(s.DB, sql)
+	ans := s.Assistant.Answer(ctx, s.DB, sql)
 	s.history = append(s.history,
 		Turn{Role: "feedback", Text: text},
 		Turn{Role: "assistant", Text: ans.SQL, Answer: ans})

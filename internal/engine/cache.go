@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultCacheCapacity bounds a Cache built with NewCache(0). The evaluation
@@ -32,6 +33,12 @@ type Cache struct {
 	capacity int
 	ll       *list.List // front = most recently used
 	entries  map[cacheKey]*list.Element
+
+	// hits/misses tally lookups for observability (see Stats). A racing
+	// duplicate miss counts as a miss for each goroutine that ran Prepare —
+	// the tally reflects planning work actually done.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type cacheKey struct {
@@ -67,9 +74,11 @@ func (c *Cache) Plan(db *Database, sql string) (*Plan, error) {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
+		c.hits.Add(1)
 		return e.plan, e.err
 	}
 	c.mu.Unlock()
+	c.misses.Add(1)
 
 	// Prepare outside the lock: planning is deterministic, so two goroutines
 	// racing on the same miss just duplicate some work; the first insert wins
@@ -100,6 +109,13 @@ func (c *Cache) Query(db *Database, sql string) (*Result, error) {
 		return nil, err
 	}
 	return NewExecutor(db).Run(p)
+}
+
+// Stats reports cumulative lookup (hits, misses). A hit is a lookup served
+// from the cache; a miss is a lookup that ran Prepare (including the loser
+// of a racing duplicate miss).
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len reports the number of cached entries (hits and remembered errors).

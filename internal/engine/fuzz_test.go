@@ -1,0 +1,143 @@
+// Execution differential fuzzing: the planned+cached execution path must
+// never panic and must agree byte-for-byte with the dynamic-lookup
+// interpreter (hash joins off) on every input — gold SQL, trap variants,
+// demonstration pool, and whatever mutations the fuzzer derives from them.
+//
+// This lives in an external test package because the seed corpus comes from
+// internal/dataset, which itself imports internal/engine.
+package engine_test
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/dataset/spider"
+	"fisql/internal/engine"
+)
+
+// fuzzWorld lazily builds both corpora's databases once per process; fuzz
+// workers share the read-only catalogs and one plan cache, exactly like
+// concurrent server sessions do.
+var fuzzWorld struct {
+	once  sync.Once
+	dbs   map[string]*engine.Database
+	seeds [][2]string // (db, sql) seed corpus
+	cache *engine.Cache
+	err   error
+}
+
+func fuzzSetup() error {
+	fuzzWorld.once.Do(func() {
+		fuzzWorld.dbs = make(map[string]*engine.Database)
+		fuzzWorld.cache = engine.NewCache(0)
+		for _, build := range []func() (*dataset.Dataset, error){spider.Build, aep.Build} {
+			ds, err := build()
+			if err != nil {
+				fuzzWorld.err = err
+				return
+			}
+			for name, db := range ds.DBs {
+				fuzzWorld.dbs[name] = db
+			}
+			for _, e := range ds.Examples {
+				fuzzWorld.seeds = append(fuzzWorld.seeds, [2]string{e.DB, e.Gold})
+				if w := e.WrongSQL(); w != e.Gold {
+					fuzzWorld.seeds = append(fuzzWorld.seeds, [2]string{e.DB, w})
+				}
+				for _, v := range e.Variants {
+					fuzzWorld.seeds = append(fuzzWorld.seeds, [2]string{e.DB, v})
+				}
+			}
+			for _, d := range ds.Demos {
+				fuzzWorld.seeds = append(fuzzWorld.seeds, [2]string{d.DB, d.SQL})
+			}
+		}
+	})
+	return fuzzWorld.err
+}
+
+// FuzzExecPlannedVsDynamic differentially executes every (db, sql) input on
+// the planned/cached/hash-join path and the dynamic-lookup interpreter.
+// The two must agree on error-ness, error text, and the full result.
+func FuzzExecPlannedVsDynamic(f *testing.F) {
+	if err := fuzzSetup(); err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range fuzzWorld.seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, dbName, sql string) {
+		// Unbounded inputs only slow the fuzzer down: parser depth, not
+		// input length, is what shakes out executor bugs.
+		if len(sql) > 512 {
+			t.Skip()
+		}
+		db, ok := fuzzWorld.dbs[dbName]
+		if !ok {
+			t.Skip()
+		}
+		// Planned path, twice: the second run exercises the cache-hit
+		// plan-reuse path (shared immutable plan, fresh executor).
+		planned1, err1 := fuzzWorld.cache.Query(db, sql)
+		planned2, err2 := fuzzWorld.cache.Query(db, sql)
+		// Reference path: parse-per-call dynamic lookup, no hash joins.
+		ex := engine.NewExecutor(db)
+		ex.SetHashJoin(false)
+		dynamic, errD := ex.Query(sql)
+
+		if (err1 == nil) != (errD == nil) {
+			t.Fatalf("planned err=%v dynamic err=%v\nsql: %q", err1, errD, sql)
+		}
+		if err1 != nil {
+			if err1.Error() != errD.Error() {
+				t.Fatalf("error text diverged:\nplanned: %s\ndynamic: %s\nsql: %q", err1, errD, sql)
+			}
+			if err2 == nil || err2.Error() != err1.Error() {
+				t.Fatalf("cached re-run changed the error: %v vs %v\nsql: %q", err2, err1, sql)
+			}
+			return
+		}
+		if err2 != nil {
+			t.Fatalf("first run succeeded, cached re-run failed: %v\nsql: %q", err2, sql)
+		}
+		if !reflect.DeepEqual(planned1, dynamic) {
+			t.Fatalf("results diverged\nplanned: %+v\ndynamic: %+v\nsql: %q", planned1, dynamic, sql)
+		}
+		if !reflect.DeepEqual(planned1, planned2) {
+			t.Fatalf("cached re-run diverged from first run\nsql: %q", sql)
+		}
+	})
+}
+
+// TestFuzzSeedCorpus runs the whole seed corpus through the differential
+// check directly, so plain `go test` (no -fuzz) still covers every gold
+// query, trap variant and demo on both paths.
+func TestFuzzSeedCorpus(t *testing.T) {
+	if err := fuzzSetup(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fuzzWorld.seeds) == 0 {
+		t.Fatal("empty seed corpus")
+	}
+	for _, s := range fuzzWorld.seeds {
+		db := fuzzWorld.dbs[s[0]]
+		planned, errP := fuzzWorld.cache.Query(db, s[1])
+		ex := engine.NewExecutor(db)
+		ex.SetHashJoin(false)
+		dynamic, errD := ex.Query(s[1])
+		switch {
+		case (errP == nil) != (errD == nil):
+			t.Errorf("%s: planned err=%v dynamic err=%v\nsql: %q", s[0], errP, errD, s[1])
+		case errP != nil:
+			if errP.Error() != errD.Error() {
+				t.Errorf("%s: error text diverged: %q vs %q", s[0], errP, errD)
+			}
+		case !reflect.DeepEqual(planned, dynamic):
+			t.Errorf("%s: results diverged for %q", s[0], strings.TrimSpace(s[1]))
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fisql/internal/engine"
 	"fisql/internal/feedback"
 	"fisql/internal/llm"
+	"fisql/internal/obs"
 	"fisql/internal/rag"
 	"fisql/internal/schema"
 )
@@ -73,6 +74,10 @@ type RunOptions struct {
 	// and the whole substrate (llm.Sim, rag.Store, schema, engine) is
 	// deterministic and safe for concurrent reads.
 	Workers int
+	// Obs, when non-nil, records a per-example trace into its per-stage
+	// latency histograms (retrieve/prompt/llm/plan/execute). Histograms are
+	// atomic, so concurrent workers fold observations in without locking.
+	Obs *obs.Metrics
 }
 
 // RunGeneration evaluates the NL2SQL pipeline over the whole corpus with k
@@ -96,6 +101,9 @@ func RunGenerationOpts(ctx context.Context, client llm.Client, ds *dataset.Datas
 	gold := newGoldCache()
 	err := forEach(len(ds.Examples), opt.Workers, func(i int) error {
 		e := ds.Examples[i]
+		tr := opt.Obs.StartTrace()
+		defer tr.Finish()
+		ctx := obs.WithTrace(ctx, tr)
 		sql, err := asst.GenerateSQL(ctx, e.DB, e.Question)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
@@ -208,6 +216,9 @@ type CorrectionOptions struct {
 	// safe for concurrent use when Workers != 1 (core.FISQL and
 	// core.QueryRewrite are: they hold only read-only configuration).
 	Workers int
+	// Obs, when non-nil, records a per-instance trace of the correction
+	// path (route/retrieve/prompt/repair) into its stage histograms.
+	Obs *obs.Metrics
 }
 
 // correctionOutcome is one error instance's verdict, folded into the
@@ -233,6 +244,9 @@ func RunCorrection(ctx context.Context, corrector core.Corrector, ds *dataset.Da
 	err := forEach(len(errs), opt.Workers, func(i int) error {
 		ge := errs[i]
 		e := ge.Example
+		tr := opt.Obs.StartTrace()
+		defer tr.Finish()
+		ctx := obs.WithTrace(ctx, tr)
 		fb, ok := annot.Annotate(e, ge.SQL, 1, opt.Highlights)
 		if !ok {
 			outcomes[i].skipped = true

@@ -1,0 +1,181 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffSchedule pins the delay sequence: doubling from
+// BaseDelay, capped at MaxDelay, every delay routed through Jitter.
+func TestRetryBackoffSchedule(t *testing.T) {
+	fail := func(n int) []error {
+		outs := make([]error, n)
+		for i := range outs {
+			outs[i] = &Transient{Err: errors.New("x")}
+		}
+		return outs
+	}
+	var slept []time.Duration
+	record := func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+
+	cases := []struct {
+		name string
+		r    Retry
+		want []time.Duration
+	}{
+		{
+			name: "doubles then caps at MaxDelay",
+			r:    Retry{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond},
+			want: []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+				400 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond},
+		},
+		{
+			name: "default cap is DefaultMaxDelay",
+			r:    Retry{MaxAttempts: 8, BaseDelay: 500 * time.Millisecond},
+			want: []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second,
+				2 * time.Second, 2 * time.Second, 2 * time.Second, 2 * time.Second},
+		},
+		{
+			name: "negative MaxDelay disables the cap",
+			r:    Retry{MaxAttempts: 6, BaseDelay: time.Second, MaxDelay: -1},
+			want: []time.Duration{time.Second, 2 * time.Second, 4 * time.Second,
+				8 * time.Second, 16 * time.Second},
+		},
+		{
+			name: "jitter sees the capped delay",
+			r: Retry{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond,
+				MaxDelay: 150 * time.Millisecond,
+				Jitter:   func(d time.Duration) time.Duration { return d + time.Millisecond }},
+			want: []time.Duration{101 * time.Millisecond, 151 * time.Millisecond,
+				151 * time.Millisecond},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			slept = nil
+			tc.r.Inner = &scripted{outcomes: fail(tc.r.MaxAttempts)}
+			tc.r.Sleep = record
+			if _, err := tc.r.Complete(context.Background(), Request{Prompt: "p"}); err == nil {
+				t.Fatal("expected exhaustion error")
+			}
+			if len(slept) != len(tc.want) {
+				t.Fatalf("slept %v, want %v", slept, tc.want)
+			}
+			for i := range slept {
+				if slept[i] != tc.want[i] {
+					t.Errorf("sleep[%d] = %v, want %v", i, slept[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFlakySeededRateIsReproducible checks that two identically seeded
+// wrappers inject the same failure schedule, and a different seed a
+// different one.
+func TestFlakySeededRateIsReproducible(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		f := &Flaky{Inner: &scripted{}, FailRate: 0.4, Seed: seed}
+		out := make([]bool, 50)
+		for i := range out {
+			_, err := f.Complete(context.Background(), Request{Prompt: "p"})
+			out[i] = err != nil
+			if err != nil && !IsTransient(err) {
+				t.Fatal("rate-injected failure should be transient")
+			}
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	failures := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Errorf("failures = %d of %d; rate 0.4 should fail some but not all", failures, len(a))
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical schedule")
+	}
+}
+
+// TestFlakyLatencyHonorsCancellation checks that a context canceled during
+// injected latency surfaces ctx.Err() without reaching the inner client.
+func TestFlakyLatencyHonorsCancellation(t *testing.T) {
+	inner := &scripted{}
+	f := &Flaky{Inner: inner, Latency: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := f.Complete(ctx, Request{Prompt: "p"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if inner.calls != 0 {
+		t.Errorf("inner client called %d times during canceled latency", inner.calls)
+	}
+}
+
+// TestFlakyLatencyDelays checks the fixed+jitter delay actually elapses.
+func TestFlakyLatencyDelays(t *testing.T) {
+	f := &Flaky{Inner: &scripted{}, Latency: 10 * time.Millisecond, LatencyJitter: 5 * time.Millisecond, Seed: 1}
+	t0 := time.Now()
+	if _, err := f.Complete(context.Background(), Request{Prompt: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el < 10*time.Millisecond {
+		t.Errorf("call returned after %v, want >= 10ms", el)
+	}
+	if f.Calls() != 1 {
+		t.Errorf("Calls() = %d, want 1", f.Calls())
+	}
+}
+
+// TestFlakyConcurrent hammers one wrapper from many goroutines under -race;
+// the total call count must be exact.
+func TestFlakyConcurrent(t *testing.T) {
+	f := &Flaky{Inner: &scriptedConcurrent{}, FailRate: 0.3, Seed: 42}
+	done := make(chan struct{})
+	const goroutines, per = 8, 50
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				_, _ = f.Complete(context.Background(), Request{Prompt: "p"})
+			}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if f.Calls() != goroutines*per {
+		t.Errorf("Calls() = %d, want %d", f.Calls(), goroutines*per)
+	}
+}
+
+// scriptedConcurrent is a trivially successful client safe for concurrent
+// use (scripted mutates an unguarded counter).
+type scriptedConcurrent struct{}
+
+func (scriptedConcurrent) Complete(context.Context, Request) (Response, error) {
+	return Response{Text: "ok"}, nil
+}

@@ -34,9 +34,21 @@ type Retry struct {
 	// BaseDelay is the first backoff delay (default 50ms); it doubles per
 	// attempt. Tests set it to 0.
 	BaseDelay time.Duration
+	// MaxDelay caps each backoff delay. Unbounded doubling is how a long
+	// outage turns a retry loop into a multi-minute hang; the cap keeps the
+	// worst single wait useful. 0 means the 2s default, negative disables
+	// the cap.
+	MaxDelay time.Duration
+	// Jitter, when set, maps each capped delay to the duration actually
+	// slept — hook in randomized spread so a herd of clients that failed
+	// together does not retry in lockstep. Applied after the MaxDelay cap.
+	Jitter func(d time.Duration) time.Duration
 	// Sleep is stubbable for tests; defaults to time.Sleep honoring ctx.
 	Sleep func(ctx context.Context, d time.Duration) error
 }
+
+// DefaultMaxDelay is the backoff cap of a Retry with zero MaxDelay.
+const DefaultMaxDelay = 2 * time.Second
 
 // Complete forwards to the inner client, retrying transient errors.
 func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
@@ -47,6 +59,10 @@ func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
 	delay := r.BaseDelay
 	if delay == 0 {
 		delay = 50 * time.Millisecond
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay == 0 {
+		maxDelay = DefaultMaxDelay
 	}
 	sleep := r.Sleep
 	if sleep == nil {
@@ -62,7 +78,14 @@ func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, delay); err != nil {
+			d := delay
+			if maxDelay > 0 && d > maxDelay {
+				d = maxDelay
+			}
+			if r.Jitter != nil {
+				d = r.Jitter(d)
+			}
+			if err := sleep(ctx, d); err != nil {
 				return Response{}, err
 			}
 			delay *= 2
@@ -77,23 +100,4 @@ func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
 		lastErr = err
 	}
 	return Response{}, fmt.Errorf("llm: %d attempts failed: %w", attempts, lastErr)
-}
-
-// Flaky injects transient failures in front of a client: every Nth call
-// fails once. Deterministic, for failure-injection tests.
-type Flaky struct {
-	Inner Client
-	// FailEvery makes call numbers divisible by it fail (must be >= 1).
-	FailEvery int
-
-	calls int
-}
-
-// Complete fails deterministically, then forwards.
-func (f *Flaky) Complete(ctx context.Context, req Request) (Response, error) {
-	f.calls++
-	if f.FailEvery >= 1 && f.calls%f.FailEvery == 0 {
-		return Response{}, &Transient{Err: errors.New("injected failure")}
-	}
-	return f.Inner.Complete(ctx, req)
 }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric family, families
+// sorted by name, histogram buckets cumulative with a trailing `+Inf`
+// bucket plus `_sum` and `_count` series. Output is deterministic for a
+// given registry state, so it can be golden-tested. No-op on a nil
+// registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bw.WriteString("# TYPE " + name + " counter\n")
+		bw.WriteString(name + " " + strconv.FormatInt(snap.Counters[name], 10) + "\n")
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bw.WriteString("# TYPE " + name + " gauge\n")
+		bw.WriteString(name + " " + strconv.FormatInt(snap.Gauges[name], 10) + "\n")
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		bw.WriteString("# TYPE " + name + " histogram\n")
+		for _, b := range h.Buckets {
+			bw.WriteString(name + `_bucket{le="` + b.LE + `"} ` +
+				strconv.FormatInt(b.Count, 10) + "\n")
+		}
+		bw.WriteString(name + "_sum " + strconv.FormatFloat(h.SumSeconds, 'g', -1, 64) + "\n")
+		bw.WriteString(name + "_count " + strconv.FormatInt(h.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}

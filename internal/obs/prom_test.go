@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the exact text exposition bytes: family order
+// (counters, gauges, histograms; each sorted by name), TYPE headers,
+// cumulative buckets with a trailing +Inf, and _sum/_count series.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total").Add(3)
+	r.CounterFunc("t_cache_hits_total", func() int64 { return 7 })
+	r.Gauge("t_live").Set(2)
+	h := r.Histogram("t_lat_seconds", []float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE t_cache_hits_total counter
+t_cache_hits_total 7
+# TYPE t_requests_total counter
+t_requests_total 3
+# TYPE t_live gauge
+t_live 2
+# TYPE t_lat_seconds histogram
+t_lat_seconds_bucket{le="0.001"} 1
+t_lat_seconds_bucket{le="0.01"} 2
+t_lat_seconds_bucket{le="+Inf"} 3
+t_lat_seconds_sum 0.0255
+t_lat_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusDefaultBounds sanity-checks that a default-bounds latency
+// histogram renders a parseable family (every line either a comment or
+// "name value"), with as many bucket lines as bounds plus one.
+func TestPrometheusDefaultBounds(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_seconds", nil).Observe(3 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	buckets := 0
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparseable sample line %q", line)
+		}
+		if strings.HasPrefix(line, "h_seconds_bucket{") {
+			buckets++
+		}
+	}
+	if want := len(DefaultLatencyBounds) + 1; buckets != want {
+		t.Errorf("bucket lines = %d, want %d", buckets, want)
+	}
+}

@@ -1,0 +1,401 @@
+// Package obs is the observability subsystem: a lightweight metrics
+// registry (counters, gauges, fixed-bucket latency histograms) plus
+// per-request trace spans threaded through context.Context (see trace.go).
+//
+// Two properties shape the design:
+//
+//   - Zero cost when disabled. Every type is nil-receiver-safe: a nil
+//     *Registry hands out nil metrics, and every method on a nil *Counter,
+//     *Gauge, *Histogram, *Trace or zero Span is a no-op that performs no
+//     clock reads and no allocation. Instrumented code therefore never
+//     branches on "is observability on" — it just calls through, and the
+//     disabled path folds to a handful of nil checks.
+//
+//   - Safe under heavy concurrency. All mutation is lock-free
+//     (sync/atomic); the registry's name→metric maps take a mutex only on
+//     first registration and on scrape, never per observation.
+//
+// Components that should not depend on this package (the execution engine,
+// the answer memo, the session store) keep their own cheap atomic tallies
+// and are surfaced at wiring time through CounterFunc/GaugeFunc readouts.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing tally. The zero value is ready to
+// use; a nil Counter discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current tally (0 on a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value. The zero value is ready to use; a nil
+// Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBounds are the fixed histogram bucket upper bounds, in
+// seconds, used for every latency histogram built without explicit bounds.
+// They span 100µs to 2.5s — the serving path's observed range from cache
+// hits to cold multi-join corrections — with a final implicit +Inf bucket
+// catching everything slower.
+var DefaultLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// lock-free atomic adds; quantiles are estimated at scrape time by linear
+// interpolation within the bucket containing the target rank (the same
+// estimate Prometheus's histogram_quantile computes). A nil Histogram
+// discards all observations.
+type Histogram struct {
+	// bounds are the inclusive bucket upper bounds in seconds, strictly
+	// increasing. buckets has len(bounds)+1 slots; the last is the +Inf
+	// overflow bucket.
+	bounds  []float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds in
+// seconds (nil means DefaultLatencyBounds). Bounds must be sorted strictly
+// increasing.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	// First bucket whose upper bound is >= s; misses on every bound land
+	// in the trailing +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time (0 on nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the target bucket. The underflow region interpolates from 0; a
+// rank landing in the +Inf overflow bucket reports the highest finite
+// bound (there is no upper edge to interpolate toward). An empty or nil
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.buckets))
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if float64(cum)+float64(n) < rank || n == 0 {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: clamp to the last finite bound.
+			return secondsToDuration(h.bounds[len(h.bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(cum)) / float64(n)
+		return secondsToDuration(lo + frac*(hi-lo))
+	}
+	return secondsToDuration(h.bounds[len(h.bounds)-1])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// ----------------------------------------------------------------------------
+
+// Registry is a named collection of metrics. Metric lookups take the
+// registry mutex; instrumented code should resolve its metrics once at
+// wiring time and hold the pointers, leaving only atomic updates on the
+// hot path. A nil Registry hands out nil metrics, so a fully disabled
+// deployment costs nothing. Safe for concurrent use.
+type Registry struct {
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Histogram
+	counterFuncs map[string][]func() int64
+	gaugeFuncs   map[string][]func() int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:     map[string]*Counter{},
+		gauges:       map[string]*Gauge{},
+		hists:        map[string]*Histogram{},
+		counterFuncs: map[string][]func() int64{},
+		gaugeFuncs:   map[string][]func() int64{},
+	}
+}
+
+// Counter returns the named counter, registering it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bounds (nil means DefaultLatencyBounds) on first use; later calls return
+// the existing histogram regardless of bounds. Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a read-time counter source: components that keep
+// their own atomic tallies (the plan cache, the answer memo, the session
+// store) surface them without importing this package. Multiple sources
+// under one name sum — two corpora each registering their plan cache
+// report one combined tally. No-op on a nil registry.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[name] = append(r.counterFuncs[name], fn)
+}
+
+// GaugeFunc registers a read-time gauge source; multiple sources under one
+// name sum. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = append(r.gaugeFuncs[name], fn)
+}
+
+// ----------------------------------------------------------------------------
+// Snapshots
+
+// Snapshot is a point-in-time JSON-encodable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot summarizes one histogram: totals, interpolated
+// quantiles in milliseconds, and the cumulative bucket counts.
+type HistogramSnapshot struct {
+	Count      int64         `json:"count"`
+	SumSeconds float64       `json:"sum_seconds"`
+	P50ms      float64       `json:"p50_ms"`
+	P95ms      float64       `json:"p95_ms"`
+	P99ms      float64       `json:"p99_ms"`
+	Buckets    []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket. LE is the upper bound in
+// seconds rendered as a string ("0.005", "+Inf") — a string because JSON
+// cannot encode infinity.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot captures every metric. Concurrent updates during the capture
+// may land in some metrics and not others; each individual metric is read
+// atomically. Returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] += c.Value()
+	}
+	for name, fns := range r.counterFuncs {
+		for _, fn := range fns {
+			snap.Counters[name] += fn()
+		}
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] += g.Value()
+	}
+	for name, fns := range r.gaugeFuncs {
+		for _, fn := range fns {
+			snap.Gauges[name] += fn()
+		}
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = h.snapshot()
+	}
+	return snap
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:      h.Count(),
+		SumSeconds: h.Sum().Seconds(),
+		P50ms:      durToMs(h.Quantile(0.50)),
+		P95ms:      durToMs(h.Quantile(0.95)),
+		P99ms:      durToMs(h.Quantile(0.99)),
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatBound(h.bounds[i])
+		}
+		out.Buckets = append(out.Buckets, BucketCount{LE: le, Count: cum})
+	}
+	return out
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func durToMs(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+// TestNilRegistryAndMetricsAreNoOps pins the disabled-mode contract: a nil
+// registry hands out nil metrics and every operation on them is safe.
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	if c != nil {
+		t.Fatal("nil registry returned a non-nil counter")
+	}
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("x")
+	g.Set(5)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := r.Histogram("x", nil)
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram recorded something")
+	}
+	r.CounterFunc("x", func() int64 { return 1 })
+	r.GaugeFunc("x", func() int64 { return 1 })
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", snap)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (inclusive upper bound)
+// semantics, the underflow region and the +Inf overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // underflow region -> bucket le=0.001
+	h.Observe(time.Millisecond)       // exactly on a bound -> that bucket (le)
+	h.Observe(5 * time.Millisecond)   // -> le=0.01
+	h.Observe(100 * time.Millisecond) // exactly the top bound -> le=0.1
+	h.Observe(200 * time.Millisecond) // -> +Inf overflow
+	h.Observe(time.Hour)              // far overflow
+
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + 5*time.Millisecond +
+		100*time.Millisecond + 200*time.Millisecond + time.Hour
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+// near reports a ≈ b within a relative tolerance, for interpolated values.
+func near(a, b time.Duration) bool {
+	diff := math.Abs(float64(a - b))
+	return diff <= 0.001*math.Max(math.Abs(float64(a)), math.Abs(float64(b)))+1
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// 100 identical observations landing in the (0.001, 0.01] bucket: the
+	// p50 rank sits halfway through the bucket, so linear interpolation
+	// reports lo + 0.5*(hi-lo) = 5.5ms.
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	if got := h.Quantile(0.50); !near(got, 5500*time.Microsecond) {
+		t.Errorf("p50 = %v, want ~5.5ms", got)
+	}
+	if got := h.Quantile(0.99); !near(got, time.Duration(0.001e9+0.99*0.009e9)) {
+		t.Errorf("p99 = %v, want ~9.91ms", got)
+	}
+}
+
+func TestHistogramQuantileUnderflowRegion(t *testing.T) {
+	// Observations below the first bound interpolate from a lower edge of
+	// zero, not from the first bound.
+	h := NewHistogram([]float64{0.001, 0.01})
+	for i := 0; i < 10; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	if got := h.Quantile(0.50); !near(got, 500*time.Microsecond) {
+		t.Errorf("p50 = %v, want ~0.5ms", got)
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.1})
+	for i := 0; i < 5; i++ {
+		h.Observe(30 * time.Second)
+	}
+	// Every rank lands in +Inf; the estimate clamps to the top finite bound.
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 100*time.Millisecond {
+			t.Errorf("q%.2f = %v, want 100ms (top finite bound)", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSplitAcrossOverflow(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.1})
+	for i := 0; i < 99; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	h.Observe(time.Minute)
+	// Rank 99 is exactly the top of the first bucket.
+	if got := h.Quantile(0.99); !near(got, time.Millisecond) {
+		t.Errorf("p99 = %v, want ~1ms", got)
+	}
+	// Rank 100 crosses into the overflow bucket and clamps.
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+}
+
+func TestCounterAndGaugeFuncsSum(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("hits", func() int64 { return 3 })
+	r.CounterFunc("hits", func() int64 { return 4 })
+	r.Counter("hits").Add(2)
+	r.GaugeFunc("live", func() int64 { return 5 })
+	r.GaugeFunc("live", func() int64 { return 6 })
+	snap := r.Snapshot()
+	if got := snap.Counters["hits"]; got != 9 {
+		t.Errorf("summed counter = %d, want 9 (2 direct + 3 + 4)", got)
+	}
+	if got := snap.Gauges["live"]; got != 11 {
+		t.Errorf("summed gauge = %d, want 11", got)
+	}
+}
+
+func TestSnapshotHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	hs, ok := r.Snapshot().Histograms["lat"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 3 {
+		t.Errorf("count = %d, want 3", hs.Count)
+	}
+	if math.Abs(hs.SumSeconds-0.0255) > 1e-9 {
+		t.Errorf("sum = %v, want 0.0255", hs.SumSeconds)
+	}
+	wantBuckets := []BucketCount{{LE: "0.001", Count: 1}, {LE: "0.01", Count: 2}, {LE: "+Inf", Count: 3}}
+	if len(hs.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, wantBuckets)
+	}
+	for i, b := range wantBuckets {
+		if hs.Buckets[i] != b {
+			t.Errorf("bucket[%d] = %+v, want %+v", i, hs.Buckets[i], b)
+		}
+	}
+	if hs.P99ms <= 0 {
+		t.Errorf("p99 = %v, want > 0", hs.P99ms)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentStress hammers one registry from many goroutines —
+// first-use registration races, atomic updates, and concurrent scrapes —
+// and verifies the final tallies. Run under -race, this is the
+// thread-safety gate for the registry.
+func TestRegistryConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("func_total", func() int64 { return 1 })
+	const goroutines = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Re-resolving by name every iteration deliberately races
+				// the registration path, not just the update path.
+				r.Counter("shared_total").Inc()
+				r.Gauge("gauge").Set(int64(i))
+				r.Histogram("lat_seconds", nil).Observe(time.Duration(i%10+1) * time.Millisecond)
+				if i%500 == 0 {
+					snap := r.Snapshot()
+					if snap.Counters["shared_total"] < 0 {
+						t.Error("negative counter")
+					}
+					_ = r.WritePrometheus(io.Discard)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := r.Counter("shared_total").Value(), int64(goroutines*iters); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := r.Histogram("lat_seconds", nil).Count(), int64(goroutines*iters); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestMetricsConcurrentTraces runs many request-shaped trace lifecycles in
+// parallel against one Metrics — the serving pattern — and checks the
+// per-stage observation totals.
+func TestMetricsConcurrentTraces(t *testing.T) {
+	m := NewMetrics()
+	const goroutines = 8
+	const reqs = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				tr := m.StartTrace()
+				sp := tr.Start(StageLLM)
+				sp.End()
+				sp = tr.Start(StageExecute)
+				sp.End()
+				tr.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.StageHistogram(StageLLM).Count(), int64(goroutines*reqs); got != want {
+		t.Errorf("llm observations = %d, want %d", got, want)
+	}
+	if got, want := m.StageHistogram(StageExecute).Count(), int64(goroutines*reqs); got != want {
+		t.Errorf("execute observations = %d, want %d", got, want)
+	}
+	if got := m.StageHistogram(StageRetrieve).Count(); got != 0 {
+		t.Errorf("untouched stage has %d observations", got)
+	}
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fisql/internal/assistant"
+	"fisql/internal/obs"
+)
+
+// TestMetricsEndpoint drives a metrics-enabled server through ask, repeat
+// ask (memo + render-cache hit), feedback and history, then checks that
+// /v1/metrics reports per-stage latency histograms with observations and
+// the cache hit/miss counters — in JSON and in Prometheus text.
+func TestMetricsEndpoint(t *testing.T) {
+	f := factory(t)
+	m := obs.NewMetrics()
+	memo := assistant.NewAnswerMemo(0)
+	ts := httptest.NewServer(New(map[string]SessionFactory{"aep": &memoFactory{
+		testFactory: f, memo: memo}}, WithMetrics(m)))
+	defer ts.Close()
+
+	newSession := func() string {
+		t.Helper()
+		_, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+		id, _ := created["session_id"].(string)
+		if id == "" {
+			t.Fatal("no session id")
+		}
+		return id
+	}
+	question := f.ds.Examples[0].Question
+	id := newSession()
+	if resp, out := postJSON(t, ts.URL+"/v1/sessions/"+id+"/ask", map[string]string{"question": question}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask: %d %v", resp.StatusCode, out)
+	}
+	// Second session, same question: answer-memo hit, cached wire bytes.
+	id2 := newSession()
+	if resp, _ := postJSON(t, ts.URL+"/v1/sessions/"+id2+"/ask", map[string]string{"question": question}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat ask: %d", resp.StatusCode)
+	}
+	if resp, out := postJSON(t, ts.URL+"/v1/sessions/"+id+"/feedback", map[string]string{"text": "only count the ones created in 2023"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback: %d %v", resp.StatusCode, out)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/history"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("history: %v %d", err, resp.StatusCode)
+	} else {
+		drainBody(resp)
+	}
+
+	// JSON snapshot.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics JSON did not decode: %v", err)
+	}
+	for _, name := range []string{
+		"fisql_stage_retrieve_seconds", "fisql_stage_prompt_seconds",
+		"fisql_stage_llm_seconds", "fisql_stage_plan_seconds",
+		"fisql_stage_execute_seconds", "fisql_stage_route_seconds",
+		"fisql_stage_repair_seconds", "fisql_http_request_seconds",
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("snapshot missing histogram %s", name)
+			continue
+		}
+		if h.Count == 0 {
+			t.Errorf("%s has no observations", name)
+		}
+		if h.P50ms < 0 || h.P99ms < h.P50ms {
+			t.Errorf("%s quantiles implausible: p50=%v p99=%v", name, h.P50ms, h.P99ms)
+		}
+	}
+	if snap.Counters["fisql_http_requests_total"] < 6 {
+		t.Errorf("http requests = %d, want >= 6", snap.Counters["fisql_http_requests_total"])
+	}
+	if snap.Counters["fisql_render_cache_misses_total"] == 0 {
+		t.Error("no render-cache misses counted")
+	}
+	if snap.Counters["fisql_render_cache_hits_total"] == 0 {
+		t.Error("repeat ask should hit the render cache")
+	}
+	if snap.Gauges["fisql_sessions_live"] != 2 {
+		t.Errorf("sessions_live = %d, want 2", snap.Gauges["fisql_sessions_live"])
+	}
+
+	// Prometheus text exposition.
+	presp, err := http.Get(ts.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content-type = %q", ct)
+	}
+	text, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE fisql_stage_llm_seconds histogram",
+		"# TYPE fisql_http_requests_total counter",
+		"# TYPE fisql_sessions_live gauge",
+		`fisql_stage_llm_seconds_bucket{le="+Inf"}`,
+		"fisql_stage_llm_seconds_count",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestMetricsDisabledNoEndpoint checks that a server without WithMetrics
+// serves no /v1/metrics route and still answers normally — the zero-cost
+// disabled mode.
+func TestMetricsDisabledNoEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainBody(resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled metrics endpoint answered %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPprofOptIn checks the /debug/pprof/ mount is present exactly when
+// WithPprof is given.
+func TestPprofOptIn(t *testing.T) {
+	f := factory(t)
+	on := httptest.NewServer(New(map[string]SessionFactory{"aep": f}, WithPprof()))
+	defer on.Close()
+	resp, err := http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof-enabled cmdline: %d, want 200", resp.StatusCode)
+	}
+
+	off := testServer(t)
+	resp2, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainBody(resp2)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof-disabled cmdline: %d, want 404", resp2.StatusCode)
+	}
+}

@@ -15,9 +15,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +29,7 @@ import (
 	"fisql/internal/assistant"
 	"fisql/internal/core"
 	"fisql/internal/feedback"
+	"fisql/internal/obs"
 )
 
 // SessionFactory creates sessions for one corpus. The public fisql.System
@@ -47,9 +50,22 @@ type Server struct {
 	systems     map[string]SessionFactory
 	maxSessions int
 	sessionTTL  time.Duration
+	pprof       bool
 
 	nextID atomic.Int64
 	store  *sessionStore
+
+	// Observability. metrics is nil when disabled; the derived counters
+	// and histograms below are then nil too, and every use of them is a
+	// no-op (see internal/obs's nil-receiver contract), so the disabled
+	// serving path pays only dead nil checks.
+	metrics      *obs.Metrics
+	httpReqs     *obs.Counter
+	httpErrs     *obs.Counter
+	httpLatency  *obs.Histogram
+	renderHits   *obs.Counter
+	renderMisses *obs.Counter
+	gone410      *obs.Counter
 }
 
 // Option configures a Server.
@@ -67,6 +83,24 @@ func WithMaxSessions(n int) Option {
 // default) disables expiry.
 func WithSessionTTL(d time.Duration) Option {
 	return func(s *Server) { s.sessionTTL = d }
+}
+
+// WithMetrics enables observability: per-request trace spans feeding the
+// per-stage latency histograms, HTTP/request/cache counters, and the
+// GET /v1/metrics endpoint (JSON by default, Prometheus text with
+// ?format=prometheus). Callers that want corpus cache statistics in the
+// same registry register them on m.Registry (fisql.System.Observe does).
+// A nil m leaves observability disabled.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(s *Server) { s.metrics = m }
+}
+
+// WithPprof mounts net/http/pprof's profiling handlers under
+// /debug/pprof/. Opt-in: profiling endpoints expose internals and cost
+// CPU, so production deployments enable them deliberately (the command's
+// -pprof flag).
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
 }
 
 // New builds the server over named corpora.
@@ -87,16 +121,86 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/ask", s.handleAsk)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
+	if s.metrics != nil {
+		r := s.metrics.Registry
+		s.httpReqs = r.Counter("fisql_http_requests_total")
+		s.httpErrs = r.Counter("fisql_http_errors_total")
+		s.httpLatency = r.Histogram("fisql_http_request_seconds", nil)
+		s.renderHits = r.Counter("fisql_render_cache_hits_total")
+		s.renderMisses = r.Counter("fisql_render_cache_misses_total")
+		s.gone410 = r.Counter("fisql_sessions_gone_total")
+		st := s.store
+		r.CounterFunc("fisql_sessions_evicted_total", func() int64 { e, _ := st.stats(); return e })
+		r.CounterFunc("fisql_sessions_expired_total", func() int64 { _, e := st.stats(); return e })
+		r.GaugeFunc("fisql_sessions_live", func() int64 { return int64(st.len()) })
+		s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	}
+	if s.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With metrics enabled every request is
+// counted and its wall time observed; the disabled path dispatches
+// directly with no wrapper allocation.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	t0 := time.Now()
+	sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(&sw, r)
+	s.httpReqs.Inc()
+	if sw.code >= 400 {
+		s.httpErrs.Inc()
+	}
+	s.httpLatency.Observe(time.Since(t0))
+}
+
+// statusWriter captures the response code for the error counter. It
+// intentionally implements only the core ResponseWriter surface — the
+// handlers here never hijack or stream.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
 
 // ----------------------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok", "sessions": s.store.len()})
+}
+
+// handleMetrics serves the registry: a JSON snapshot by default, the
+// Prometheus text exposition with ?format=prometheus (or prom/text).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom", "text":
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := s.metrics.Registry.WritePrometheus(buf); err != nil {
+			bufPool.Put(buf)
+			httpError(w, http.StatusInternalServerError, "render metrics: "+err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
+		bufPool.Put(buf)
+	default:
+		writeJSON(w, s.metrics.Registry.Snapshot())
+	}
 }
 
 func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
@@ -178,14 +282,28 @@ func (s *Server) session(r *http.Request) (*session, error) {
 // operating on it anyway would answer on a zombie whose state no other
 // request can ever see again. The caller must hold the returned lock via
 // defer sess.mu.Unlock() when ok.
-func lockLive(w http.ResponseWriter, sess *session) (ok bool) {
+func (s *Server) lockLive(w http.ResponseWriter, sess *session) (ok bool) {
 	sess.mu.Lock()
 	if sess.gone.Load() {
 		sess.mu.Unlock()
+		s.gone410.Inc()
 		httpError(w, http.StatusGone, "session evicted")
 		return false
 	}
 	return true
+}
+
+// traced returns the request context and, with metrics enabled, a fresh
+// per-request trace carried by it. The caller defers tr.Finish() — a nil
+// trace (metrics disabled) makes every trace call a no-op and leaves the
+// context untouched.
+func (s *Server) traced(r *http.Request) (ctx context.Context, tr *obs.Trace) {
+	ctx = r.Context()
+	if s.metrics != nil {
+		tr = s.metrics.StartTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	return ctx, tr
 }
 
 type askReq struct {
@@ -262,16 +380,18 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing question")
 		return
 	}
-	if !lockLive(w, sess) {
+	if !s.lockLive(w, sess) {
 		return
 	}
 	defer sess.mu.Unlock()
-	ans, err := sess.sess.Ask(r.Context(), req.Question)
+	ctx, tr := s.traced(r)
+	defer tr.Finish()
+	ans, err := sess.sess.Ask(ctx, req.Question)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeAnswer(w, ans)
+	s.writeAnswer(w, tr, ans)
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -285,10 +405,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing feedback text")
 		return
 	}
-	if !lockLive(w, sess) {
+	if !s.lockLive(w, sess) {
 		return
 	}
 	defer sess.mu.Unlock()
+	ctx, tr := s.traced(r)
+	defer tr.Finish()
 	var hl *feedback.Highlight
 	if req.Highlight != "" {
 		idx := strings.Index(sess.sess.SQL(), req.Highlight)
@@ -301,12 +423,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 		hl = &feedback.Highlight{Start: idx, End: idx + len(req.Highlight), Text: req.Highlight}
 	}
-	ans, err := sess.sess.Feedback(r.Context(), req.Text, hl)
+	ans, err := sess.sess.Feedback(ctx, req.Text, hl)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeAnswer(w, ans)
+	s.writeAnswer(w, tr, ans)
 }
 
 type historyTurn struct {
@@ -320,7 +442,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	if !lockLive(w, sess) {
+	if !s.lockLive(w, sess) {
 		return
 	}
 	defer sess.mu.Unlock()
@@ -371,14 +493,18 @@ var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // JSON exactly once: the bytes are cached on the (immutable) Answer, so
 // every later request served by the same memoized Answer — a thundering
 // herd of sessions asking the same question — skips the row rendering and
-// encoding entirely.
-func writeAnswer(w http.ResponseWriter, ans *assistant.Answer) {
+// encoding entirely. The hit/miss counters and render span are no-ops when
+// metrics are disabled.
+func (s *Server) writeAnswer(w http.ResponseWriter, tr *obs.Trace, ans *assistant.Answer) {
 	body := ans.Wire()
 	if body == nil {
+		s.renderMisses.Inc()
+		sp := tr.Start(obs.StageRender)
 		buf := bufPool.Get().(*bytes.Buffer)
 		buf.Reset()
 		if err := json.NewEncoder(buf).Encode(toJSON(ans)); err != nil {
 			bufPool.Put(buf)
+			sp.End()
 			httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
 			return
 		}
@@ -386,6 +512,9 @@ func writeAnswer(w http.ResponseWriter, ans *assistant.Answer) {
 		copy(body, buf.Bytes())
 		bufPool.Put(buf)
 		ans.SetWire(body)
+		sp.End()
+	} else {
+		s.renderHits.Inc()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))

@@ -102,16 +102,17 @@ func TestHistoryWireFormat(t *testing.T) {
 // session up before it was evicted answers 410 Gone, not a success on state
 // nobody can see again.
 func TestLockLiveGone(t *testing.T) {
+	srv := &Server{}
 	sess := &session{}
 	rec := httptest.NewRecorder()
-	if !lockLive(rec, sess) {
+	if !srv.lockLive(rec, sess) {
 		t.Fatal("live session should lock")
 	}
 	sess.mu.Unlock()
 
 	sess.gone.Store(true)
 	rec = httptest.NewRecorder()
-	if lockLive(rec, sess) {
+	if srv.lockLive(rec, sess) {
 		t.Fatal("gone session must not lock")
 	}
 	if rec.Code != http.StatusGone {

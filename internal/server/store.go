@@ -79,8 +79,12 @@ type sessionStore struct {
 	// clock is the store-wide access counter behind lruSeq stamps.
 	clock atomic.Uint64
 	// count tracks the live session total across shards.
-	count  atomic.Int64
-	shards [sessionShards]sessionShard
+	count atomic.Int64
+	// evicted and expired tally capacity evictions and idle-TTL expiries
+	// for observability (see stats); always-on atomic adds, no lock cost.
+	evicted atomic.Int64
+	expired atomic.Int64
+	shards  [sessionShards]sessionShard
 }
 
 func newSessionStore(maxSessions int, ttl time.Duration) *sessionStore {
@@ -175,6 +179,7 @@ func (st *sessionStore) get(id string) (*session, bool) {
 	}
 	if st.ttl > 0 && st.now().Sub(s.lastAccess) > st.ttl {
 		st.removeLocked(sh, s)
+		st.expired.Add(1)
 		sh.mu.Unlock()
 		return nil, false
 	}
@@ -210,6 +215,7 @@ func (st *sessionStore) expireTailLocked(sh *sessionShard) {
 	now := st.now()
 	for sh.tail != nil && now.Sub(sh.tail.lastAccess) > st.ttl {
 		st.removeLocked(sh, sh.tail)
+		st.expired.Add(1)
 	}
 }
 
@@ -238,6 +244,7 @@ func (st *sessionStore) evictOldest() bool {
 		victim.mu.Lock()
 		if victim.tail != nil && victim.tail.lruSeq == victimSeq {
 			st.removeLocked(victim, victim.tail)
+			st.evicted.Add(1)
 			victim.mu.Unlock()
 			return true
 		}
@@ -248,3 +255,8 @@ func (st *sessionStore) evictOldest() bool {
 
 // len reports the live session count.
 func (st *sessionStore) len() int { return int(st.count.Load()) }
+
+// stats reports cumulative (capacity evictions, idle-TTL expiries).
+func (st *sessionStore) stats() (evicted, expired int64) {
+	return st.evicted.Load(), st.expired.Load()
+}
