@@ -20,8 +20,18 @@
 // scrape is attempted and skipped with a warning if the target was started
 // without -metrics.
 //
+// With -restart the generator runs the kill-and-restart durability
+// scenario instead of a timed load run: it journals a -restart-sessions
+// sized workload through an in-process server, captures every session's
+// /history bytes, simulates a crash (the journal file is abandoned
+// mid-stream and a torn partial record is appended, as an interrupted
+// write would leave), recovers a fresh server from the journal and
+// requires each recovered history to be byte-identical to its pre-crash
+// capture — failing if recovery exceeds -restart-budget.
+//
 //	fisql-loadgen -corpus aep -sessions 32 -duration 5s
 //	fisql-loadgen -addr 127.0.0.1:8321 -corpus spider -mix 6:2:2 -json out.json
+//	fisql-loadgen -corpus aep -restart -restart-sessions 1000
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +54,7 @@ import (
 
 	"fisql"
 	"fisql/internal/obs"
+	"fisql/internal/persist"
 	"fisql/internal/server"
 )
 
@@ -118,6 +130,12 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
 	metricsOn := flag.Bool("metrics", true,
 		"enable server metrics (in-process) and report the per-stage breakdown")
+	restart := flag.Bool("restart", false,
+		"run the kill-and-restart durability scenario instead of a timed load run")
+	restartSessions := flag.Int("restart-sessions", 1000,
+		"sessions to journal in the restart scenario")
+	restartBudget := flag.Duration("restart-budget", time.Second,
+		"fail the restart scenario if journal recovery takes longer than this")
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -144,6 +162,13 @@ func main() {
 		questionsByDB[e.DB] = append(questionsByDB[e.DB], e.Question)
 	}
 	dbs := sys.Databases()
+
+	if *restart {
+		if *addr != "" {
+			log.Fatal("-restart drives an in-process server; it cannot be combined with -addr")
+		}
+		os.Exit(runRestart(sys, *corpus, dbs, questionsByDB, *restartSessions, *restartBudget))
+	}
 
 	base := "http://" + *addr
 	inProcess := *addr == ""
@@ -271,6 +296,138 @@ func targetName(addr string) string {
 		return "in-process"
 	}
 	return addr
+}
+
+// runRestart is the kill-and-restart durability scenario. Returns the
+// process exit code.
+func runRestart(sys *fisql.System, corpus string, dbs []string,
+	questionsByDB map[string][]string, n int, budget time.Duration) int {
+	dir, err := os.MkdirTemp("", "fisql-restart-*")
+	if err != nil {
+		log.Fatalf("restart scenario: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sessions.journal")
+
+	journal, err := persist.Open(path, persist.Options{Fsync: persist.FsyncInterval})
+	if err != nil {
+		log.Fatalf("restart scenario: open journal: %v", err)
+	}
+	factories := map[string]server.SessionFactory{corpus: sysAdapter{sys}}
+	ts := httptest.NewServer(server.New(factories, server.WithJournal(journal)))
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+
+	// Journal a mixed workload: every session asks once, every third also
+	// sends feedback, so replay exercises both pipeline paths.
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		db := dbs[i%len(dbs)]
+		questions := questionsByDB[db]
+		if len(questions) == 0 {
+			continue
+		}
+		sid, err := createSession(client, ts.URL, corpus, db)
+		if err != nil {
+			log.Fatalf("restart scenario: %v", err)
+		}
+		sessURL := ts.URL + "/v1/sessions/" + sid
+		if err := post(client, sessURL+"/ask",
+			map[string]string{"question": questions[i%len(questions)]}); err != nil {
+			log.Fatalf("restart scenario: %v", err)
+		}
+		if i%3 == 0 {
+			if err := post(client, sessURL+"/feedback",
+				map[string]string{"text": feedbackTexts[i%len(feedbackTexts)]}); err != nil {
+				log.Fatalf("restart scenario: %v", err)
+			}
+		}
+		ids = append(ids, sid)
+	}
+
+	// Pre-crash captures: the byte-exact /history body of every session.
+	capture := make(map[string][]byte, len(ids))
+	for _, sid := range ids {
+		body, err := getBody(client, ts.URL+"/v1/sessions/"+sid+"/history")
+		if err != nil {
+			log.Fatalf("restart scenario: capture %s: %v", sid, err)
+		}
+		capture[sid] = body
+	}
+
+	// Kill: stop serving and abandon the journal without a checkpoint, then
+	// append a torn partial record — the tail an interrupted in-flight
+	// write (never acknowledged to any client) would leave behind.
+	ts.Close()
+	if err := journal.Crash(); err != nil {
+		log.Fatalf("restart scenario: crash: %v", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		log.Fatalf("restart scenario: %v", err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe}); err != nil {
+		log.Fatalf("restart scenario: torn append: %v", err)
+	}
+	f.Close()
+
+	// Restart: recovery is Open plus the replay New performs.
+	t0 := time.Now()
+	journal2, err := persist.Open(path, persist.Options{Fsync: persist.FsyncInterval})
+	if err != nil {
+		log.Fatalf("restart scenario: reopen journal: %v", err)
+	}
+	srv2 := server.New(factories, server.WithJournal(journal2))
+	recovery := time.Since(t0)
+	rec := srv2.Recovery()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	defer journal2.Close()
+
+	mismatches := 0
+	for _, sid := range ids {
+		body, err := getBody(client, ts2.URL+"/v1/sessions/"+sid+"/history")
+		if err != nil {
+			log.Printf("restart scenario: recovered history %s: %v", sid, err)
+			mismatches++
+			continue
+		}
+		if !bytes.Equal(body, capture[sid]) {
+			log.Printf("restart scenario: history %s differs after recovery:\npre-crash: %s\nrecovered: %s",
+				sid, capture[sid], body)
+			mismatches++
+		}
+	}
+
+	fmt.Printf("fisql-loadgen restart: corpus=%s sessions=%d records=%d torn_bytes=%d\n",
+		corpus, rec.Sessions, rec.Records, rec.TruncatedBytes)
+	fmt.Printf("recovery=%s (budget %s) history_diffs=%d\n",
+		recovery.Round(time.Millisecond), budget, mismatches)
+	if mismatches > 0 {
+		log.Printf("FAIL: %d recovered histories differ from their pre-crash capture", mismatches)
+		return 1
+	}
+	if recovery > budget {
+		log.Printf("FAIL: recovery took %s, budget %s", recovery, budget)
+		return 1
+	}
+	return 0
+}
+
+// getBody fetches url and returns the raw response body.
+func getBody(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return body, nil
 }
 
 // scrapeMetrics pulls /v1/metrics in both forms, checks they are

@@ -21,6 +21,15 @@
 // expire idle sessions (-session-ttl), so a long-running server does not
 // grow without bound. On SIGINT/SIGTERM the server stops accepting
 // connections and drains in-flight asks before exiting.
+//
+// With -journal the server is durable: every session lifecycle event is
+// appended to a CRC-framed journal before the response is acknowledged,
+// and a restart replays the journal through the normal ask/feedback
+// pipeline — deterministic recovery, truncating any torn tail a crash left
+// behind. -journal-fsync picks the sync policy (always/interval/off) and
+// -journal-compact bounds the dead bytes deleted sessions leave in the
+// file. Graceful shutdown checkpoints the journal down to the live
+// sessions.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 
 	"fisql"
 	"fisql/internal/obs"
+	"fisql/internal/persist"
 	"fisql/internal/server"
 )
 
@@ -58,6 +68,14 @@ func main() {
 	metrics := flag.Bool("metrics", true,
 		"per-stage tracing, cache counters and the /v1/metrics endpoint")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	maxBody := flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes,
+		"largest accepted POST body; bigger requests answer 413")
+	journalPath := flag.String("journal", "",
+		"session journal file for crash-safe durability (empty disables)")
+	journalFsync := flag.String("journal-fsync", "interval",
+		"journal fsync policy: always, interval or off")
+	journalCompact := flag.Int64("journal-compact", persist.DefaultCompactMinBytes,
+		"compact the journal once this many dead bytes accumulate (<= 0 disables auto-compaction)")
 	flag.Parse()
 
 	sp, err := fisql.NewSpiderSystem()
@@ -71,6 +89,7 @@ func main() {
 	opts := []server.Option{
 		server.WithMaxSessions(*maxSessions),
 		server.WithSessionTTL(*sessionTTL),
+		server.WithMaxBodyBytes(*maxBody),
 	}
 	if *metrics {
 		m := obs.NewMetrics()
@@ -82,10 +101,31 @@ func main() {
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 	}
+	var journal *persist.Journal
+	if *journalPath != "" {
+		policy, err := persist.ParseFsyncPolicy(*journalFsync)
+		if err != nil {
+			log.Fatalf("-journal-fsync: %v", err)
+		}
+		journal, err = persist.Open(*journalPath, persist.Options{
+			Fsync:           policy,
+			CompactMinBytes: *journalCompact,
+		})
+		if err != nil {
+			log.Fatalf("open journal: %v", err)
+		}
+		opts = append(opts, server.WithJournal(journal))
+	}
 	h := server.New(map[string]server.SessionFactory{
 		"spider": sysAdapter{sp},
 		"aep":    sysAdapter{ae},
 	}, opts...)
+	if journal != nil {
+		rec := h.Recovery()
+		log.Printf("journal %s: recovered %d sessions from %d records in %s (skipped %d, truncated %d torn bytes)",
+			*journalPath, rec.Sessions, rec.Records, rec.Duration.Round(time.Millisecond),
+			rec.Skipped, rec.TruncatedBytes)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -111,6 +151,13 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		if journal != nil {
+			// Final checkpoint: compact to the live sessions and sync, so
+			// the next start replays exactly the surviving state.
+			if err := journal.Close(); err != nil {
+				log.Printf("close journal: %v", err)
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"fisql/internal/sqlast"
 )
@@ -1012,10 +1013,44 @@ func likeMatch(s, pattern string) bool {
 
 // likeMatchLower is an iterative two-pointer matcher over pre-lowered
 // inputs: O(len(s)·len(p)) worst case. On a mismatch it backtracks to the
-// most recent '%' and retries with that wildcard consuming one more byte,
-// instead of the exponential recursion a naive matcher does on patterns
-// like %a%a%a%...
+// most recent '%' and retries with that wildcard consuming one more
+// character, instead of the exponential recursion a naive matcher does on
+// patterns like %a%a%a%...
+//
+// Wildcards are defined over characters, not bytes: '_' must consume one
+// full rune ('é' LIKE '_' is true) and '%' backtracking must advance by
+// whole runes, never splitting a UTF-8 sequence. Pure-ASCII inputs — the
+// overwhelmingly common case — take a byte-wise fast path with no
+// allocation; anything multi-byte falls back to a rune-wise run of the
+// same algorithm.
 func likeMatchLower(s, p string) bool {
+	if isASCII(s) && isASCII(p) {
+		si, pi := 0, 0
+		starP, starS := -1, 0
+		for si < len(s) {
+			if pi < len(p) && (p[pi] == '_' || p[pi] == s[si]) {
+				si++
+				pi++
+			} else if pi < len(p) && p[pi] == '%' {
+				starP, starS = pi, si
+				pi++
+			} else if starP >= 0 {
+				starS++
+				si, pi = starS, starP+1
+			} else {
+				return false
+			}
+		}
+		for pi < len(p) && p[pi] == '%' {
+			pi++
+		}
+		return pi == len(p)
+	}
+	return likeMatchRunes([]rune(s), []rune(p))
+}
+
+// likeMatchRunes is the rune-wise twin of the ASCII loop above.
+func likeMatchRunes(s, p []rune) bool {
 	si, pi := 0, 0
 	starP, starS := -1, 0
 	for si < len(s) {
@@ -1036,6 +1071,15 @@ func likeMatchLower(s, p string) bool {
 		pi++
 	}
 	return pi == len(p)
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
 }
 
 // ----------------------------------------------------------------------------

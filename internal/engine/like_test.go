@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// unicodeDB is a tiny table of non-ASCII names for LIKE regressions.
+func unicodeDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("unicode")
+	script := `
+CREATE TABLE people (id INT, name TEXT);
+INSERT INTO people VALUES
+ (1, 'José'),
+ (2, 'Zoë'),
+ (3, '日本語'),
+ (4, 'abc'),
+ (5, 'ÉCLAIR');
+`
+	if err := db.LoadScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestLikeMatchUnicode exercises the matcher directly: _ must consume one
+// rune, not one byte, and % boundaries must never split a multi-byte
+// sequence. The ASCII cases pin the fast path to the same semantics.
+func TestLikeMatchUnicode(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"é", "_", true},   // one rune, two bytes
+		{"é", "__", false}, // byte-wise matching made this true
+		{"éa", "__", true},
+		{"José", "Jos_", true},
+		{"José", "J%É", true}, // case-insensitive across the fold
+		{"日本語", "___", true},
+		{"日本語", "日_語", true},
+		{"日本語", "%本%", true},
+		{"日本語", "日本", false},
+		{"Zoë", "zo_", true},
+		{"Zoë", "%ë", true},
+		{"abc", "a_c", true}, // ASCII fast path
+		{"abc", "a%", true},
+		{"abc", "____", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// TestLikeUnicodeBothExecutors runs multi-byte LIKE patterns through the
+// dynamic interpreter and the planned path; the two must agree with each
+// other and with the rune-wise expectation.
+func TestLikeUnicodeBothExecutors(t *testing.T) {
+	db := unicodeDB(t)
+	cases := []struct {
+		pattern string
+		want    []string
+	}{
+		{"Jos_", []string{"José"}}, // byte-wise saw 5 bytes and failed
+		{"____", []string{"José"}},
+		{"___", []string{"Zoë", "日本語", "abc"}},
+		{"日_語", []string{"日本語"}},
+		{"%本%", []string{"日本語"}},
+		{"%ë", []string{"Zoë"}},
+		{"z%", []string{"Zoë"}},
+		{"é%", []string{"ÉCLAIR"}}, // fold on a multi-byte leading rune
+	}
+	for _, c := range cases {
+		q := fmt.Sprintf("SELECT name FROM people WHERE name LIKE '%s' ORDER BY id", c.pattern)
+		res, err := runBothWays(t, db, q)
+		if err != nil {
+			t.Fatalf("pattern %q: %v", c.pattern, err)
+		}
+		var got []string
+		for _, row := range res.Rows {
+			got = append(got, fmt.Sprint(row[0]))
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("pattern %q: got %v, want %v", c.pattern, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("pattern %q: got %v, want %v", c.pattern, got, c.want)
+				break
+			}
+		}
+	}
+}

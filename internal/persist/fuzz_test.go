@@ -1,0 +1,83 @@
+package persist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds are representative journal images: every record type, grounded
+// and ungrounded feedback, multi-record streams, and an empty file.
+func fuzzSeeds() [][]byte {
+	var frames []byte
+	for _, r := range []Record{
+		{Type: TCreate, Session: "s1", Corpus: "aep", DB: "experience_platform", HighlightStart: -1},
+		{Type: TAsk, Session: "s1", Text: "How many audiences were created in January?", HighlightStart: -1},
+		{Type: TFeedback, Session: "s1", Text: "we are in 2024", Highlight: "2023", HighlightStart: 57},
+		{Type: TFeedback, Session: "s1", Text: "only the top 5", HighlightStart: -1},
+		{Type: TDelete, Session: "s1", HighlightStart: -1},
+		{Type: TCreate, Session: "s2", Corpus: "spider", DB: "concert_singer", HighlightStart: -1},
+		{Type: TAsk, Session: "s2", Text: "日本語 · non-ASCII question £€", HighlightStart: -1},
+	} {
+		frames = appendFrame(frames, r)
+	}
+	return [][]byte{
+		nil,
+		frames,
+		frames[:len(frames)-3], // torn tail
+		appendFrame(nil, Record{Type: TDelete, Session: "", HighlightStart: -1}),
+		{0, 0, 0, 0, 0, 0, 0, 0},       // zero-length frame with zero CRC
+		{0xff, 0xff, 0xff, 0xff, 1, 2}, // implausible length, torn header
+	}
+}
+
+// FuzzJournalDecode hardens the journal decoder against arbitrary file
+// images: it must never panic, never claim more bytes than it was given,
+// and every record it does accept must survive a re-encode/decode round
+// trip (canonical-form idempotence — the property replay-based recovery
+// rests on).
+func FuzzJournalDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, ends, err := ScanBytes(data)
+		if len(recs) != len(ends) {
+			t.Fatalf("%d records but %d offsets", len(recs), len(ends))
+		}
+		prev := int64(0)
+		for i, end := range ends {
+			if end <= prev || end > int64(len(data)) {
+				t.Fatalf("offset %d of record %d not monotonic within %d input bytes",
+					end, i, len(data))
+			}
+			prev = end
+		}
+		if err == nil && prev != int64(len(data)) {
+			t.Fatalf("clean scan consumed %d of %d bytes", prev, len(data))
+		}
+		for i, r := range recs {
+			frame := appendFrame(nil, r)
+			again, _, err := ScanBytes(frame)
+			if err != nil || len(again) != 1 {
+				t.Fatalf("record %d: re-encode did not scan back: %v", i, err)
+			}
+			if !reflect.DeepEqual(again[0], r) {
+				t.Fatalf("record %d: round trip drifted:\nfirst:  %+v\nsecond: %+v", i, r, again[0])
+			}
+			// The accepted payload region must match its re-encoding when the
+			// original used canonical varints; at minimum the decoded form is
+			// stable, which the DeepEqual above asserts. Also pin that frames
+			// self-describe their length.
+			start := int64(0)
+			if i > 0 {
+				start = ends[i-1]
+			}
+			if int64(len(frame)) > ends[i]-start {
+				t.Fatalf("record %d: canonical encoding (%d bytes) longer than source frame (%d)",
+					i, len(frame), ends[i]-start)
+			}
+		}
+		_ = bytes.MinRead
+	})
+}

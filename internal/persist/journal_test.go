@@ -1,0 +1,389 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "sessions.journal")
+}
+
+func mustOpen(t *testing.T, path string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return j
+}
+
+func mustAppend(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append %+v: %v", r, err)
+		}
+	}
+}
+
+// workload is a mixed three-session history: s1 asks and gets grounded
+// feedback, s2 asks, s3 is created and deleted.
+func workload() []Record {
+	return []Record{
+		{Type: TCreate, Session: "s1", Corpus: "aep", DB: "experience_platform"},
+		{Type: TCreate, Session: "s2", Corpus: "aep", DB: "experience_platform"},
+		{Type: TAsk, Session: "s1", Text: "How many audiences?", HighlightStart: -1},
+		{Type: TAsk, Session: "s2", Text: "List the segments", HighlightStart: -1},
+		{Type: TFeedback, Session: "s1", Text: "we are in 2024",
+			Highlight: "2023", HighlightStart: 42},
+		{Type: TCreate, Session: "s3", Corpus: "aep", DB: "experience_platform"},
+		{Type: TAsk, Session: "s3", Text: "doomed", HighlightStart: -1},
+		{Type: TDelete, Session: "s3", HighlightStart: -1},
+		{Type: TFeedback, Session: "s2", Text: "sort them", HighlightStart: -1},
+	}
+}
+
+// liveWorkload is workload() minus the deleted session, in replay order
+// (per-session order preserved, sessions by creation order).
+func liveWorkload() []Record {
+	return []Record{
+		{Type: TCreate, Session: "s1", Corpus: "aep", DB: "experience_platform", HighlightStart: -1},
+		{Type: TAsk, Session: "s1", Text: "How many audiences?", HighlightStart: -1},
+		{Type: TFeedback, Session: "s1", Text: "we are in 2024",
+			Highlight: "2023", HighlightStart: 42},
+		{Type: TCreate, Session: "s2", Corpus: "aep", DB: "experience_platform", HighlightStart: -1},
+		{Type: TAsk, Session: "s2", Text: "List the segments", HighlightStart: -1},
+		{Type: TFeedback, Session: "s2", Text: "sort them", HighlightStart: -1},
+	}
+}
+
+func TestRoundTripAndReplayOrder(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j, workload()...)
+	if got := j.Stats().LiveSessions; got != 2 {
+		t.Errorf("live sessions = %d, want 2", got)
+	}
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, path, Options{Fsync: FsyncOff})
+	defer j2.Crash()
+	if got, want := j2.Records(), liveWorkload(); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered records:\ngot  %+v\nwant %+v", got, want)
+	}
+	if tb := j2.Stats().TruncatedBytes; tb != 0 {
+		t.Errorf("clean journal reported %d truncated bytes", tb)
+	}
+}
+
+// TestTornWriteSweep truncates the journal at every byte boundary of the
+// final record and requires recovery to keep every fully committed record
+// and drop only the torn one.
+func TestTornWriteSweep(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j, workload()...)
+	if err := j.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, scanErr := ScanBytes(data)
+	if scanErr != nil || len(recs) != len(workload()) {
+		t.Fatalf("scan: %d records, err %v", len(recs), scanErr)
+	}
+	lastStart := ends[len(ends)-2]
+
+	for cut := lastStart; cut <= ends[len(ends)-1]; cut++ {
+		cutPath := filepath.Join(t.TempDir(), "cut.journal")
+		if err := os.WriteFile(cutPath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jc := mustOpen(t, cutPath, Options{Fsync: FsyncOff})
+		wantRecs := len(recs) - 1
+		wantTruncated := cut - lastStart
+		if cut == ends[len(ends)-1] {
+			wantRecs = len(recs)
+			wantTruncated = 0
+		}
+		got, gotEnds, gotErr := func() ([]Record, []int64, error) {
+			d, err := os.ReadFile(cutPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ScanBytes(d)
+		}()
+		if gotErr != nil {
+			t.Errorf("cut %d: file not truncated cleanly after open: %v", cut, gotErr)
+		}
+		if len(got) != wantRecs {
+			t.Errorf("cut %d: %d records survive, want %d", cut, len(got), wantRecs)
+		}
+		if tb := jc.Stats().TruncatedBytes; tb != wantTruncated {
+			t.Errorf("cut %d: truncated bytes = %d, want %d", cut, tb, wantTruncated)
+		}
+		// The journal must accept appends after a torn-tail truncation.
+		if err := jc.Append(Record{Type: TAsk, Session: "s1", Text: "after recovery", HighlightStart: -1}); err != nil {
+			t.Errorf("cut %d: append after recovery: %v", cut, err)
+		}
+		d2, _ := os.ReadFile(cutPath)
+		if _, e2, err := ScanBytes(d2); err != nil || int64(len(d2)) != e2[len(e2)-1] {
+			t.Errorf("cut %d: journal not clean after post-recovery append: %v", cut, err)
+		}
+		_ = gotEnds
+		jc.Crash()
+	}
+}
+
+// TestCorruptMiddleRecord flips a payload byte of an interior record: the
+// file must recover to the prefix before it (later records are
+// unreachable once framing is lost).
+func TestCorruptMiddleRecord(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j, workload()...)
+	j.Crash()
+
+	data, _ := os.ReadFile(path)
+	_, ends, _ := ScanBytes(data)
+	// Corrupt a byte inside the third record's payload.
+	data[ends[1]+frameHeader] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, path, Options{Fsync: FsyncOff})
+	defer j2.Crash()
+	// Only s1 and s2's creates survive (records 0 and 1).
+	if got := len(j2.Records()); got != 2 {
+		t.Errorf("%d records survive CRC corruption, want 2", got)
+	}
+	if st, _ := os.Stat(path); st.Size() != ends[1] {
+		t.Errorf("file size after recovery = %d, want %d", st.Size(), ends[1])
+	}
+}
+
+func TestCompactionDropsDeadSessions(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff, CompactMinBytes: 1})
+	// With a 1-byte dead threshold, the delete of s3 triggers an automatic
+	// compaction on the spot.
+	mustAppend(t, j, workload()...)
+	if c := j.Stats().Compactions; c == 0 {
+		t.Fatal("no automatic compaction despite dead bytes over threshold")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, scanErr := ScanBytes(data)
+	if scanErr != nil {
+		t.Fatalf("compacted journal corrupt: %v", scanErr)
+	}
+	for _, r := range recs {
+		if r.Session == "s3" {
+			t.Errorf("deleted session record survived compaction: %+v", r)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, path, Options{Fsync: FsyncOff})
+	defer j2.Crash()
+	if got, want := j2.Records(), liveWorkload(); !reflect.DeepEqual(got, want) {
+		t.Errorf("records after compaction:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCloseCheckpoints(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j, workload()...)
+	preClose, _ := os.Stat(path)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	postClose, _ := os.Stat(path)
+	if postClose.Size() >= preClose.Size() {
+		t.Errorf("close checkpoint did not shrink the file: %d -> %d",
+			preClose.Size(), postClose.Size())
+	}
+	if err := j.Append(Record{Type: TAsk, Session: "s1", HighlightStart: -1}); err == nil {
+		t.Error("append after close must fail")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRetainPrunes(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j, workload()...)
+	j.Retain(func(id string) bool { return id == "s2" })
+	if got := j.Stats().LiveSessions; got != 1 {
+		t.Fatalf("live sessions after retain = %d, want 1", got)
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	j.Crash()
+	j2 := mustOpen(t, path, Options{Fsync: FsyncOff})
+	defer j2.Crash()
+	for _, r := range j2.Records() {
+		if r.Session != "s2" {
+			t.Errorf("retained journal still has %+v", r)
+		}
+	}
+	if len(j2.Records()) != 3 {
+		t.Errorf("retained records = %d, want 3", len(j2.Records()))
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	always := mustOpen(t, tmpJournal(t), Options{Fsync: FsyncAlways})
+	var observed int
+	always.SetFsyncObserver(func(time.Duration) { observed++ })
+	mustAppend(t, always, workload()[:3]...)
+	if got := always.Stats().Fsyncs; got != 3 {
+		t.Errorf("always: %d fsyncs after 3 appends, want 3", got)
+	}
+	if observed != 3 {
+		t.Errorf("observer saw %d fsyncs, want 3", observed)
+	}
+	always.Crash()
+
+	off := mustOpen(t, tmpJournal(t), Options{Fsync: FsyncOff})
+	mustAppend(t, off, workload()[:3]...)
+	if got := off.Stats().Fsyncs; got != 0 {
+		t.Errorf("off: %d fsyncs, want 0", got)
+	}
+	off.Crash()
+
+	interval := mustOpen(t, tmpJournal(t), Options{Fsync: FsyncInterval, FsyncEvery: 5 * time.Millisecond})
+	mustAppend(t, interval, workload()[:3]...)
+	deadline := time.Now().Add(2 * time.Second)
+	for interval.Stats().Fsyncs == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := interval.Stats().Fsyncs; got == 0 {
+		t.Error("interval: background ticker never synced")
+	}
+	interval.Crash()
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "off": FsyncOff,
+	} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() round trip: %q -> %q", s, got.String())
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// TestScanBytesRejectsImplausibleLength guards the corruption-vs-allocate
+// distinction: a frame promising gigabytes is corruption, not a request.
+func TestScanBytesRejectsImplausibleLength(t *testing.T) {
+	data := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	recs, _, err := ScanBytes(data)
+	if err == nil || len(recs) != 0 {
+		t.Errorf("implausible length: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestEncodeDecodeHighlight(t *testing.T) {
+	for _, r := range []Record{
+		{Type: TFeedback, Session: "s9", Text: "fix the join",
+			Highlight: "name", HighlightStart: 0},
+		{Type: TFeedback, Session: "s9", Text: "fix the join", HighlightStart: -1},
+		{Type: TCreate, Session: "s1", Corpus: "spider", DB: "concert_singer", HighlightStart: -1},
+		{Type: TDelete, Session: "s1", HighlightStart: -1},
+	} {
+		frame := appendFrame(nil, r)
+		recs, ends, err := ScanBytes(frame)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("scan of single frame: %d recs, %v", len(recs), err)
+		}
+		if !reflect.DeepEqual(recs[0], r) {
+			t.Errorf("round trip: got %+v, want %+v", recs[0], r)
+		}
+		if ends[0] != int64(len(frame)) {
+			t.Errorf("end offset %d, frame length %d", ends[0], len(frame))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	payload := encodePayload(nil, Record{Type: TDelete, Session: "s1", HighlightStart: -1})
+	payload = append(payload, 0x00)
+	if _, err := decodePayload(payload); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := decodePayload([]byte{99, 0}); err == nil {
+		t.Error("unknown record type accepted")
+	}
+	if _, err := decodePayload(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+// TestRecreateAfterDelete pins the id-reuse semantics: a create after a
+// delete starts the session's record group fresh.
+func TestRecreateAfterDelete(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j,
+		Record{Type: TCreate, Session: "s1", Corpus: "aep", DB: "db", HighlightStart: -1},
+		Record{Type: TAsk, Session: "s1", Text: "old life", HighlightStart: -1},
+		Record{Type: TDelete, Session: "s1", HighlightStart: -1},
+		Record{Type: TCreate, Session: "s1", Corpus: "aep", DB: "db", HighlightStart: -1},
+		Record{Type: TAsk, Session: "s1", Text: "new life", HighlightStart: -1},
+	)
+	j.Crash()
+	j2 := mustOpen(t, path, Options{Fsync: FsyncOff})
+	defer j2.Crash()
+	recs := j2.Records()
+	if len(recs) != 2 || recs[1].Text != "new life" {
+		t.Errorf("recreated session records: %+v", recs)
+	}
+}
+
+// TestAppendAfterCompactionStaysFramed appends after an in-line compaction
+// and verifies the file remains a clean frame sequence.
+func TestAppendAfterCompactionStaysFramed(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff, CompactMinBytes: 1})
+	mustAppend(t, j, workload()...)
+	mustAppend(t, j, Record{Type: TAsk, Session: "s2", Text: "post-compaction", HighlightStart: -1})
+	j.Crash()
+	data, _ := os.ReadFile(path)
+	recs, _, err := ScanBytes(data)
+	if err != nil {
+		t.Fatalf("journal corrupt after compaction+append: %v", err)
+	}
+	last := recs[len(recs)-1]
+	if last.Text != "post-compaction" {
+		t.Errorf("last record = %+v", last)
+	}
+	if bytes.Contains(data, []byte("doomed")) {
+		t.Error("dead session text still present after compaction")
+	}
+}

@@ -1,0 +1,226 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Type identifies a journal record. The numeric values are part of the
+// on-disk format and must never be reassigned.
+type Type byte
+
+const (
+	// TCreate opens a session: Session, Corpus and DB are set.
+	TCreate Type = 1
+	// TAsk records a successful ask turn: Text is the question.
+	TAsk Type = 2
+	// TFeedback records a successful feedback turn: Text is the feedback;
+	// Highlight/HighlightStart carry the resolved grounding span
+	// (HighlightStart is -1 when the turn had no highlight).
+	TFeedback Type = 3
+	// TDelete ends a session (explicit delete, LRU eviction or TTL expiry);
+	// replay drops every earlier record of the session.
+	TDelete Type = 4
+)
+
+// Record is one session lifecycle event. Which fields are meaningful
+// depends on Type; unused fields are empty ("" / -1).
+type Record struct {
+	Type    Type
+	Session string
+
+	// TCreate only.
+	Corpus string
+	DB     string
+
+	// TAsk question or TFeedback text.
+	Text string
+
+	// TFeedback grounding. HighlightStart is the byte offset of Highlight
+	// in the SQL the feedback was given on, or -1 for no highlight.
+	Highlight      string
+	HighlightStart int
+}
+
+// Framing: every record is written as
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// A reader that finds a short frame, a CRC mismatch or an undecodable
+// payload treats the file as ending at the last good frame — the torn-write
+// contract: an interrupted append loses only the record being written.
+const frameHeader = 8
+
+// maxPayload bounds a single record. A length prefix above it is treated as
+// corruption rather than an instruction to allocate gigabytes.
+const maxPayload = 1 << 24
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodePayload serializes r without the frame header.
+func encodePayload(b []byte, r Record) []byte {
+	b = append(b, byte(r.Type))
+	b = appendString(b, r.Session)
+	switch r.Type {
+	case TCreate:
+		b = appendString(b, r.Corpus)
+		b = appendString(b, r.DB)
+	case TAsk:
+		b = appendString(b, r.Text)
+	case TFeedback:
+		b = appendString(b, r.Text)
+		if r.HighlightStart >= 0 {
+			b = append(b, 1)
+			b = appendString(b, r.Highlight)
+			b = appendUvarint(b, uint64(r.HighlightStart))
+		} else {
+			b = append(b, 0)
+		}
+	case TDelete:
+	}
+	return b
+}
+
+// appendFrame serializes r as a full length+CRC frame.
+func appendFrame(b []byte, r Record) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = encodePayload(b, r)
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.ChecksumIEEE(payload))
+	return b
+}
+
+type payloadReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (p *payloadReader) byte() byte {
+	if p.err != nil {
+		return 0
+	}
+	if p.pos >= len(p.b) {
+		p.err = fmt.Errorf("payload truncated at byte %d", p.pos)
+		return 0
+	}
+	c := p.b[p.pos]
+	p.pos++
+	return c
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b[p.pos:])
+	if n <= 0 {
+		p.err = fmt.Errorf("bad uvarint at byte %d", p.pos)
+		return 0
+	}
+	p.pos += n
+	return v
+}
+
+func (p *payloadReader) string() string {
+	n := p.uvarint()
+	if p.err != nil {
+		return ""
+	}
+	if n > uint64(len(p.b)-p.pos) {
+		p.err = fmt.Errorf("string length %d exceeds remaining %d bytes", n, len(p.b)-p.pos)
+		return ""
+	}
+	s := string(p.b[p.pos : p.pos+int(n)])
+	p.pos += int(n)
+	return s
+}
+
+// decodePayload parses one record payload. Trailing bytes, unknown types
+// and malformed fields are errors: a payload either decodes exactly or the
+// frame is corrupt.
+func decodePayload(b []byte) (Record, error) {
+	p := &payloadReader{b: b}
+	r := Record{Type: Type(p.byte()), HighlightStart: -1}
+	r.Session = p.string()
+	switch r.Type {
+	case TCreate:
+		r.Corpus = p.string()
+		r.DB = p.string()
+	case TAsk:
+		r.Text = p.string()
+	case TFeedback:
+		r.Text = p.string()
+		switch p.byte() {
+		case 0:
+		case 1:
+			r.Highlight = p.string()
+			start := p.uvarint()
+			if p.err == nil && start > maxPayload {
+				return Record{}, fmt.Errorf("highlight start %d out of range", start)
+			}
+			r.HighlightStart = int(start)
+		default:
+			if p.err == nil {
+				return Record{}, fmt.Errorf("bad highlight flag")
+			}
+		}
+	case TDelete:
+	default:
+		if p.err == nil {
+			return Record{}, fmt.Errorf("unknown record type %d", r.Type)
+		}
+	}
+	if p.err != nil {
+		return Record{}, p.err
+	}
+	if p.pos != len(b) {
+		return Record{}, fmt.Errorf("%d trailing bytes after record", len(b)-p.pos)
+	}
+	return r, nil
+}
+
+// ScanBytes decodes a journal image frame by frame. It returns the records
+// that decoded cleanly and, aligned with them, the end offset of each frame.
+// err describes the first torn or corrupt frame (nil when the image ends
+// exactly on a frame boundary); the good prefix is always returned — this
+// is the truncate-don't-fail recovery contract.
+func ScanBytes(data []byte) (recs []Record, ends []int64, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return recs, ends, fmt.Errorf("torn frame header at offset %d", off)
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxPayload {
+			return recs, ends, fmt.Errorf("frame at offset %d: implausible length %d", off, n)
+		}
+		if uint32(len(data)-off-frameHeader) < n {
+			return recs, ends, fmt.Errorf("torn frame at offset %d: %d payload bytes promised, %d present",
+				off, n, len(data)-off-frameHeader)
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, ends, fmt.Errorf("frame at offset %d: CRC mismatch", off)
+		}
+		r, derr := decodePayload(payload)
+		if derr != nil {
+			return recs, ends, fmt.Errorf("frame at offset %d: %v", off, derr)
+		}
+		off += frameHeader + int(n)
+		recs = append(recs, r)
+		ends = append(ends, int64(off))
+	}
+	return recs, ends, nil
+}

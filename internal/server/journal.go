@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"fisql/internal/feedback"
+	"fisql/internal/persist"
+)
+
+// RecoveryInfo summarizes a journal replay performed by New.
+type RecoveryInfo struct {
+	// Records is the number of journal records replayed (including ones
+	// skipped because their corpus or database no longer exists).
+	Records int
+	// Sessions is the number of sessions live after recovery.
+	Sessions int
+	// Skipped counts records that could not be applied: unknown corpus or
+	// database, or a replayed turn that errored (possible only when the
+	// model is not deterministic).
+	Skipped int
+	// TruncatedBytes is the torn/corrupt tail the journal dropped at Open.
+	TruncatedBytes int64
+	// Duration is the wall time of the replay.
+	Duration time.Duration
+}
+
+// Recovery reports the journal replay New performed (zero when no journal
+// is configured).
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+
+// recoverJournal rebuilds the pre-crash sessions by replaying the
+// journal's surviving records through the normal Ask/Feedback pipeline.
+// Replay is deterministic — the simulated model, plan cache and answer
+// memo reproduce each turn exactly — so a recovered session's history is
+// byte-identical to the one the crash interrupted. Unknown corpora or
+// databases (a redeploy dropped them) skip the session instead of failing
+// recovery. Runs before the server serves any request.
+func (s *Server) recoverJournal() {
+	t0 := time.Now()
+	s.replaying.Store(true)
+	defer s.replaying.Store(false)
+
+	ctx := context.Background()
+	recs := s.journal.Records()
+	info := RecoveryInfo{Records: len(recs), TruncatedBytes: s.journal.Stats().TruncatedBytes}
+	// Advance the id counter past every id the journal ever issued —
+	// including deleted sessions, whose records are dropped from replay. A
+	// client still holding a dead id must keep getting 404, not a fresh
+	// session that happened to reuse it.
+	var maxID int64
+	for _, id := range s.journal.SessionsSeen() {
+		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case persist.TCreate:
+			sys, ok := s.systems[rec.Corpus]
+			if !ok || !hasDatabase(sys, rec.DB) {
+				info.Skipped++
+				continue
+			}
+			s.store.put(rec.Session, &session{sess: sys.NewSession(rec.DB), db: rec.DB})
+		case persist.TAsk:
+			sess, ok := s.store.get(rec.Session)
+			if !ok {
+				info.Skipped++
+				continue
+			}
+			if _, err := sess.sess.Ask(ctx, rec.Text); err != nil {
+				info.Skipped++
+			}
+		case persist.TFeedback:
+			sess, ok := s.store.get(rec.Session)
+			if !ok {
+				info.Skipped++
+				continue
+			}
+			var hl *feedback.Highlight
+			if rec.HighlightStart >= 0 {
+				hl = &feedback.Highlight{
+					Start: rec.HighlightStart,
+					End:   rec.HighlightStart + len(rec.Highlight),
+					Text:  rec.Highlight,
+				}
+			}
+			if _, err := sess.sess.Feedback(ctx, rec.Text, hl); err != nil {
+				info.Skipped++
+			}
+		default:
+			// Delete records never reach Records() (the journal drops the
+			// whole session), but tolerate them for forward compatibility.
+			info.Skipped++
+		}
+	}
+	// Fresh ids must not collide with recovered ones.
+	if cur := s.nextID.Load(); maxID > cur {
+		s.nextID.Store(maxID)
+	}
+	// Reconcile: sessions the replay itself evicted (store cap below the
+	// journal's session count) are dead; checkpoint the journal down to
+	// exactly the surviving state so the next recovery replays no ghosts.
+	live := s.store.ids()
+	s.journal.Retain(func(id string) bool { return live[id] })
+	_ = s.journal.Checkpoint()
+	info.Sessions = s.store.len()
+	info.Duration = time.Since(t0)
+	s.recovery = info
+}
+
+func hasDatabase(sys SessionFactory, db string) bool {
+	for _, d := range sys.Databases() {
+		if d == db {
+			return true
+		}
+	}
+	return false
+}

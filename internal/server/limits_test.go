@@ -1,0 +1,105 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMaxBodyBytes caps the POST body: an oversized request answers 413
+// before the JSON decoder buffers it, and a request within the cap is
+// unaffected.
+func TestMaxBodyBytes(t *testing.T) {
+	ts := httptest.NewServer(New(map[string]SessionFactory{"aep": factory(t)},
+		WithMaxBodyBytes(256)))
+	defer ts.Close()
+
+	resp, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create under the cap: %d", resp.StatusCode)
+	}
+	id, _ := created["session_id"].(string)
+	base := ts.URL + "/v1/sessions/" + id
+
+	resp, out := postJSON(t, base+"/ask", map[string]string{
+		"question": strings.Repeat("why? ", 200)})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ask: status %d, body %v", resp.StatusCode, out)
+	}
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "256") {
+		t.Errorf("413 error should state the limit: %q", msg)
+	}
+
+	// The session is still usable after the rejected request.
+	resp, _ = postJSON(t, base+"/ask", map[string]string{"question": askQuestion})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("ask after 413: %d", resp.StatusCode)
+	}
+}
+
+// TestHighlightStartOffset covers the explicit-grounding parameter: the
+// byte offset disambiguates a fragment that occurs more than once, a
+// mismatched offset is rejected, and omitting it keeps the documented
+// first-occurrence fallback.
+func TestHighlightStartOffset(t *testing.T) {
+	ts := testServer(t)
+
+	newAsked := func() (string, string) {
+		t.Helper()
+		_, created := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+		id, _ := created["session_id"].(string)
+		_, ans := postJSON(t, ts.URL+"/v1/sessions/"+id+"/ask", map[string]string{"question": askQuestion})
+		sql, _ := ans["sql"].(string)
+		if sql == "" {
+			t.Fatalf("no sql in answer: %v", ans)
+		}
+		return ts.URL + "/v1/sessions/" + id, sql
+	}
+
+	t.Run("second occurrence", func(t *testing.T) {
+		base, sql := newAsked()
+		frag := "createdTime"
+		second := strings.LastIndex(sql, frag)
+		if second <= strings.Index(sql, frag) {
+			t.Fatalf("fixture SQL no longer repeats %q: %q", frag, sql)
+		}
+		resp, out := postJSON(t, base+"/feedback", map[string]any{
+			"text": "we are in 2024", "highlight": frag, "highlight_start": second})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("offset at second occurrence: status %d, body %v", resp.StatusCode, out)
+		}
+	})
+
+	t.Run("mismatched offset", func(t *testing.T) {
+		base, sql := newAsked()
+		off := strings.Index(sql, "2023")
+		for _, bad := range []int{off + 1, -1, len(sql)} {
+			resp, out := postJSON(t, base+"/feedback", map[string]any{
+				"text": "we are in 2024", "highlight": "2023", "highlight_start": bad})
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("offset %d: status %d, body %v", bad, resp.StatusCode, out)
+			}
+			msg, _ := out["error"].(string)
+			if !strings.Contains(msg, "byte offset") {
+				t.Errorf("offset %d: error should mention the offset: %q", bad, msg)
+			}
+		}
+		// The mismatches must not have consumed the turn.
+		resp, _ := postJSON(t, base+"/feedback", map[string]any{
+			"text": "we are in 2024", "highlight": "2023", "highlight_start": off})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("valid offset after rejects: %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("fallback without offset", func(t *testing.T) {
+		base, _ := newAsked()
+		resp, _ := postJSON(t, base+"/feedback", map[string]any{
+			"text": "we are in 2024", "highlight": "2023"})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("first-occurrence fallback: %d", resp.StatusCode)
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -30,6 +31,7 @@ import (
 	"fisql/internal/core"
 	"fisql/internal/feedback"
 	"fisql/internal/obs"
+	"fisql/internal/persist"
 )
 
 // SessionFactory creates sessions for one corpus. The public fisql.System
@@ -44,16 +46,32 @@ type SessionFactory interface {
 // state without bound.
 const DefaultMaxSessions = 10000
 
+// DefaultMaxBodyBytes caps a POST request body when WithMaxBodyBytes is not
+// given. The largest legitimate bodies (a long question or feedback line
+// plus a highlight) are a few kilobytes; 1 MiB leaves three orders of
+// magnitude of headroom while keeping a hostile body from ballooning the
+// decoder.
+const DefaultMaxBodyBytes = 1 << 20
+
 // Server is the HTTP handler. Create with New.
 type Server struct {
-	mux         *http.ServeMux
-	systems     map[string]SessionFactory
-	maxSessions int
-	sessionTTL  time.Duration
-	pprof       bool
+	mux          *http.ServeMux
+	systems      map[string]SessionFactory
+	maxSessions  int
+	sessionTTL   time.Duration
+	maxBodyBytes int64
+	pprof        bool
 
 	nextID atomic.Int64
 	store  *sessionStore
+
+	// Durability. journal is nil when persistence is disabled. replaying
+	// suppresses the store's delete-record hook while startup replay is
+	// rebuilding sessions (evictions during replay are reconciled by
+	// Retain afterwards, not journaled one by one).
+	journal   *persist.Journal
+	replaying atomic.Bool
+	recovery  RecoveryInfo
 
 	// Observability. metrics is nil when disabled; the derived counters
 	// and histograms below are then nil too, and every use of them is a
@@ -85,6 +103,28 @@ func WithSessionTTL(d time.Duration) Option {
 	return func(s *Server) { s.sessionTTL = d }
 }
 
+// WithMaxBodyBytes caps the request body of the POST endpoints (create,
+// ask, feedback); a larger body answers 413 instead of being decoded.
+// n <= 0 keeps DefaultMaxBodyBytes.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBodyBytes = n
+		}
+	}
+}
+
+// WithJournal makes the server durable: every session lifecycle event
+// (create, ask, feedback, delete/evict/expire) is appended to j before the
+// response is acknowledged, and New replays j's surviving records through
+// the normal ask/feedback pipeline to rebuild the pre-crash sessions —
+// deterministic-replay recovery rather than state snapshotting. The caller
+// opens the journal (persist.Open already truncated any torn tail) and
+// closes it after the HTTP server has drained.
+func WithJournal(j *persist.Journal) Option {
+	return func(s *Server) { s.journal = j }
+}
+
 // WithMetrics enables observability: per-request trace spans feeding the
 // per-stage latency histograms, HTTP/request/cache counters, and the
 // GET /v1/metrics endpoint (JSON by default, Prometheus text with
@@ -103,16 +143,29 @@ func WithPprof() Option {
 	return func(s *Server) { s.pprof = true }
 }
 
-// New builds the server over named corpora.
+// New builds the server over named corpora. With a journal configured, New
+// also performs recovery: the journal's surviving records are replayed
+// before New returns, so the handler starts serving with every pre-crash
+// session restored.
 func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	s := &Server{
-		systems:     systems,
-		maxSessions: DefaultMaxSessions,
+		systems:      systems,
+		maxSessions:  DefaultMaxSessions,
+		maxBodyBytes: DefaultMaxBodyBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.store = newSessionStore(s.maxSessions, s.sessionTTL)
+	if s.journal != nil {
+		s.store.onRemove = func(id string) {
+			if s.replaying.Load() {
+				return
+			}
+			_ = s.journal.Append(persist.Record{Type: persist.TDelete, Session: id})
+		}
+		s.recoverJournal()
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/databases", s.handleDatabases)
@@ -133,6 +186,18 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 		r.CounterFunc("fisql_sessions_evicted_total", func() int64 { e, _ := st.stats(); return e })
 		r.CounterFunc("fisql_sessions_expired_total", func() int64 { _, e := st.stats(); return e })
 		r.GaugeFunc("fisql_sessions_live", func() int64 { return int64(st.len()) })
+		if j := s.journal; j != nil {
+			r.CounterFunc("fisql_journal_records_total", func() int64 { return j.Stats().Records })
+			r.CounterFunc("fisql_journal_bytes_total", func() int64 { return j.Stats().Bytes })
+			r.CounterFunc("fisql_journal_fsyncs_total", func() int64 { return j.Stats().Fsyncs })
+			r.CounterFunc("fisql_journal_compactions_total", func() int64 { return j.Stats().Compactions })
+			r.CounterFunc("fisql_journal_truncated_bytes_total", func() int64 { return j.Stats().TruncatedBytes })
+			r.GaugeFunc("fisql_journal_live_sessions", func() int64 { return j.Stats().LiveSessions })
+			rec := s.recovery
+			r.GaugeFunc("fisql_journal_recovery_ms", func() int64 { return rec.Duration.Milliseconds() })
+			r.GaugeFunc("fisql_journal_recovered_sessions", func() int64 { return int64(rec.Sessions) })
+			j.SetFsyncObserver(r.Histogram("fisql_journal_fsync_seconds", nil).Observe)
+		}
 		s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	}
 	if s.pprof {
@@ -225,10 +290,38 @@ type createReq struct {
 	DB     string `json:"db"`
 }
 
+// decodeBody decodes a POST body into v under the configured size cap. A
+// body over the cap answers 413 (instead of letting a hostile client feed
+// the decoder without bound), malformed JSON answers 400; either way the
+// response has been written and the caller just returns.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		} else {
+			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// journalAppend records one lifecycle event, if a journal is configured. A
+// failed append is a broken durability promise, so callers surface it as a
+// 500 rather than acknowledging a turn the journal did not capture.
+func (s *Server) journalAppend(rec persist.Record) error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Append(rec)
+}
+
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Corpus == "" {
@@ -254,6 +347,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+	// Journal before registering: the create record must precede any delete
+	// record a concurrent capacity eviction could emit for this id.
+	if err := s.journalAppend(persist.Record{
+		Type: persist.TCreate, Session: id, Corpus: req.Corpus, DB: req.DB,
+	}); err != nil {
+		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
+		return
+	}
 	s.store.put(id, &session{sess: sys.NewSession(req.DB), db: req.DB})
 	writeJSON(w, map[string]any{"session_id": id, "db": req.DB})
 }
@@ -313,6 +414,11 @@ type askReq struct {
 type feedbackReq struct {
 	Text      string `json:"text"`
 	Highlight string `json:"highlight,omitempty"`
+	// HighlightStart optionally grounds the highlight to the byte offset
+	// where it occurs in the current SQL — required to disambiguate a span
+	// appearing more than once (a repeated column name). When absent, the
+	// first occurrence is used (the documented fallback).
+	HighlightStart *int `json:"highlight_start,omitempty"`
 }
 
 // answerJSON is the wire form of an Assistant answer.
@@ -376,7 +482,10 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req askReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Question) == "" {
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
 		httpError(w, http.StatusBadRequest, "missing question")
 		return
 	}
@@ -391,6 +500,15 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	// Journaled only on success: a failed ask appends no history, so replay
+	// must not re-run it. Holding sess.mu keeps the journal's per-session
+	// record order identical to the history order.
+	if err := s.journalAppend(persist.Record{
+		Type: persist.TAsk, Session: sess.id, Text: req.Question,
+	}); err != nil {
+		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
+		return
+	}
 	s.writeAnswer(w, tr, ans)
 }
 
@@ -401,7 +519,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req feedbackReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
 		httpError(w, http.StatusBadRequest, "missing feedback text")
 		return
 	}
@@ -412,20 +533,47 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := s.traced(r)
 	defer tr.Finish()
 	var hl *feedback.Highlight
+	hlStart := -1
 	if req.Highlight != "" {
-		idx := strings.Index(sess.sess.SQL(), req.Highlight)
-		if idx < 0 {
+		sqlText := sess.sess.SQL()
+		if req.HighlightStart != nil {
+			// An explicit offset grounds a span that occurs more than once
+			// in the SQL (first-occurrence matching would silently pick the
+			// wrong one); it must point at an exact occurrence.
+			o := *req.HighlightStart
+			if o < 0 || o > len(sqlText)-len(req.Highlight) ||
+				sqlText[o:o+len(req.Highlight)] != req.Highlight {
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("highlight %q does not occur at byte offset %d of the current SQL",
+						req.Highlight, o))
+				return
+			}
+			hlStart = o
+		} else if idx := strings.Index(sqlText, req.Highlight); idx >= 0 {
+			// Documented fallback: without highlight_start the first
+			// occurrence is used.
+			hlStart = idx
+		} else {
 			// Silently dropping the highlight would let the client believe
 			// its grounding was used; tell it the span does not occur.
 			httpError(w, http.StatusBadRequest,
 				fmt.Sprintf("highlight %q does not occur in the current SQL", req.Highlight))
 			return
 		}
-		hl = &feedback.Highlight{Start: idx, End: idx + len(req.Highlight), Text: req.Highlight}
+		hl = &feedback.Highlight{Start: hlStart, End: hlStart + len(req.Highlight), Text: req.Highlight}
 	}
 	ans, err := sess.sess.Feedback(ctx, req.Text, hl)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// The resolved offset (not the client's raw request) is journaled, so
+	// replay reconstructs the exact grounding even for the fallback path.
+	if err := s.journalAppend(persist.Record{
+		Type: persist.TFeedback, Session: sess.id, Text: req.Text,
+		Highlight: req.Highlight, HighlightStart: hlStart,
+	}); err != nil {
+		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
 	s.writeAnswer(w, tr, ans)

@@ -76,6 +76,10 @@ type sessionStore struct {
 	ttl         time.Duration
 	// now is the clock, swappable by tests.
 	now func() time.Time
+	// onRemove, when set, observes every removal — explicit delete,
+	// capacity eviction or idle-TTL expiry — outside the shard locks. The
+	// journal hooks in here so replay knows which sessions are dead.
+	onRemove func(id string)
 	// clock is the store-wide access counter behind lruSeq stamps.
 	clock atomic.Uint64
 	// count tracks the live session total across shards.
@@ -152,18 +156,33 @@ func (st *sessionStore) put(id string, s *session) {
 	s.id = id
 	sh := st.shardFor(id)
 	sh.mu.Lock()
+	var expired []string
 	if st.ttl > 0 {
-		st.expireTailLocked(sh)
+		expired = st.expireTailLocked(sh)
 	}
 	sh.m[id] = s
 	sh.pushFront(s)
 	st.touch(s)
 	sh.mu.Unlock()
+	st.notifyRemoved(expired)
 	st.count.Add(1)
 	for st.maxSessions > 0 && st.count.Load() > int64(st.maxSessions) {
-		if !st.evictOldest() {
+		victim, ok := st.evictOldest()
+		if !ok {
 			return
 		}
+		st.notifyRemoved([]string{victim})
+	}
+}
+
+// notifyRemoved runs the removal hook for each id. Callers must have
+// released every shard lock first — the hook may do I/O (journal append).
+func (st *sessionStore) notifyRemoved(ids []string) {
+	if st.onRemove == nil {
+		return
+	}
+	for _, id := range ids {
+		st.onRemove(id)
 	}
 }
 
@@ -181,6 +200,7 @@ func (st *sessionStore) get(id string) (*session, bool) {
 		st.removeLocked(sh, s)
 		st.expired.Add(1)
 		sh.mu.Unlock()
+		st.notifyRemoved([]string{id})
 		return nil, false
 	}
 	sh.moveToFront(s)
@@ -198,6 +218,9 @@ func (st *sessionStore) remove(id string) (*session, bool) {
 		st.removeLocked(sh, s)
 	}
 	sh.mu.Unlock()
+	if ok {
+		st.notifyRemoved([]string{id})
+	}
 	return s, ok
 }
 
@@ -210,22 +233,26 @@ func (st *sessionStore) removeLocked(sh *sessionShard, s *session) {
 }
 
 // expireTailLocked drops idle-expired sessions off the least-recent end of
-// one shard. Caller holds the shard write lock.
-func (st *sessionStore) expireTailLocked(sh *sessionShard) {
+// one shard, returning their ids so the caller can fire the removal hook
+// after releasing the lock. Caller holds the shard write lock.
+func (st *sessionStore) expireTailLocked(sh *sessionShard) []string {
 	now := st.now()
+	var ids []string
 	for sh.tail != nil && now.Sub(sh.tail.lastAccess) > st.ttl {
+		ids = append(ids, sh.tail.id)
 		st.removeLocked(sh, sh.tail)
 		st.expired.Add(1)
 	}
+	return ids
 }
 
-// evictOldest removes the globally least-recently-used session: peek every
-// shard's tail stamp under a read lock, then confirm and remove the winner
-// under its write lock. A tail promoted between peek and confirm makes the
-// snapshot stale; retry a bounded number of times (progress is still
-// guaranteed by the caller's count check — another creator may have evicted
-// on our behalf).
-func (st *sessionStore) evictOldest() bool {
+// evictOldest removes the globally least-recently-used session, returning
+// its id: peek every shard's tail stamp under a read lock, then confirm and
+// remove the winner under its write lock. A tail promoted between peek and
+// confirm makes the snapshot stale; retry a bounded number of times
+// (progress is still guaranteed by the caller's count check — another
+// creator may have evicted on our behalf).
+func (st *sessionStore) evictOldest() (string, bool) {
 	for attempt := 0; attempt < 4; attempt++ {
 		var victim *sessionShard
 		var victimSeq uint64
@@ -239,22 +266,37 @@ func (st *sessionStore) evictOldest() bool {
 			sh.mu.RUnlock()
 		}
 		if victim == nil {
-			return false
+			return "", false
 		}
 		victim.mu.Lock()
 		if victim.tail != nil && victim.tail.lruSeq == victimSeq {
+			id := victim.tail.id
 			st.removeLocked(victim, victim.tail)
 			st.evicted.Add(1)
 			victim.mu.Unlock()
-			return true
+			return id, true
 		}
 		victim.mu.Unlock()
 	}
-	return false
+	return "", false
 }
 
 // len reports the live session count.
 func (st *sessionStore) len() int { return int(st.count.Load()) }
+
+// ids snapshots the live session ids across all shards.
+func (st *sessionStore) ids() map[string]bool {
+	out := make(map[string]bool, st.len())
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			out[id] = true
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
 
 // stats reports cumulative (capacity evictions, idle-TTL expiries).
 func (st *sessionStore) stats() (evicted, expired int64) {
