@@ -125,6 +125,10 @@ func main() {
 		log.Printf("journal %s: recovered %d sessions from %d records in %s (skipped %d, truncated %d torn bytes)",
 			*journalPath, rec.Sessions, rec.Records, rec.Duration.Round(time.Millisecond),
 			rec.Skipped, rec.TruncatedBytes)
+		if rec.CheckpointErr != nil {
+			log.Printf("journal %s: post-recovery checkpoint failed: %v (next restart may replay evicted sessions)",
+				*journalPath, rec.CheckpointErr)
+		}
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: h}

@@ -11,7 +11,8 @@ import (
 func fuzzSeeds() [][]byte {
 	var frames []byte
 	for _, r := range []Record{
-		{Type: TCreate, Session: "s1", Corpus: "aep", DB: "experience_platform", HighlightStart: -1},
+		{Type: TWatermark, ID: 9001, HighlightStart: -1},
+		{Type: TCreate, Session: "s1", Corpus: "aep", DB: "experience_platform", ID: 1, HighlightStart: -1},
 		{Type: TAsk, Session: "s1", Text: "How many audiences were created in January?", HighlightStart: -1},
 		{Type: TFeedback, Session: "s1", Text: "we are in 2024", Highlight: "2023", HighlightStart: 57},
 		{Type: TFeedback, Session: "s1", Text: "only the top 5", HighlightStart: -1},

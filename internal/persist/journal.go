@@ -10,7 +10,9 @@
 // crash can tear at most the frame being written; Open truncates the file
 // at the first torn or corrupt frame instead of failing, so every turn
 // acknowledged before the crash survives. Compaction rewrites the file with
-// only the records of live sessions, dropping deleted and evicted ones.
+// an id high-watermark frame followed by the records of live sessions,
+// dropping deleted and evicted ones — the watermark keeps dead sessions'
+// ids unreusable even after their create records are gone.
 package persist
 
 import (
@@ -125,11 +127,23 @@ type Journal struct {
 	seq       uint64
 	fileBytes int64 // bytes currently in the file
 	liveBytes int64 // bytes of frames belonging to live sessions
+	// watermark is the largest numeric session id seen in any TCreate or
+	// TWatermark record. Compaction persists it as a TWatermark frame so it
+	// survives the deletion of the create records that established it.
+	watermark int64
 	replay    []Record
 	dirty     bool
 	closed    bool
-	stop      chan struct{}
-	done      chan struct{}
+	// failed poisons the journal after a partial append the rollback could
+	// not undo: a torn frame sits mid-file, so any further append would be
+	// acknowledged yet unreachable by the scan at the next Open.
+	failed error
+	stop   chan struct{}
+	done   chan struct{}
+
+	// testWrite, when non-nil, replaces the file write in Append — the
+	// fault-injection hook behind the torn-append rollback tests.
+	testWrite func(f *os.File, b []byte) (int, error)
 
 	records        atomic.Int64
 	bytes          atomic.Int64
@@ -216,11 +230,30 @@ func (j *Journal) Records() []Record { return j.replay }
 // still holds.
 func (j *Journal) SessionsSeen() []string { return j.seenIDs }
 
+// Watermark returns the largest numeric session id the journal has ever
+// recorded (TCreate IDs and persisted TWatermark frames). Unlike
+// SessionsSeen it survives compaction, which drops deleted sessions'
+// create records: recovery seeds the id counter from it so a compacted
+// journal can never cause a dead session's id to be reissued.
+func (j *Journal) Watermark() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.watermark
+}
+
 // trackLocked folds r into the live-session map. frame is r's full framed
 // encoding.
 func (j *Journal) trackLocked(r Record, frame []byte) {
 	switch r.Type {
+	case TWatermark:
+		if r.ID > j.watermark {
+			j.watermark = r.ID
+		}
+		return
 	case TCreate:
+		if r.ID > j.watermark {
+			j.watermark = r.ID
+		}
 		j.seq++
 		if old := j.live[r.Session]; old != nil {
 			j.liveBytes -= int64(len(old.frames))
@@ -265,7 +298,28 @@ func (j *Journal) Append(r Record) error {
 	if j.closed {
 		return fmt.Errorf("journal %s is closed", j.path)
 	}
-	if _, err := j.f.Write(frame); err != nil {
+	if j.failed != nil {
+		return fmt.Errorf("journal %s is failed: %w", j.path, j.failed)
+	}
+	write := (*os.File).Write
+	if j.testWrite != nil {
+		write = j.testWrite
+	}
+	if n, err := write(j.f, frame); err != nil {
+		// A partial write (ENOSPC, I/O error) left a torn frame mid-file.
+		// Roll the file back to the last good boundary: the scan at the next
+		// Open stops at the first corrupt frame, so leaving the torn bytes
+		// in place would make every later acknowledged append unrecoverable.
+		// If the rollback itself fails, poison the journal — refusing
+		// further appends is the only way to keep the append-before-ack
+		// contract honest.
+		if n > 0 {
+			if terr := j.f.Truncate(j.fileBytes); terr != nil {
+				j.failed = fmt.Errorf("rollback of torn append: %w (after %v)", terr, err)
+			} else if _, serr := j.f.Seek(j.fileBytes, 0); serr != nil {
+				j.failed = fmt.Errorf("rollback of torn append: %w (after %v)", serr, err)
+			}
+		}
 		return fmt.Errorf("append journal record: %w", err)
 	}
 	j.fileBytes += int64(len(frame))
@@ -320,6 +374,18 @@ func (j *Journal) compactLocked() error {
 		return fmt.Errorf("compact journal: %w", err)
 	}
 	written := int64(0)
+	if j.watermark > 0 {
+		// The watermark frame leads every compacted file: the live sessions
+		// below may no longer include the create record that issued the
+		// highest id, and recovery must still never reissue it.
+		n, err := tmp.Write(appendFrame(nil, Record{Type: TWatermark, ID: j.watermark}))
+		written += int64(n)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("compact journal: %w", err)
+		}
+	}
 	for _, sl := range j.sessionsInOrder() {
 		n, err := tmp.Write(sl.frames)
 		written += int64(n)
@@ -351,6 +417,9 @@ func (j *Journal) compactLocked() error {
 	j.fileBytes = written
 	j.liveBytes = written
 	j.dirty = false
+	// The rewrite replaced the whole file, so a torn frame a failed append
+	// left behind is gone with it — the journal is healthy again.
+	j.failed = nil
 	j.compactions.Add(1)
 	return nil
 }

@@ -2,12 +2,16 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
+
+var errTestDiskFull = errors.New("injected: no space left on device")
 
 func tmpJournal(t *testing.T) string {
 	t.Helper()
@@ -363,6 +367,119 @@ func TestRecreateAfterDelete(t *testing.T) {
 	recs := j2.Records()
 	if len(recs) != 2 || recs[1].Text != "new life" {
 		t.Errorf("recreated session records: %+v", recs)
+	}
+}
+
+// TestCompactionPreservesWatermark is the id-reuse regression: deleting a
+// session and compacting (graceful shutdown's Close) erases its create
+// record, but the id high-watermark must survive in the rewritten file so a
+// restart never reissues the dead id to a fresh session.
+func TestCompactionPreservesWatermark(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j,
+		Record{Type: TCreate, Session: "s1", Corpus: "aep", DB: "db", ID: 1},
+		Record{Type: TCreate, Session: "s2", Corpus: "aep", DB: "db", ID: 2},
+		Record{Type: TDelete, Session: "s2"},
+	)
+	if got := j.Watermark(); got != 2 {
+		t.Fatalf("watermark before compaction = %d, want 2", got)
+	}
+	if err := j.Close(); err != nil { // graceful shutdown: compacts
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, path, Options{Fsync: FsyncOff})
+	defer j2.Crash()
+	if got := j2.Watermark(); got != 2 {
+		t.Errorf("watermark after compaction+reopen = %d, want 2 (s2's id is reusable)", got)
+	}
+	if seen := j2.SessionsSeen(); len(seen) != 1 || seen[0] != "s1" {
+		t.Errorf("sessions seen after compaction = %v, want [s1]", seen)
+	}
+	// The watermark frame is bookkeeping, not a session record: replay must
+	// not see it.
+	for _, r := range j2.Records() {
+		if r.Type == TWatermark {
+			t.Errorf("watermark record leaked into replay: %+v", r)
+		}
+	}
+	// A second compaction cycle must carry it forward again.
+	if err := j2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Crash()
+	j3 := mustOpen(t, path, Options{Fsync: FsyncOff})
+	defer j3.Crash()
+	if got := j3.Watermark(); got != 2 {
+		t.Errorf("watermark after second compaction = %d, want 2", got)
+	}
+}
+
+// TestAppendRollbackOnWriteError injects a short write and requires the
+// journal to roll the file back to the last good frame boundary: a torn
+// frame left mid-file would make every later acknowledged append
+// unreachable for the scan at the next Open.
+func TestAppendRollbackOnWriteError(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j, Record{Type: TCreate, Session: "s1", Corpus: "aep", DB: "db", ID: 1})
+
+	j.testWrite = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		return n, errTestDiskFull
+	}
+	if err := j.Append(Record{Type: TAsk, Session: "s1", Text: "torn", HighlightStart: -1}); err == nil {
+		t.Fatal("short write did not surface an error")
+	}
+	j.testWrite = nil
+
+	// The torn half-frame must be gone and the journal healthy again.
+	if err := j.Append(Record{Type: TAsk, Session: "s1", Text: "after rollback", HighlightStart: -1}); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	j.Crash()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, scanErr := ScanBytes(data)
+	if scanErr != nil {
+		t.Fatalf("journal corrupt after rollback: %v", scanErr)
+	}
+	if int64(len(data)) != ends[len(ends)-1] {
+		t.Errorf("torn bytes left in file: %d bytes, frames end at %d", len(data), ends[len(ends)-1])
+	}
+	if got := recs[len(recs)-1].Text; got != "after rollback" {
+		t.Errorf("last record = %q, want the post-rollback append", got)
+	}
+	for _, r := range recs {
+		if r.Text == "torn" {
+			t.Error("failed append's record present in the file")
+		}
+	}
+}
+
+// TestAppendPoisonedWhenRollbackFails: if the truncate after a short write
+// also fails, the journal must refuse all further appends — writing past a
+// torn frame would acknowledge records recovery can never reach.
+func TestAppendPoisonedWhenRollbackFails(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path, Options{Fsync: FsyncOff})
+	mustAppend(t, j, Record{Type: TCreate, Session: "s1", Corpus: "aep", DB: "db", ID: 1})
+
+	j.testWrite = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		f.Close() // makes the rollback Truncate fail too
+		return n, errTestDiskFull
+	}
+	if err := j.Append(Record{Type: TAsk, Session: "s1", Text: "torn", HighlightStart: -1}); err == nil {
+		t.Fatal("short write did not surface an error")
+	}
+	j.testWrite = nil
+	if err := j.Append(Record{Type: TAsk, Session: "s1", Text: "again", HighlightStart: -1}); err == nil ||
+		!strings.Contains(err.Error(), "failed") {
+		t.Errorf("append on a poisoned journal = %v, want a failed-journal error", err)
 	}
 }
 

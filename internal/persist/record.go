@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 )
 
 // Type identifies a journal record. The numeric values are part of the
@@ -22,13 +23,23 @@ const (
 	// TDelete ends a session (explicit delete, LRU eviction or TTL expiry);
 	// replay drops every earlier record of the session.
 	TDelete Type = 4
+	// TWatermark carries the id high-watermark (ID): the largest numeric
+	// session id ever issued. Compaction writes one at the head of every
+	// rewritten file so the watermark survives the deletion of the create
+	// records that established it — recovery must never hand out an id some
+	// client still holds, even for a session deleted and compacted away.
+	TWatermark Type = 5
 )
 
 // Record is one session lifecycle event. Which fields are meaningful
-// depends on Type; unused fields are empty ("" / -1).
+// depends on Type; unused fields are empty ("" / -1 / 0).
 type Record struct {
 	Type    Type
 	Session string
+
+	// ID is the numeric session id the server issued (TCreate) or the id
+	// high-watermark (TWatermark). Zero when the writer has no numeric id.
+	ID int64
 
 	// TCreate only.
 	Corpus string
@@ -73,6 +84,7 @@ func encodePayload(b []byte, r Record) []byte {
 	case TCreate:
 		b = appendString(b, r.Corpus)
 		b = appendString(b, r.DB)
+		b = appendUvarint(b, uint64(r.ID))
 	case TAsk:
 		b = appendString(b, r.Text)
 	case TFeedback:
@@ -85,6 +97,8 @@ func encodePayload(b []byte, r Record) []byte {
 			b = append(b, 0)
 		}
 	case TDelete:
+	case TWatermark:
+		b = appendUvarint(b, uint64(r.ID))
 	}
 	return b
 }
@@ -132,6 +146,17 @@ func (p *payloadReader) uvarint() uint64 {
 	return v
 }
 
+// int64 reads a uvarint that must fit a non-negative int64 — a larger
+// value is corruption, not an id.
+func (p *payloadReader) int64() int64 {
+	v := p.uvarint()
+	if p.err == nil && v > math.MaxInt64 {
+		p.err = fmt.Errorf("id %d overflows int64", v)
+		return 0
+	}
+	return int64(v)
+}
+
 func (p *payloadReader) string() string {
 	n := p.uvarint()
 	if p.err != nil {
@@ -157,6 +182,7 @@ func decodePayload(b []byte) (Record, error) {
 	case TCreate:
 		r.Corpus = p.string()
 		r.DB = p.string()
+		r.ID = p.int64()
 	case TAsk:
 		r.Text = p.string()
 	case TFeedback:
@@ -176,6 +202,8 @@ func decodePayload(b []byte) (Record, error) {
 			}
 		}
 	case TDelete:
+	case TWatermark:
+		r.ID = p.int64()
 	default:
 		if p.err == nil {
 			return Record{}, fmt.Errorf("unknown record type %d", r.Type)

@@ -25,6 +25,11 @@ type RecoveryInfo struct {
 	TruncatedBytes int64
 	// Duration is the wall time of the replay.
 	Duration time.Duration
+	// CheckpointErr is the error from the post-recovery checkpoint (nil on
+	// success). A failed checkpoint is not fatal — the journal still holds
+	// every live session — but the next restart will replay records the
+	// store already evicted, so the operator should know.
+	CheckpointErr error
 }
 
 // Recovery reports the journal replay New performed (zero when no journal
@@ -49,8 +54,11 @@ func (s *Server) recoverJournal() {
 	// Advance the id counter past every id the journal ever issued —
 	// including deleted sessions, whose records are dropped from replay. A
 	// client still holding a dead id must keep getting 404, not a fresh
-	// session that happened to reuse it.
-	var maxID int64
+	// session that happened to reuse it. The persisted watermark covers ids
+	// whose create records compaction already dropped (a delete followed by
+	// a checkpoint erases every trace of the session from SessionsSeen);
+	// SessionsSeen covers ids that appear only in torn or partial groups.
+	maxID := s.journal.Watermark()
 	for _, id := range s.journal.SessionsSeen() {
 		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > maxID {
 			maxID = n
@@ -106,7 +114,7 @@ func (s *Server) recoverJournal() {
 	// exactly the surviving state so the next recovery replays no ghosts.
 	live := s.store.ids()
 	s.journal.Retain(func(id string) bool { return live[id] })
-	_ = s.journal.Checkpoint()
+	info.CheckpointErr = s.journal.Checkpoint()
 	info.Sessions = s.store.len()
 	info.Duration = time.Since(t0)
 	s.recovery = info

@@ -200,6 +200,80 @@ func TestCrashRecoveryTornSweep(t *testing.T) {
 	}
 }
 
+// TestNoIDReuseAfterCompactedDelete is the review repro for the id-reuse
+// hole: create two sessions, delete the second, shut down gracefully (the
+// journal's Close compacts, erasing every trace of the deleted session),
+// restart — the next create must NOT reissue the dead id, or a stale
+// client holding the old handle silently reads another client's session.
+func TestNoIDReuseAfterCompactedDelete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	ts, j, _ := journalServer(t, path)
+
+	a := createSession(t, ts)
+	b := createSession(t, ts)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+b, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainBody(dresp)
+
+	ts.Close()
+	if err := j.Close(); err != nil { // graceful shutdown: compacts
+		t.Fatal(err)
+	}
+
+	ts2, j2, _ := journalServer(t, path)
+	defer ts2.Close()
+	defer j2.Close()
+
+	if code, _ := getHistory(t, ts2.URL+"/v1/sessions/"+b); code != http.StatusNotFound {
+		t.Fatalf("deleted session %s resurrected after restart: %d", b, code)
+	}
+	fresh := createSession(t, ts2)
+	if fresh == a || fresh == b {
+		t.Errorf("fresh id %s reuses a pre-shutdown id (a=%s, deleted b=%s)", fresh, a, b)
+	}
+	if code, _ := getHistory(t, ts2.URL+"/v1/sessions/"+fresh); code != http.StatusOK {
+		t.Errorf("fresh session %s not serving: %d", fresh, code)
+	}
+}
+
+// TestJournalFailureEvictsSession: when a turn's journal append fails after
+// the turn already mutated the live session, the handler must answer 500
+// AND drop the session — keeping it would serve a history the journal
+// never captured (divergent replay after a crash) and let a retry of the
+// 500 double-apply the turn.
+func TestJournalFailureEvictsSession(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	ts, j, _ := journalServer(t, path)
+	defer ts.Close()
+
+	id := createSession(t, ts)
+	base := ts.URL + "/v1/sessions/" + id
+	if resp, out := postJSON(t, base+"/ask", map[string]string{"question": askQuestion}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask before failure: %d %v", resp.StatusCode, out)
+	}
+
+	// Break the journal out from under the server: every later append fails.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _ := postJSON(t, base+"/feedback", map[string]string{"text": "only the top 5"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("turn with a broken journal = %d, want 500", resp.StatusCode)
+	}
+	// The diverged session must be gone, not serving the uncaptured turn.
+	if code, _ := getHistory(t, base); code != http.StatusNotFound && code != http.StatusGone {
+		t.Errorf("diverged session still serving after journal failure: %d", code)
+	}
+	resp, _ = postJSON(t, base+"/ask", map[string]string{"question": askQuestion})
+	if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusGone {
+		t.Errorf("ask on the dropped session = %d, want 404/410", resp.StatusCode)
+	}
+}
+
 // TestRecoveryRespectsEviction: sessions evicted by the LRU cap before the
 // crash were journaled as deletes, so a restart under the same cap holds
 // only the survivors.

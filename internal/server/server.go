@@ -319,6 +319,19 @@ func (s *Server) journalAppend(rec persist.Record) error {
 	return s.journal.Append(rec)
 }
 
+// dropDiverged evicts a session whose live state just diverged from the
+// journal: the turn was applied to the in-memory session but its append
+// failed, so keeping the session would serve (and, after a crash, replay
+// against) a history the journal never captured — and a client retrying
+// the 500 would double-apply the turn. Eviction makes the divergence
+// unobservable: the session answers 404/410 until the client recreates it,
+// and the removal hook journals the delete (best effort — on a broken
+// journal the delete fails too, and replay then rebuilds the session from
+// exactly the turns that were captured).
+func (s *Server) dropDiverged(sess *session) {
+	s.store.remove(sess.id)
+}
+
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createReq
 	if !s.decodeBody(w, r, &req) {
@@ -346,11 +359,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown database "+req.DB)
 		return
 	}
-	id := "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+	n := s.nextID.Add(1)
+	id := "s" + strconv.FormatInt(n, 10)
 	// Journal before registering: the create record must precede any delete
-	// record a concurrent capacity eviction could emit for this id.
+	// record a concurrent capacity eviction could emit for this id. The
+	// numeric id rides along so the journal's id high-watermark survives
+	// compaction (see persist.TWatermark).
 	if err := s.journalAppend(persist.Record{
-		Type: persist.TCreate, Session: id, Corpus: req.Corpus, DB: req.DB,
+		Type: persist.TCreate, Session: id, Corpus: req.Corpus, DB: req.DB, ID: n,
 	}); err != nil {
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
@@ -506,6 +522,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if err := s.journalAppend(persist.Record{
 		Type: persist.TAsk, Session: sess.id, Text: req.Question,
 	}); err != nil {
+		s.dropDiverged(sess)
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
@@ -573,6 +590,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		Type: persist.TFeedback, Session: sess.id, Text: req.Text,
 		Highlight: req.Highlight, HighlightStart: hlStart,
 	}); err != nil {
+		s.dropDiverged(sess)
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
