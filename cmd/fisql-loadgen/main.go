@@ -29,9 +29,17 @@
 // requires each recovered history to be byte-identical to its pre-crash
 // capture — failing if recovery exceeds -restart-budget.
 //
+// With -overload the generator runs the admission-control scenario (see
+// overload.go): an in-process server with a real capacity limit is driven
+// at capacity and then at -overload-factor times capacity, asserting that
+// accepted asks keep a bounded p99, that excess load is shed exclusively
+// with clean 429 + Retry-After responses, and that a kill-and-restart
+// recovery after the overload loses no acknowledged turn.
+//
 //	fisql-loadgen -corpus aep -sessions 32 -duration 5s
 //	fisql-loadgen -addr 127.0.0.1:8321 -corpus spider -mix 6:2:2 -json out.json
 //	fisql-loadgen -corpus aep -restart -restart-sessions 1000
+//	fisql-loadgen -corpus aep -overload -overload-duration 1s
 package main
 
 import (
@@ -136,6 +144,24 @@ func main() {
 		"sessions to journal in the restart scenario")
 	restartBudget := flag.Duration("restart-budget", time.Second,
 		"fail the restart scenario if journal recovery takes longer than this")
+	overload := flag.Bool("overload", false,
+		"run the admission-control overload scenario instead of a timed load run")
+	overloadFactor := flag.Int("overload-factor", 4,
+		"overload phase drives this many times the server's ask capacity")
+	overloadDuration := flag.Duration("overload-duration", 2*time.Second,
+		"length of each overload phase (at-capacity, then overloaded)")
+	overloadAskLimit := flag.Int("overload-ask-limit", 8,
+		"admission ask concurrency limit of the overloaded server")
+	overloadQueue := flag.Int("overload-queue", 0,
+		"admission queue depth of the overloaded server (0 = the ask limit)")
+	overloadQueueTimeout := flag.Duration("overload-queue-timeout", 25*time.Millisecond,
+		"queue timeout of the overloaded server")
+	overloadLLMLatency := flag.Duration("overload-llm-latency", 5*time.Millisecond,
+		"injected per-model-call latency that defines the server's capacity")
+	overloadP99Factor := flag.Float64("overload-p99-factor", 3.0,
+		"fail if overload p99 exceeds this multiple of the at-capacity p99 (plus slack)")
+	overloadP99Slack := flag.Duration("overload-p99-slack", 30*time.Millisecond,
+		"absolute allowance added to the overload p99 bound, for timer noise")
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -168,6 +194,21 @@ func main() {
 			log.Fatal("-restart drives an in-process server; it cannot be combined with -addr")
 		}
 		os.Exit(runRestart(sys, *corpus, dbs, questionsByDB, *restartSessions, *restartBudget))
+	}
+	if *overload {
+		if *addr != "" {
+			log.Fatal("-overload drives an in-process server; it cannot be combined with -addr")
+		}
+		os.Exit(runOverload(sys, *corpus, dbs, questionsByDB, overloadConfig{
+			Factor:       *overloadFactor,
+			Duration:     *overloadDuration,
+			AskLimit:     *overloadAskLimit,
+			Queue:        *overloadQueue,
+			QueueTimeout: *overloadQueueTimeout,
+			LLMLatency:   *overloadLLMLatency,
+			P99Factor:    *overloadP99Factor,
+			P99Slack:     *overloadP99Slack,
+		}))
 	}
 
 	base := "http://" + *addr

@@ -30,6 +30,16 @@
 // -journal-compact bounds the dead bytes deleted sessions leave in the
 // file. Graceful shutdown checkpoints the journal down to the live
 // sessions.
+//
+// Overload safety is opt-in and two-layered. -llm-batch coalesces
+// concurrent model calls into deadline-bounded batches (-llm-batch-wait,
+// -llm-batch-concurrency) in front of each corpus's client. -ask-limit and
+// -feedback-limit bound pipeline concurrency per endpoint class with a
+// small admission queue (-admission-queue, -queue-timeout); a request that
+// finds the queue full is shed with 429 and a Retry-After hint
+// (-retry-after) instead of degrading everyone's latency. Streaming
+// clients send "Accept: text/event-stream" on ask and receive the answer
+// stage by stage (see DESIGN.md, "Async serving").
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"fisql"
+	"fisql/internal/llm"
 	"fisql/internal/obs"
 	"fisql/internal/persist"
 	"fisql/internal/server"
@@ -76,6 +87,22 @@ func main() {
 		"journal fsync policy: always, interval or off")
 	journalCompact := flag.Int64("journal-compact", persist.DefaultCompactMinBytes,
 		"compact the journal once this many dead bytes accumulate (<= 0 disables auto-compaction)")
+	llmBatch := flag.Int("llm-batch", 0,
+		"coalesce concurrent LLM calls into batches of up to this size (0 disables batching)")
+	llmBatchWait := flag.Duration("llm-batch-wait", llm.DefaultMaxWait,
+		"how long a collecting batch waits for company before flushing")
+	llmBatchConc := flag.Int("llm-batch-concurrency", 0,
+		"max LLM batches in flight at once (0 for unlimited)")
+	askLimit := flag.Int("ask-limit", 0,
+		"max concurrently running asks before admission queueing (0 for unlimited)")
+	fbLimit := flag.Int("feedback-limit", 0,
+		"max concurrently running feedback requests before admission queueing (0 for unlimited)")
+	admissionQueue := flag.Int("admission-queue", 0,
+		"bounded admission queue depth per endpoint class (0 defaults to the class's limit)")
+	queueTimeout := flag.Duration("queue-timeout", server.DefaultQueueTimeout,
+		"shed a queued request after waiting this long for a slot")
+	retryAfter := flag.Duration("retry-after", server.DefaultRetryAfter,
+		"Retry-After hint on load-shedding 429 responses (rounded up to whole seconds)")
 	flag.Parse()
 
 	sp, err := fisql.NewSpiderSystem()
@@ -85,6 +112,14 @@ func main() {
 	ae, err := fisql.NewExperiencePlatformSystem()
 	if err != nil {
 		log.Fatalf("build experience-platform corpus: %v", err)
+	}
+	if *llmBatch > 0 {
+		// Wrap before Observe so the batcher's counters register too. Every
+		// consumer of the system's client (assistant, correctors) now batches.
+		cfg := llm.BatcherConfig{MaxBatch: *llmBatch, MaxWait: *llmBatchWait,
+			MaxConcurrent: *llmBatchConc}
+		sp.Client = llm.NewBatcher(sp.Client, cfg)
+		ae.Client = llm.NewBatcher(ae.Client, cfg)
 	}
 	opts := []server.Option{
 		server.WithMaxSessions(*maxSessions),
@@ -100,6 +135,15 @@ func main() {
 	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
+	}
+	if *askLimit > 0 || *fbLimit > 0 {
+		opts = append(opts, server.WithAdmission(server.AdmissionConfig{
+			AskConcurrency:      *askLimit,
+			FeedbackConcurrency: *fbLimit,
+			Queue:               *admissionQueue,
+			QueueTimeout:        *queueTimeout,
+			RetryAfter:          *retryAfter,
+		}))
 	}
 	var journal *persist.Journal
 	if *journalPath != "" {

@@ -19,6 +19,8 @@
 package fisql
 
 import (
+	"time"
+
 	"fisql/internal/assistant"
 	"fisql/internal/core"
 	"fisql/internal/dataset"
@@ -114,6 +116,17 @@ func (s *System) Observe(r *obs.Registry) {
 		r.CounterFunc("fisql_answer_memo_hits_total", func() int64 { h, _ := m.Stats(); return h })
 		r.CounterFunc("fisql_answer_memo_misses_total", func() int64 { _, mi := m.Stats(); return mi })
 		r.GaugeFunc("fisql_answer_memo_entries", func() int64 { return int64(m.Len()) })
+	}
+	if b, ok := s.Client.(*llm.Batcher); ok {
+		r.CounterFunc("fisql_llm_batch_calls_total", func() int64 { return b.Stats().Calls })
+		r.CounterFunc("fisql_llm_batches_total", func() int64 { return b.Stats().Batches })
+		r.CounterFunc("fisql_llm_batch_requests_total", func() int64 { return b.Stats().Batched })
+		r.CounterFunc("fisql_llm_batch_dedup_total", func() int64 { return b.Stats().Deduped })
+		r.CounterFunc("fisql_llm_batch_full_total", func() int64 { return b.Stats().FullFlushes })
+		r.CounterFunc("fisql_llm_batch_deadline_total", func() int64 { return b.Stats().DeadlineFlushes })
+		r.CounterFunc("fisql_llm_batch_abandoned_total", func() int64 { return b.Stats().AbandonedBatches })
+		waits := r.Histogram("fisql_llm_batch_wait_seconds", nil)
+		b.SetFlushObserver(func(_ int, wait time.Duration) { waits.Observe(wait) })
 	}
 }
 

@@ -107,6 +107,9 @@ func (a *Assistant) ask(ctx context.Context, db, question string) (*Answer, erro
 	if err != nil {
 		return nil, err
 	}
+	if st := StreamFrom(ctx); st != nil {
+		st.OnSQL(sql)
+	}
 	return a.Answer(ctx, db, sql), nil
 }
 
@@ -171,6 +174,7 @@ func (a *Assistant) Answer(ctx context.Context, db, sql string) *Answer {
 
 func (a *Assistant) answer(ctx context.Context, db, sql string) *Answer {
 	tr := obs.TraceFrom(ctx)
+	stream := StreamFrom(ctx)
 	ans := &Answer{SQL: sql}
 	dbase := a.DS.DBs[db]
 	var sel *sqlast.SelectStmt
@@ -181,6 +185,9 @@ func (a *Assistant) answer(ctx context.Context, db, sql string) *Answer {
 		if err != nil {
 			sp.End()
 			ans.ExecErr = err
+			if stream != nil {
+				stream.OnResult(nil, err)
+			}
 			return ans
 		}
 		plan, sel = p, p.Stmt
@@ -189,6 +196,9 @@ func (a *Assistant) answer(ctx context.Context, db, sql string) *Answer {
 		if err != nil {
 			sp.End()
 			ans.ExecErr = err
+			if stream != nil {
+				stream.OnResult(nil, err)
+			}
 			return ans
 		}
 		sel = s
@@ -215,6 +225,9 @@ func (a *Assistant) answer(ctx context.Context, db, sql string) *Answer {
 		ans.Spans = pres.spans
 	}
 	sp.End()
+	if stream != nil {
+		stream.OnExplanation(ans.Reformulation, ans.Explanation, ans.Spans)
+	}
 	ex := engine.NewExecutor(dbase)
 	var res *engine.Result
 	var err error
@@ -227,9 +240,15 @@ func (a *Assistant) answer(ctx context.Context, db, sql string) *Answer {
 	sp.End()
 	if err != nil {
 		ans.ExecErr = err
+		if stream != nil {
+			stream.OnResult(nil, err)
+		}
 		return ans
 	}
 	ans.Result = res
+	if stream != nil {
+		stream.OnResult(res, nil)
+	}
 	return ans
 }
 

@@ -22,6 +22,7 @@ package assistant
 import (
 	"container/list"
 	"context"
+	"errors"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -62,9 +63,15 @@ type memoEntry struct {
 // flight is one in-progress pipeline execution that concurrent identical
 // asks wait on instead of recomputing.
 type flight struct {
-	done    chan struct{}
-	ans     *Answer
-	err     error
+	done chan struct{}
+	ans  *Answer
+	err  error
+	// handoff marks a flight whose leader was torn down by its own context
+	// (client disconnect) rather than by a pipeline failure: the error is
+	// private to the leader, so waiters must not inherit it — they loop and
+	// one of them re-runs the computation with its own fn and context.
+	// Written before done closes, read only after it.
+	handoff bool
 	waiters atomic.Int64 // callers blocked on done, for tests/metrics
 }
 
@@ -118,46 +125,60 @@ func (m *AnswerMemo) DoSQL(ctx context.Context, db, sql string, fn func() (*Answ
 
 func (m *AnswerMemo) do(ctx context.Context, key string, fn func() (*Answer, error)) (*Answer, error) {
 	sh := m.shardFor(key)
-
-	sh.mu.Lock()
-	if el, ok := sh.entries[key]; ok {
-		sh.ll.MoveToFront(el)
-		ans := el.Value.(*memoEntry).ans
-		sh.mu.Unlock()
-		m.hits.Add(1)
-		return ans, nil
-	}
-	if fl, ok := sh.inflight[key]; ok {
-		fl.waiters.Add(1)
-		sh.mu.Unlock()
-		m.hits.Add(1)
-		select {
-		case <-fl.done:
-			return fl.ans, fl.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	for {
+		sh.mu.Lock()
+		if el, ok := sh.entries[key]; ok {
+			sh.ll.MoveToFront(el)
+			ans := el.Value.(*memoEntry).ans
+			sh.mu.Unlock()
+			m.hits.Add(1)
+			return ans, nil
 		}
-	}
-	fl := &flight{done: make(chan struct{})}
-	sh.inflight[key] = fl
-	sh.mu.Unlock()
-	m.misses.Add(1)
-
-	fl.ans, fl.err = fn()
-
-	sh.mu.Lock()
-	delete(sh.inflight, key)
-	if fl.err == nil {
-		sh.entries[key] = sh.ll.PushFront(&memoEntry{key: key, ans: fl.ans})
-		for sh.ll.Len() > m.capacity {
-			old := sh.ll.Back()
-			sh.ll.Remove(old)
-			delete(sh.entries, old.Value.(*memoEntry).key)
+		if fl, ok := sh.inflight[key]; ok {
+			fl.waiters.Add(1)
+			sh.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.handoff {
+					// The leader's context died mid-computation; its
+					// context.Canceled is not this caller's error. Loop: the
+					// first waiter back wins the leadership race and re-runs
+					// fn — its own closure over its own live context.
+					continue
+				}
+				m.hits.Add(1)
+				return fl.ans, fl.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
+		fl := &flight{done: make(chan struct{})}
+		sh.inflight[key] = fl
+		sh.mu.Unlock()
+		m.misses.Add(1)
+
+		fl.ans, fl.err = fn()
+		// Distinguish "the pipeline failed" (shared with waiters; they see
+		// the same backend the next retry would) from "this caller was
+		// canceled" (private; surviving waiters re-run instead).
+		if fl.err != nil && ctx.Err() != nil && errors.Is(fl.err, ctx.Err()) {
+			fl.handoff = true
+		}
+
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		if fl.err == nil {
+			sh.entries[key] = sh.ll.PushFront(&memoEntry{key: key, ans: fl.ans})
+			for sh.ll.Len() > m.capacity {
+				old := sh.ll.Back()
+				sh.ll.Remove(old)
+				delete(sh.entries, old.Value.(*memoEntry).key)
+			}
+		}
+		sh.mu.Unlock()
+		close(fl.done)
+		return fl.ans, fl.err
 	}
-	sh.mu.Unlock()
-	close(fl.done)
-	return fl.ans, fl.err
 }
 
 // Get returns the memoized Answer for (db, question) without computing.

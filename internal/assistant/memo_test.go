@@ -205,3 +205,128 @@ func TestMemoEvictsLRU(t *testing.T) {
 		t.Error("most recently used entry was evicted")
 	}
 }
+
+// TestMemoCanceledLeaderHandsOffToWaiters pins the disconnect-vs-dedup
+// contract: when the singleflight leader's own context is canceled mid
+// computation, surviving waiters must not inherit its context.Canceled —
+// one of them re-runs the computation under its own context and every
+// survivor gets the real Answer.
+func TestMemoCanceledLeaderHandsOffToWaiters(t *testing.T) {
+	m := NewAnswerMemo(64)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{}) // leader's fn has started
+	leaderGo := make(chan struct{}) // release the leader's fn
+
+	var runs atomic.Int64
+	leaderFn := func() (*Answer, error) {
+		runs.Add(1)
+		close(leaderIn)
+		<-leaderGo
+		// The pipeline observes the canceled context, as a real ask would.
+		return nil, fmt.Errorf("generate sql: %w", leaderCtx.Err())
+	}
+	waiterFn := func() (*Answer, error) {
+		runs.Add(1)
+		return &Answer{SQL: "SELECT 42"}, nil
+	}
+
+	var leaderErr error
+	var wgLeader sync.WaitGroup
+	wgLeader.Add(1)
+	go func() {
+		defer wgLeader.Done()
+		_, leaderErr = m.Do(leaderCtx, "db", "q", leaderFn)
+	}()
+	<-leaderIn
+
+	const waiters = 4
+	results := make([]*Answer, waiters)
+	errs := make([]error, waiters)
+	var wgWaiters sync.WaitGroup
+	started := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wgWaiters.Add(1)
+		go func(i int) {
+			defer wgWaiters.Done()
+			started <- struct{}{}
+			results[i], errs[i] = m.Do(context.Background(), "db", "q", waiterFn)
+		}(i)
+	}
+	for i := 0; i < waiters; i++ {
+		<-started
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters block on the flight
+
+	cancelLeader()
+	close(leaderGo)
+	wgWaiters.Wait()
+	wgLeader.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Errorf("leader: err=%v, want its own context.Canceled", leaderErr)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Errorf("waiter %d poisoned by the leader's cancellation: %v", i, errs[i])
+			continue
+		}
+		if results[i] == nil || results[i].SQL != "SELECT 42" {
+			t.Errorf("waiter %d: answer %+v", i, results[i])
+		}
+	}
+	// Exactly one waiter re-ran; the rest shared its result, now cached.
+	if n := runs.Load(); n != 2 {
+		t.Errorf("fn ran %d times, want 2 (canceled leader + one re-run)", n)
+	}
+	if got, ok := m.Get("db", "q"); !ok || got.SQL != "SELECT 42" {
+		t.Errorf("re-run result not cached: (%v, %v)", got, ok)
+	}
+}
+
+// TestMemoRealErrorStillSharedWithWaiters guards the other side of the
+// handoff rule: a genuine pipeline failure (leader's ctx still live) is
+// shared with every waiter — no retry stampede on a down backend.
+func TestMemoRealErrorStillSharedWithWaiters(t *testing.T) {
+	m := NewAnswerMemo(64)
+	boom := errors.New("backend down")
+	in := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int64
+	fn := func() (*Answer, error) {
+		runs.Add(1)
+		close(in)
+		<-release
+		return nil, boom
+	}
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, leaderErr = m.Do(context.Background(), "db", "q", fn)
+	}()
+	<-in
+	const waiters = 3
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = m.Do(context.Background(), "db", "q", fn)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if !errors.Is(leaderErr, boom) {
+		t.Errorf("leader: %v", leaderErr)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("waiter %d: err=%v, want the shared pipeline error", i, err)
+		}
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1 — real errors must stay singleflight", n)
+	}
+}

@@ -1,0 +1,56 @@
+// Streaming: stage-by-stage delivery of an Answer in progress.
+//
+// The serving tier's SSE endpoint wants to push each of the paper's four
+// outputs to the client as soon as the pipeline produces it — SQL when the
+// model answers, the reformulation and explanation when the plan's
+// presentation is assembled, the result when execution finishes — instead
+// of holding everything until the full Answer exists. A Stream carried by
+// the request context receives those stage completions; a context without
+// one costs the pipeline a nil check per stage, mirroring obs.Trace.
+//
+// Streaming is best-effort by design: a memoized Answer (or a singleflight
+// waiter sharing another caller's computation) skips the pipeline, so no
+// stage fires. Consumers that promise a complete event sequence (the SSE
+// handler) synthesize the missing stages from the finished Answer — every
+// payload below is derivable from it, so the synthesized stream is
+// indistinguishable from a live one.
+package assistant
+
+import (
+	"context"
+
+	"fisql/internal/engine"
+	"fisql/internal/sqlast"
+)
+
+// Stream observes pipeline stage completions for one Ask. Implementations
+// are called from the goroutine running the pipeline, in order: OnSQL,
+// OnExplanation, OnResult. On early pipeline failure later stages are
+// skipped (generation errors fire no stage at all; a parse failure fires
+// OnResult with the error but no OnExplanation).
+type Stream interface {
+	// OnSQL delivers the generated SQL, before planning and execution.
+	OnSQL(sql string)
+	// OnExplanation delivers the plan-derived presentation.
+	OnExplanation(reformulation string, explanation []string, spans []sqlast.Span)
+	// OnResult delivers the execution outcome: res on success, execErr when
+	// the SQL failed to plan or run (exactly Answer.Result / Answer.ExecErr).
+	OnResult(res *engine.Result, execErr error)
+}
+
+type streamKey struct{}
+
+// WithStream returns a context carrying s; the pipeline stages of an Ask
+// run under it report to s as they complete. A nil s returns ctx unchanged.
+func WithStream(ctx context.Context, s Stream) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, streamKey{}, s)
+}
+
+// StreamFrom extracts the Stream carried by ctx, or nil.
+func StreamFrom(ctx context.Context) Stream {
+	s, _ := ctx.Value(streamKey{}).(Stream)
+	return s
+}

@@ -67,16 +67,31 @@ func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
 	sleep := r.Sleep
 	if sleep == nil {
 		sleep = func(ctx context.Context, d time.Duration) error {
+			// Check cancellation before arming the timer: with both
+			// channels ready, select picks randomly, so an already-canceled
+			// context could otherwise win a zero-or-tiny backoff and keep
+			// the retry loop running.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(d):
+			case <-t.C:
 				return nil
 			}
 		}
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
+		// A canceled request must not buy another attempt or wait out a
+		// backoff delay — stubbed Sleep implementations (tests, custom
+		// schedules) may not check ctx themselves, so the loop does.
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
 		if attempt > 0 {
 			d := delay
 			if maxDelay > 0 && d > maxDelay {

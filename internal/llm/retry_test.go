@@ -121,3 +121,75 @@ func TestRetryOverFlakySimSurvivesPipeline(t *testing.T) {
 		}
 	}
 }
+
+func TestRetryCanceledContextMakesNoAttempt(t *testing.T) {
+	s := &scripted{outcomes: []error{nil}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A stubbed Sleep that never checks ctx: the loop itself must refuse
+	// the pre-canceled request before the first attempt.
+	r := &Retry{Inner: s, MaxAttempts: 3, Sleep: noSleep}
+	_, err := r.Complete(ctx, Request{Prompt: "p"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if s.calls != 0 {
+		t.Errorf("pre-canceled request still made %d attempts", s.calls)
+	}
+}
+
+func TestRetryCancellationAbortsBackoffImmediately(t *testing.T) {
+	// The backoff between attempts is the capped maximum; cancellation mid
+	// sleep must return right away instead of waiting it out.
+	s := &scripted{outcomes: []error{
+		&Transient{Err: errors.New("x")},
+		&Transient{Err: errors.New("y")},
+		nil,
+	}}
+	r := &Retry{Inner: s, MaxAttempts: 3, BaseDelay: DefaultMaxDelay, MaxDelay: DefaultMaxDelay}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	t0 := time.Now()
+	go func() {
+		_, err := r.Complete(ctx, Request{Prompt: "p"})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first attempt fail and the backoff arm
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+		if waited := time.Since(t0); waited >= DefaultMaxDelay {
+			t.Errorf("cancellation waited out the %s backoff (%s elapsed)", DefaultMaxDelay, waited)
+		}
+	case <-time.After(DefaultMaxDelay / 2):
+		t.Fatal("Complete still sleeping long after cancellation")
+	}
+	if s.calls != 1 {
+		t.Errorf("attempts after cancellation: %d, want 1", s.calls)
+	}
+}
+
+func TestRetryZeroDelayCanceledContextStopsRetrying(t *testing.T) {
+	// With a zero/tiny delay and a canceled ctx, both select arms are ready
+	// and Go picks randomly — the sleep must check ctx first so a canceled
+	// request can never win the timer race and keep retrying. Run many
+	// iterations to make a random pick essentially certain to occur.
+	for i := 0; i < 100; i++ {
+		s := &scripted{outcomes: []error{&Transient{Err: errors.New("x")}}}
+		ctx, cancel := context.WithCancel(context.Background())
+		r := &Retry{Inner: s, MaxAttempts: 5, BaseDelay: time.Nanosecond, Jitter: func(time.Duration) time.Duration {
+			cancel() // cancel exactly as the first backoff begins
+			return time.Nanosecond
+		}}
+		_, err := r.Complete(ctx, Request{Prompt: "p"})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: got %v, want context.Canceled", i, err)
+		}
+		if s.calls != 1 {
+			t.Fatalf("iteration %d: canceled request made %d attempts, want 1", i, s.calls)
+		}
+	}
+}

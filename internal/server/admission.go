@@ -1,0 +1,169 @@
+// Admission control: bounded queues and load shedding for the pipeline
+// endpoints.
+//
+// Past saturation, an unprotected server converges on the worst failure
+// mode: every request is admitted, queues grow without bound inside the
+// runtime (goroutines parked on session locks and the LLM), and p99 latency
+// collapses for everyone while throughput stays pinned. Admission control
+// trades a little refused work for bounded latency on the work that is
+// accepted: each expensive endpoint class (ask, feedback) gets a
+// concurrency limit plus a small bounded queue, and a request that finds
+// the queue full — or waits in it longer than the queue timeout — is shed
+// with 429 and a Retry-After hint instead of joining the convoy.
+//
+// History, create and delete stay unlimited: they are cheap, and shedding
+// them would only push clients into retry loops without protecting
+// anything.
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"fisql/internal/obs"
+)
+
+// DefaultQueueTimeout bounds how long an admitted-but-queued request waits
+// for a slot before being shed. Sized so a briefly-full server drains its
+// queue rather than shedding, while a saturated one refuses quickly enough
+// that queue wait never dominates client latency.
+const DefaultQueueTimeout = 100 * time.Millisecond
+
+// DefaultRetryAfter is the Retry-After hint sent with load-shedding 429s.
+const DefaultRetryAfter = time.Second
+
+// AdmissionConfig bounds the concurrency of the pipeline endpoints. The
+// zero value disables admission control entirely (every request admitted).
+type AdmissionConfig struct {
+	// AskConcurrency caps concurrently running asks; <= 0 leaves asks
+	// unlimited.
+	AskConcurrency int
+	// FeedbackConcurrency caps concurrently running feedback requests;
+	// <= 0 leaves them unlimited. A separate limit so ask saturation cannot
+	// starve in-progress correction loops (and vice versa).
+	FeedbackConcurrency int
+	// Queue is the per-class bounded admission queue: how many requests may
+	// wait for a slot beyond the concurrency limit. <= 0 means a queue as
+	// deep as the class's concurrency limit.
+	Queue int
+	// QueueTimeout sheds a queued request that has waited this long without
+	// getting a slot. <= 0 means DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// RetryAfter is the hint sent on shed responses (rounded up to whole
+	// seconds, minimum 1, per the HTTP Retry-After grammar). <= 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// WithAdmission enables admission control with the given limits.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.admission = cfg }
+}
+
+// limiter is one endpoint class's concurrency limit plus bounded queue. A
+// nil limiter admits everything.
+type limiter struct {
+	sem          chan struct{} // capacity = concurrency limit
+	maxQueue     int64
+	queueTimeout time.Duration
+
+	waiting  atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+	// queueWait, when metrics are on, observes the time admitted requests
+	// spent queued (fast-path admissions observe zero only implicitly:
+	// they never enter the queue and are not recorded).
+	queueWait *obs.Histogram
+}
+
+// newLimiter builds a limiter admitting up to conc concurrent requests with
+// a bounded queue of queue waiters. conc <= 0 returns nil (unlimited).
+func newLimiter(conc, queue int, timeout time.Duration) *limiter {
+	if conc <= 0 {
+		return nil
+	}
+	if queue <= 0 {
+		queue = conc
+	}
+	if timeout <= 0 {
+		timeout = DefaultQueueTimeout
+	}
+	return &limiter{
+		sem:          make(chan struct{}, conc),
+		maxQueue:     int64(queue),
+		queueTimeout: timeout,
+	}
+}
+
+// acquire claims a slot. It returns (true, false) when admitted — the
+// caller must release() when done — (false, true) when the request should
+// be shed with 429, and (false, false) when the caller's context died while
+// queued (the client is gone; nothing useful can be written).
+func (l *limiter) acquire(ctx context.Context) (admitted, shed bool) {
+	if l == nil {
+		return true, false
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return true, false
+	default:
+	}
+	// Slow path: try the bounded queue. The counter both bounds the queue
+	// and doubles as the depth gauge.
+	if l.waiting.Add(1) > l.maxQueue {
+		l.waiting.Add(-1)
+		l.shed.Add(1)
+		return false, true
+	}
+	defer l.waiting.Add(-1)
+	t0 := time.Now()
+	timer := time.NewTimer(l.queueTimeout)
+	defer timer.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		l.queueWait.Observe(time.Since(t0))
+		l.admitted.Add(1)
+		return true, false
+	case <-timer.C:
+		l.shed.Add(1)
+		return false, true
+	case <-ctx.Done():
+		return false, false
+	}
+}
+
+// release frees the slot claimed by a successful acquire.
+func (l *limiter) release() {
+	if l != nil {
+		<-l.sem
+	}
+}
+
+// running reports slots currently claimed.
+func (l *limiter) running() int64 {
+	if l == nil {
+		return 0
+	}
+	return int64(len(l.sem))
+}
+
+// observe registers the limiter's counters and queue-wait histogram under
+// the class prefix (e.g. "fisql_admission_ask").
+func (l *limiter) observe(r *obs.Registry, prefix string) {
+	if l == nil || r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"_admitted_total", func() int64 { return l.admitted.Load() })
+	r.CounterFunc(prefix+"_shed_total", func() int64 { return l.shed.Load() })
+	r.GaugeFunc(prefix+"_running", l.running)
+	r.GaugeFunc(prefix+"_queued", func() int64 {
+		// The bound check transiently overshoots; clamp for display.
+		if n := l.waiting.Load(); n <= l.maxQueue {
+			return n
+		}
+		return l.maxQueue
+	})
+	l.queueWait = r.Histogram(prefix+"_queue_seconds", nil)
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fisql/internal/assistant"
+	"fisql/internal/core"
+	"fisql/internal/llm"
+)
+
+// clientFactory is testFactory with the LLM client swapped out, for tests
+// that need to block or fault-inject the model path.
+type clientFactory struct {
+	*testFactory
+	client llm.Client
+}
+
+func (f *clientFactory) NewSession(db string) *core.Session {
+	asst := &assistant.Assistant{Client: f.client, DS: f.ds, Store: f.store, K: 8, Cache: f.cache}
+	method := &core.FISQL{Client: f.client, DS: f.ds, Store: f.store, K: 8, Routing: true, Highlights: true}
+	return core.NewSession(asst, method, db)
+}
+
+// gateClient parks every Complete call until release closes, so a test can
+// hold pipeline slots occupied at will.
+type gateClient struct {
+	inner   llm.Client
+	started chan struct{} // one token per call that reached the gate
+	release chan struct{}
+}
+
+func (g *gateClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	g.started <- struct{}{}
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+	return g.inner.Complete(ctx, req)
+}
+
+// admissionServer builds a server over the shared corpus with the given
+// client and admission config, returning the Server for white-box checks.
+func admissionServer(t *testing.T, client llm.Client, cfg AdmissionConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	f := factory(t)
+	srv := New(map[string]SessionFactory{"aep": &clientFactory{testFactory: f, client: client}},
+		WithAdmission(cfg))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func newTestSession(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, out := postJSON(t, ts.URL+"/v1/sessions", map[string]string{"corpus": "aep"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	sid, _ := out["session_id"].(string)
+	if sid == "" {
+		t.Fatal("create session: no id")
+	}
+	return sid
+}
+
+func TestAdmissionShedsWithRetryAfter(t *testing.T) {
+	gate := &gateClient{inner: factory(t).sim,
+		started: make(chan struct{}, 8), release: make(chan struct{})}
+	srv, ts := admissionServer(t, gate, AdmissionConfig{
+		AskConcurrency: 1,
+		Queue:          1,
+		QueueTimeout:   10 * time.Second,
+		RetryAfter:     2 * time.Second,
+	})
+	sidA, sidB, sidC := newTestSession(t, ts), newTestSession(t, ts), newTestSession(t, ts)
+	ask := func(sid string) (*http.Response, map[string]any, error) {
+		return postJSONRaw(ts.URL+"/v1/sessions/"+sid+"/ask",
+			map[string]string{"question": "how many users are there"})
+	}
+
+	// A occupies the single slot (its pipeline is parked at the gate).
+	var wg sync.WaitGroup
+	codes := make(map[string]int)
+	var mu sync.Mutex
+	launch := func(sid string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _, err := ask(sid)
+			if err != nil {
+				t.Errorf("ask %s: %v", sid, err)
+				return
+			}
+			mu.Lock()
+			codes[sid] = resp.StatusCode
+			mu.Unlock()
+		}()
+	}
+	launch(sidA)
+	<-gate.started // A's pipeline is running and holds the slot
+
+	// B fills the one queue spot.
+	launch(sidB)
+	for i := 0; srv.askLimit.waiting.Load() != 1; i++ {
+		if i > 5000 {
+			t.Fatal("second ask never entered the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// C finds the queue full: shed, immediately, with the full contract.
+	resp, body, err := ask(sidC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full ask: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After %q, want %q", got, "2")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("429 Content-Type %q", ct)
+	}
+	if msg, _ := body["error"].(string); msg == "" {
+		t.Errorf("429 body %v lacks the standard error field", body)
+	}
+
+	close(gate.release)
+	wg.Wait()
+	if codes[sidA] != http.StatusOK || codes[sidB] != http.StatusOK {
+		t.Errorf("held asks finished %v, want both 200 — shedding must never cost admitted work", codes)
+	}
+	if a, s := srv.askLimit.admitted.Load(), srv.askLimit.shed.Load(); a != 2 || s != 1 {
+		t.Errorf("limiter counters admitted=%d shed=%d, want 2/1", a, s)
+	}
+}
+
+func TestAdmissionCanceledWhileQueuedWritesNothing(t *testing.T) {
+	gate := &gateClient{inner: factory(t).sim,
+		started: make(chan struct{}, 8), release: make(chan struct{})}
+	srv, ts := admissionServer(t, gate, AdmissionConfig{
+		AskConcurrency: 1,
+		Queue:          1,
+		QueueTimeout:   10 * time.Second,
+	})
+	sidA, sidB := newTestSession(t, ts), newTestSession(t, ts)
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _, err := postJSONRaw(ts.URL+"/v1/sessions/"+sidA+"/ask",
+			map[string]string{"question": "how many users are there"})
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- resp.StatusCode
+	}()
+	<-gate.started
+
+	// B queues, then its client gives up: the server must just unwind — no
+	// response bytes, no shed count, queue drained.
+	impatient := &http.Client{Timeout: 100 * time.Millisecond}
+	body := strings.NewReader(`{"question":"how many users are there"}`)
+	if _, err := impatient.Post(ts.URL+"/v1/sessions/"+sidB+"/ask", "application/json", body); err == nil {
+		t.Fatal("queued ask should have timed out client-side")
+	}
+	for i := 0; srv.askLimit.waiting.Load() != 0; i++ {
+		if i > 5000 {
+			t.Fatal("abandoned ask never left the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := srv.askLimit.shed.Load(); s != 0 {
+		t.Errorf("client disconnect counted as a shed (%d)", s)
+	}
+
+	close(gate.release)
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("held ask finished %d, want 200", code)
+	}
+	// The freed capacity is immediately usable.
+	resp, _ := postJSON(t, ts.URL+"/v1/sessions/"+sidB+"/ask",
+		map[string]string{"question": "how many users are there"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("ask after disconnect: status %d", resp.StatusCode)
+	}
+}
+
+// TestAdmissionStress hammers a tightly limited server from many clients
+// under -race and verifies the end-to-end accounting: every response is
+// 200 or 429, the server's shed counter matches the client's 429 count,
+// and each session's history holds exactly its acknowledged asks.
+func TestAdmissionStress(t *testing.T) {
+	// The injected latency makes service time non-trivial so the tight
+	// limits actually bind (the bare sim answers in microseconds and the
+	// queue would never fill).
+	slow := &llm.Flaky{Inner: factory(t).sim, Latency: 2 * time.Millisecond}
+	srv, ts := admissionServer(t, slow, AdmissionConfig{
+		AskConcurrency: 2,
+		Queue:          2,
+		QueueTimeout:   2 * time.Millisecond,
+	})
+	const workers = 12
+	const asksPerWorker = 30
+	type tally struct {
+		sid         string
+		acked, shed int
+		other       []int
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := &tallies[w]
+			tl.sid = newTestSession(t, ts)
+			url := ts.URL + "/v1/sessions/" + tl.sid + "/ask"
+			for i := 0; i < asksPerWorker; i++ {
+				q := fmt.Sprintf("how many users are there (variant %d-%d)", w, i)
+				resp, _, err := postJSONRaw(url, map[string]string{"question": q})
+				if err != nil {
+					tl.other = append(tl.other, -1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					tl.acked++
+				case http.StatusTooManyRequests:
+					tl.shed++
+					if resp.Header.Get("Retry-After") == "" {
+						tl.other = append(tl.other, resp.StatusCode)
+					}
+				default:
+					tl.other = append(tl.other, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	totalAcked, totalShed := 0, 0
+	for w := range tallies {
+		tl := &tallies[w]
+		totalAcked += tl.acked
+		totalShed += tl.shed
+		if len(tl.other) > 0 {
+			t.Errorf("worker %d saw unexpected outcomes %v — overload may only answer 200 or a clean 429",
+				w, tl.other)
+		}
+		if tl.acked+tl.shed != asksPerWorker {
+			t.Errorf("worker %d: %d acked + %d shed != %d asks", w, tl.acked, tl.shed, asksPerWorker)
+		}
+	}
+	if totalShed == 0 {
+		t.Error("stress run shed nothing; the limits are not binding and the test is vacuous")
+	}
+	if got := srv.askLimit.shed.Load(); got != int64(totalShed) {
+		t.Errorf("server shed counter %d != client-observed 429s %d", got, totalShed)
+	}
+	if got := srv.askLimit.admitted.Load(); got != int64(totalAcked) {
+		t.Errorf("server admitted counter %d != acknowledged asks %d", got, totalAcked)
+	}
+	if w := srv.askLimit.waiting.Load(); w != 0 {
+		t.Errorf("admission queue did not drain: %d still waiting", w)
+	}
+
+	// No acknowledged turn lost, no shed turn recorded: user-role history
+	// turns == the worker's 200 count, exactly.
+	for w := range tallies {
+		tl := &tallies[w]
+		resp, err := http.Get(ts.URL + "/v1/sessions/" + tl.sid + "/history")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist struct {
+			Turns []struct {
+				Role string `json:"role"`
+			} `json:"turns"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&hist)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("worker %d history: %v", w, err)
+		}
+		users := 0
+		for _, turn := range hist.Turns {
+			if turn.Role == "user" {
+				users++
+			}
+		}
+		if users != tl.acked {
+			t.Errorf("worker %d: history has %d user turns, client got %d acks — %s",
+				w, users, tl.acked, strconv.Quote(tl.sid))
+		}
+	}
+}

@@ -29,9 +29,11 @@ import (
 
 	"fisql/internal/assistant"
 	"fisql/internal/core"
+	"fisql/internal/engine"
 	"fisql/internal/feedback"
 	"fisql/internal/obs"
 	"fisql/internal/persist"
+	"fisql/internal/sqlast"
 )
 
 // SessionFactory creates sessions for one corpus. The public fisql.System
@@ -65,6 +67,13 @@ type Server struct {
 	nextID atomic.Int64
 	store  *sessionStore
 
+	// Admission control (admission.go). Nil limiters admit everything; the
+	// precomputed Retry-After value rides on every shed response.
+	admission  AdmissionConfig
+	askLimit   *limiter
+	fbLimit    *limiter
+	retryAfter string
+
 	// Durability. journal is nil when persistence is disabled. replaying
 	// suppresses the store's delete-record hook while startup replay is
 	// rebuilding sessions (evictions during replay are reconciled by
@@ -84,6 +93,7 @@ type Server struct {
 	renderHits   *obs.Counter
 	renderMisses *obs.Counter
 	gone410      *obs.Counter
+	sseStreams   *obs.Counter
 }
 
 // Option configures a Server.
@@ -156,6 +166,19 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.askLimit = newLimiter(s.admission.AskConcurrency, s.admission.Queue, s.admission.QueueTimeout)
+	s.fbLimit = newLimiter(s.admission.FeedbackConcurrency, s.admission.Queue, s.admission.QueueTimeout)
+	ra := s.admission.RetryAfter
+	if ra <= 0 {
+		ra = DefaultRetryAfter
+	}
+	// Retry-After carries whole seconds; round up so the hint never invites
+	// a retry before the configured backoff has elapsed.
+	secs := int64((ra + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	s.retryAfter = strconv.FormatInt(secs, 10)
 	s.store = newSessionStore(s.maxSessions, s.sessionTTL)
 	if s.journal != nil {
 		s.store.onRemove = func(id string) {
@@ -182,6 +205,9 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 		s.renderHits = r.Counter("fisql_render_cache_hits_total")
 		s.renderMisses = r.Counter("fisql_render_cache_misses_total")
 		s.gone410 = r.Counter("fisql_sessions_gone_total")
+		s.sseStreams = r.Counter("fisql_sse_streams_total")
+		s.askLimit.observe(r, "fisql_admission_ask")
+		s.fbLimit.observe(r, "fisql_admission_feedback")
 		st := s.store
 		r.CounterFunc("fisql_sessions_evicted_total", func() int64 { e, _ := st.stats(); return e })
 		r.CounterFunc("fisql_sessions_expired_total", func() int64 { _, e := st.stats(); return e })
@@ -210,16 +236,16 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. With metrics enabled every request is
-// counted and its wall time observed; the disabled path dispatches
-// directly with no wrapper allocation.
+// ServeHTTP implements http.Handler. Every request runs under the
+// statusWriter wrapper so mux-generated errors come out as JSON; with
+// metrics enabled the request is also counted and its wall time observed.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
 	if s.metrics == nil {
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(&sw, r)
 		return
 	}
 	t0 := time.Now()
-	sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(&sw, r)
 	s.httpReqs.Inc()
 	if sw.code >= 400 {
@@ -228,17 +254,48 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.httpLatency.Observe(time.Since(t0))
 }
 
-// statusWriter captures the response code for the error counter. It
-// intentionally implements only the core ResponseWriter surface — the
-// handlers here never hijack or stream.
+// statusWriter captures the response code for the error counter, forwards
+// Flush for the SSE path, and converts the only non-JSON error responses
+// the server can emit — ServeMux's own text/plain 404 ("404 page not
+// found") and 405 ("405 method not allowed") — to the {"error": ...} body
+// every handler-written error already uses. The mux responses are
+// recognized by their status plus text/plain Content-Type (handlers always
+// set application/json before writing); status code and the 405 Allow
+// header pass through untouched.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code      int
+	intercept bool // mux error body replaced; swallow the original
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		w.intercept = true
+		msg := "not found"
+		if code == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		httpError(w.ResponseWriter, code, msg)
+		return
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.intercept {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush lets SSE responses stream through the wrapper; a non-flushing
+// underlying writer makes it a no-op.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // ----------------------------------------------------------------------------
@@ -461,34 +518,49 @@ func toJSON(ans *assistant.Answer) answerJSON {
 		SQL:           ans.SQL,
 		Reformulation: ans.Reformulation,
 		Explanation:   ans.Explanation,
-	}
-	if len(ans.Spans) > 0 {
-		out.Spans = make([]spanJSON, len(ans.Spans))
-		for i, sp := range ans.Spans {
-			out.Spans[i] = spanJSON{Clause: sp.Clause.String(), Start: sp.Start, End: sp.End}
-		}
+		Spans:         spansToJSON(ans.Spans),
 	}
 	if ans.ExecErr != nil {
 		out.Error = ans.ExecErr.Error()
 		return out
 	}
 	if ans.Result != nil {
-		out.Columns = ans.Result.Columns
-		if rows := ans.Result.Rows; len(rows) > 0 {
-			// One backing array for all cells: a result is rendered cell by
-			// cell, and per-row allocations dominated this path.
-			out.Rows = make([][]string, len(rows))
-			flat := make([]string, 0, len(rows)*len(ans.Result.Columns))
-			for i, row := range rows {
-				start := len(flat)
-				for _, v := range row {
-					flat = append(flat, v.String())
-				}
-				out.Rows[i] = flat[start:len(flat):len(flat)]
-			}
-		}
+		out.Columns, out.Rows = resultToJSON(ans.Result)
 	}
 	return out
+}
+
+// spansToJSON renders highlightable spans; shared by the answer body and
+// the SSE explanation event so the two forms cannot drift.
+func spansToJSON(spans []sqlast.Span) []spanJSON {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]spanJSON, len(spans))
+	for i, sp := range spans {
+		out[i] = spanJSON{Clause: sp.Clause.String(), Start: sp.Start, End: sp.End}
+	}
+	return out
+}
+
+// resultToJSON renders an execution result's cells; shared by the answer
+// body and the SSE result event.
+func resultToJSON(res *engine.Result) (cols []string, rows [][]string) {
+	cols = res.Columns
+	if len(res.Rows) > 0 {
+		// One backing array for all cells: a result is rendered cell by
+		// cell, and per-row allocations dominated this path.
+		rows = make([][]string, len(res.Rows))
+		flat := make([]string, 0, len(res.Rows)*len(res.Columns))
+		for i, row := range res.Rows {
+			start := len(flat)
+			for _, v := range row {
+				flat = append(flat, v.String())
+			}
+			rows[i] = flat[start:len(flat):len(flat)]
+		}
+	}
+	return cols, rows
 }
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
@@ -505,12 +577,27 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing question")
 		return
 	}
+	// Admission after validation: malformed requests get their precise 4xx
+	// cheaply and never consume a pipeline slot.
+	admitted, shedded := s.askLimit.acquire(r.Context())
+	if !admitted {
+		if shedded {
+			s.shed(w)
+		}
+		// Otherwise the client vanished while queued; nothing to write.
+		return
+	}
+	defer s.askLimit.release()
 	if !s.lockLive(w, sess) {
 		return
 	}
 	defer sess.mu.Unlock()
 	ctx, tr := s.traced(r)
 	defer tr.Finish()
+	if wantsSSE(r) {
+		s.streamAsk(ctx, w, tr, sess, req.Question)
+		return
+	}
 	ans, err := sess.sess.Ask(ctx, req.Question)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
@@ -543,6 +630,14 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing feedback text")
 		return
 	}
+	admitted, shedded := s.fbLimit.acquire(r.Context())
+	if !admitted {
+		if shedded {
+			s.shed(w)
+		}
+		return
+	}
+	defer s.fbLimit.release()
 	if !s.lockLive(w, sess) {
 		return
 	}
@@ -662,29 +757,45 @@ var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // encoding entirely. The hit/miss counters and render span are no-ops when
 // metrics are disabled.
 func (s *Server) writeAnswer(w http.ResponseWriter, tr *obs.Trace, ans *assistant.Answer) {
-	body := ans.Wire()
-	if body == nil {
-		s.renderMisses.Inc()
-		sp := tr.Start(obs.StageRender)
-		buf := bufPool.Get().(*bytes.Buffer)
-		buf.Reset()
-		if err := json.NewEncoder(buf).Encode(toJSON(ans)); err != nil {
-			bufPool.Put(buf)
-			sp.End()
-			httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
-			return
-		}
-		body = make([]byte, buf.Len())
-		copy(body, buf.Bytes())
-		bufPool.Put(buf)
-		ans.SetWire(body)
-		sp.End()
-	} else {
-		s.renderHits.Inc()
+	body, err := s.renderAnswer(tr, ans)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	_, _ = w.Write(body)
+}
+
+// renderAnswer returns ans's wire bytes (the full JSON body, trailing
+// newline included), rendering and caching them on first use. Both the
+// plain answer body and the SSE done event are served from these bytes,
+// which is what makes the streamed and non-streamed forms byte-identical.
+func (s *Server) renderAnswer(tr *obs.Trace, ans *assistant.Answer) ([]byte, error) {
+	if body := ans.Wire(); body != nil {
+		s.renderHits.Inc()
+		return body, nil
+	}
+	s.renderMisses.Inc()
+	sp := tr.Start(obs.StageRender)
+	defer sp.End()
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(toJSON(ans)); err != nil {
+		bufPool.Put(buf)
+		return nil, err
+	}
+	body := make([]byte, buf.Len())
+	copy(body, buf.Bytes())
+	bufPool.Put(buf)
+	ans.SetWire(body)
+	return body, nil
+}
+
+// shed answers a load-shedding 429 with the configured Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", s.retryAfter)
+	httpError(w, http.StatusTooManyRequests, "server overloaded, retry later")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,259 @@
+// Server-sent-events streaming for POST /v1/sessions/{id}/ask.
+//
+// A client that sends "Accept: text/event-stream" receives the answer
+// stage-by-stage as the pipeline produces it, instead of one JSON body at
+// the end:
+//
+//	event: open          data: {}
+//	event: sql           data: {"sql": ...}
+//	event: explanation   data: {"reformulation": ..., "explanation": [...], "spans": [...]}
+//	event: result        data: {"columns": [...], "rows": [...]} | {"error": ...}
+//	event: done          data: <the complete answer JSON>
+//
+// The done payload is the exact byte sequence a non-streaming ask would
+// have received as its response body (minus the body's trailing newline,
+// which SSE framing cannot carry) — rendered once and shared through the
+// same wire cache, so the two forms can never drift. Stage events stream
+// live while the pipeline computes; when a memoized Answer (or a
+// singleflight share) skips the pipeline, the missing stages are
+// synthesized from the finished Answer before done, so the event sequence
+// is always complete: open, sql, explanation, result, done. The open event
+// commits the stream before the pipeline runs, so once a client has opted
+// into SSE, every outcome — including a generation failure that fires no
+// stage at all — arrives as a well-formed event stream.
+//
+// A pipeline or journal failure after the stream has started is delivered
+// as a terminal "error" event ({"error": ...}); the session and journal are
+// left exactly as a failed non-streaming ask would leave them (no history
+// turn, no journal record — or, on a journal append failure, the session
+// evicted). The ask is journaled exactly once, at the same point as the
+// non-streaming path: after pipeline success, before done.
+//
+// Every payload is a single line (JSON escaping keeps newlines out), so
+// each event is one "data:" line and reconstruction is trivial.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"fisql/internal/assistant"
+	"fisql/internal/engine"
+	"fisql/internal/obs"
+	"fisql/internal/persist"
+	"fisql/internal/sqlast"
+)
+
+// wantsSSE reports whether the request opted into streaming.
+func wantsSSE(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		if containsToken(accept, "text/event-stream") {
+			return true
+		}
+	}
+	return false
+}
+
+// containsToken reports whether the comma-separated header value lists the
+// media type (parameters after ';' ignored).
+func containsToken(header, token string) bool {
+	for len(header) > 0 {
+		item := header
+		if i := indexByte(header, ','); i >= 0 {
+			item, header = header[:i], header[i+1:]
+		} else {
+			header = ""
+		}
+		if i := indexByte(item, ';'); i >= 0 {
+			item = item[:i]
+		}
+		if trimSpaces(item) == token {
+			return true
+		}
+	}
+	return false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimSpaces(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Stage payload wire forms. resultJSON doubles as the error carrier to
+// match the answer body ({"error": ...} when execution failed).
+type sqlEvent struct {
+	SQL string `json:"sql"`
+}
+
+type explanationEvent struct {
+	Reformulation string     `json:"reformulation"`
+	Explanation   []string   `json:"explanation"`
+	Spans         []spanJSON `json:"spans,omitempty"`
+}
+
+type resultEvent struct {
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// sseStream writes one SSE response and implements assistant.Stream so the
+// pipeline can push stages as they complete. It is used from the handler
+// goroutine only (the pipeline runs synchronously under the session lock).
+type sseStream struct {
+	w http.ResponseWriter
+	f http.Flusher
+
+	started bool // response headers committed
+	failed  bool // a write failed (client gone); suppress further writes
+	sentSQL bool
+	sentExp bool
+	sentRes bool
+}
+
+// event frames and flushes one SSE event. data must be newline-free (every
+// caller passes a single-line JSON encoding).
+func (st *sseStream) event(name string, data []byte) {
+	if st.failed {
+		return
+	}
+	if !st.started {
+		h := st.w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		st.w.WriteHeader(http.StatusOK)
+		st.started = true
+	}
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString("event: ")
+	buf.WriteString(name)
+	buf.WriteString("\ndata: ")
+	buf.Write(data)
+	buf.WriteString("\n\n")
+	if _, err := st.w.Write(buf.Bytes()); err != nil {
+		st.failed = true
+	}
+	bufPool.Put(buf)
+	if st.f != nil && !st.failed {
+		st.f.Flush()
+	}
+}
+
+// jsonEvent marshals v and emits it. Marshal of these fixed shapes cannot
+// fail; a failure would only ever surface as a dropped event.
+func (st *sseStream) jsonEvent(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		st.failed = true
+		return
+	}
+	st.event(name, data)
+}
+
+// OnSQL implements assistant.Stream.
+func (st *sseStream) OnSQL(sql string) {
+	st.sentSQL = true
+	st.jsonEvent("sql", sqlEvent{SQL: sql})
+}
+
+// OnExplanation implements assistant.Stream.
+func (st *sseStream) OnExplanation(reformulation string, explanation []string, spans []sqlast.Span) {
+	st.sentExp = true
+	st.jsonEvent("explanation", explanationEvent{
+		Reformulation: reformulation,
+		Explanation:   explanation,
+		Spans:         spansToJSON(spans),
+	})
+}
+
+// OnResult implements assistant.Stream.
+func (st *sseStream) OnResult(res *engine.Result, execErr error) {
+	st.sentRes = true
+	ev := resultEvent{}
+	if execErr != nil {
+		ev.Error = execErr.Error()
+	} else if res != nil {
+		ev.Columns, ev.Rows = resultToJSON(res)
+	}
+	st.jsonEvent("result", ev)
+}
+
+// fail terminates the stream: an "error" event if the response has
+// started, a regular JSON error response otherwise.
+func (st *sseStream) fail(code int, msg string) {
+	if st.started {
+		st.jsonEvent("error", map[string]string{"error": msg})
+		return
+	}
+	httpError(st.w, code, msg)
+}
+
+// synthesize emits any stage event the live pipeline skipped (memo hit,
+// singleflight share), in pipeline order, from the finished Answer.
+func (st *sseStream) synthesize(ans *assistant.Answer) {
+	if !st.sentSQL {
+		st.OnSQL(ans.SQL)
+	}
+	if !st.sentExp {
+		st.OnExplanation(ans.Reformulation, ans.Explanation, ans.Spans)
+	}
+	if !st.sentRes {
+		st.OnResult(ans.Result, ans.ExecErr)
+	}
+}
+
+// streamAsk is handleAsk's streaming tail: the caller has validated the
+// request, acquired admission and the session lock, and built the traced
+// context. The ask is journaled at the same point as the non-streaming
+// path.
+func (s *Server) streamAsk(ctx context.Context, w http.ResponseWriter, tr *obs.Trace,
+	sess *session, question string) {
+	st := &sseStream{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		st.f = f
+	}
+	// Commit the stream before the pipeline runs: from here every outcome —
+	// including failure — is delivered as events, so the client always
+	// parses one well-formed stream.
+	st.event("open", []byte("{}"))
+	ans, err := sess.sess.Ask(assistant.WithStream(ctx, st), question)
+	if err != nil {
+		st.fail(http.StatusInternalServerError, err.Error())
+		return
+	}
+	if err := s.journalAppend(persist.Record{
+		Type: persist.TAsk, Session: sess.id, Text: question,
+	}); err != nil {
+		s.dropDiverged(sess)
+		st.fail(http.StatusInternalServerError, "journal: "+err.Error())
+		return
+	}
+	body, err := s.renderAnswer(tr, ans)
+	if err != nil {
+		st.fail(http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	st.synthesize(ans)
+	// The rendered body is "{...}\n"; SSE data cannot frame the trailing
+	// newline, so done carries the line itself — append '\n' to recover the
+	// exact non-streamed body.
+	st.event("done", body[:len(body)-1])
+	s.sseStreams.Inc()
+}
