@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
 	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
 	"fisql/internal/engine"
 	"fisql/internal/eval"
 	"fisql/internal/feedback"
@@ -508,6 +510,162 @@ func BenchmarkPlanCacheHit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ----------------------------------------------------------------------------
+// Columnar execution benchmarks
+//
+// Each benchmark runs the same prepared plan on two executors — columnar
+// path enabled (the default) and disabled — so the timing difference is the
+// vectorized executor alone. Sizes sweep 1x (the corpus's native scale,
+// where results must at least not regress) to 100x (the "-rows 100" scale
+// the columnar layout exists for).
+
+// benchColumnarDB builds one wide table with deterministic synthetic data:
+// an INT key, a low-cardinality TEXT group, a spread INT measure and a REAL
+// measure with NULLs every 17th row.
+func benchColumnarDB(b *testing.B, rows int) *engine.Database {
+	b.Helper()
+	db := engine.NewDatabase("bench_columnar")
+	if err := db.LoadScript("CREATE TABLE t (id INT, grp TEXT, val INT, score REAL);"); err != nil {
+		b.Fatal(err)
+	}
+	tt, _ := db.Table("t")
+	for i := 0; i < rows; i++ {
+		score := engine.Float(float64(i%1000) / 3.0)
+		if i%17 == 0 {
+			score = engine.Null()
+		}
+		tt.Rows = append(tt.Rows, []engine.Value{
+			engine.Int(int64(i)),
+			engine.Text(fmt.Sprintf("g%02d", i%13)),
+			engine.Int(int64(i * 7919 % 10007)),
+			score,
+		})
+	}
+	return db
+}
+
+// benchColumnarArms times one query on the row and columnar executors and
+// asserts they produce identical results before measuring.
+func benchColumnarArms(b *testing.B, db *engine.Database, sql string) {
+	b.Helper()
+	p, err := engine.Prepare(db, sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exRow := engine.NewExecutor(db)
+	exRow.SetColumnar(false)
+	exCol := engine.NewExecutor(db)
+	want, err := exRow.Run(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := exCol.Run(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !engine.EqualResults(want, got) {
+		b.Fatalf("row/columnar divergence for %q", sql)
+	}
+	b.Run("row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exRow.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exCol.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColumnarScanFilter measures a selective predicate scan: WHERE
+// masks over typed arrays versus per-row tree evaluation.
+func BenchmarkColumnarScanFilter(b *testing.B) {
+	for _, rows := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			db := benchColumnarDB(b, rows)
+			benchColumnarArms(b, db,
+				"SELECT id FROM t WHERE val > 9700 AND grp <> 'g03'")
+		})
+	}
+}
+
+// BenchmarkColumnarAggregate measures grouped aggregation: single-column
+// hash grouping plus typed folds versus per-row env grouping and per-group
+// argument re-evaluation.
+func BenchmarkColumnarAggregate(b *testing.B) {
+	for _, rows := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			db := benchColumnarDB(b, rows)
+			benchColumnarArms(b, db,
+				"SELECT grp, COUNT(*), SUM(val), AVG(val), MIN(score), MAX(score) FROM t GROUP BY grp ORDER BY grp")
+		})
+	}
+}
+
+// BenchmarkColumnarGlobalAgg measures the whole-table aggregate shape that
+// dominates the corpus's COUNT questions.
+func BenchmarkColumnarGlobalAgg(b *testing.B) {
+	db := benchColumnarDB(b, 100000)
+	benchColumnarArms(b, db, "SELECT COUNT(*), AVG(val) FROM t WHERE score IS NOT NULL")
+}
+
+// BenchmarkColumnarCorpus100x replays the Experience-Platform scan, filter,
+// aggregate and join gold queries against the corpus scaled to 100x its base
+// rows — the end-to-end view of the same comparison. Golds with subqueries
+// are excluded: a correlated subquery re-scans its table per outer row on
+// both executors (the vectorized path evaluates it through the identical
+// generic code), so they only add minutes of identical work to both arms.
+func BenchmarkColumnarCorpus100x(b *testing.B) {
+	ds, err := aep.BuildRows(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type pq struct {
+		db   *engine.Database
+		plan *engine.Plan
+	}
+	var plans []pq
+	for _, e := range ds.Examples {
+		if strings.Contains(e.Gold, "(SELECT") {
+			continue
+		}
+		db := ds.DBs[e.DB]
+		p, err := engine.Prepare(db, e.Gold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, pq{db: db, plan: p})
+	}
+	if len(plans) == 0 {
+		b.Fatal("no subquery-free gold queries")
+	}
+	run := func(b *testing.B, columnar bool) {
+		exs := map[*engine.Database]*engine.Executor{}
+		for _, q := range plans {
+			if _, ok := exs[q.db]; !ok {
+				ex := engine.NewExecutor(q.db)
+				ex.SetColumnar(columnar)
+				exs[q.db] = ex
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range plans {
+				if _, err := exs[q.db].Run(q.plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("row", func(b *testing.B) { run(b, false) })
+	b.Run("columnar", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkLikeMatch measures a LIKE scan with a backtracking-heavy pattern;

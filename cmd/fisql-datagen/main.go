@@ -29,18 +29,22 @@ func main() {
 	corpus := flag.String("corpus", "spider", "corpus: spider or aep")
 	out := flag.String("out", "", "output directory (required)")
 	examplesOnly := flag.Bool("examples-only", false, "write only examples.jsonl")
+	rows := flag.Int("rows", 1, "row-count multiplier: scale every table to N times its base rows (examples are unchanged)")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("-out is required")
+	}
+	if *rows < 1 {
+		log.Fatal("-rows must be >= 1")
 	}
 
 	var ds *dataset.Dataset
 	var err error
 	switch *corpus {
 	case "spider":
-		ds, err = spider.Build()
+		ds, err = spider.BuildRows(*rows)
 	case "aep":
-		ds, err = aep.Build()
+		ds, err = aep.BuildRows(*rows)
 	default:
 		log.Fatalf("unknown corpus %q", *corpus)
 	}

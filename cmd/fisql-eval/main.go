@@ -30,13 +30,20 @@ func main() {
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file ('-' for stdout)")
 	metrics := flag.Bool("metrics", false,
 		"collect per-stage latency histograms across all experiments and print the summary")
+	rows := flag.Int("rows", 1,
+		"row-count multiplier: scale every database to N times its base rows (questions and gold SQL are unchanged and runs stay deterministic; execution-match accuracy can shift slightly because results are computed over the scaled data)")
+	requireColumnar := flag.Bool("require-columnar", false,
+		"fail unless the engine's vectorized columnar path served at least one query (CI guard)")
 	flag.Parse()
 
-	sp, err := fisql.NewSpiderSystem()
+	if *rows < 1 {
+		log.Fatal("-rows must be >= 1")
+	}
+	sp, err := fisql.NewSpiderSystemRows(*rows)
 	if err != nil {
 		log.Fatalf("build spider corpus: %v", err)
 	}
-	ae, err := fisql.NewExperiencePlatformSystem()
+	ae, err := fisql.NewExperiencePlatformSystemRows(*rows)
 	if err != nil {
 		log.Fatalf("build experience-platform corpus: %v", err)
 	}
@@ -90,6 +97,21 @@ func main() {
 		fmt.Println()
 		fmt.Println("Pipeline stage timings (aggregate across experiments)")
 		r.obs.WriteStageSummary(os.Stdout)
+	}
+
+	if *requireColumnar {
+		var hits, falls int64
+		for _, sys := range []*fisql.System{sp, ae} {
+			for _, db := range sys.DS.DBs {
+				h, f := db.ColumnarStats()
+				hits += h
+				falls += f
+			}
+		}
+		fmt.Printf("\ncolumnar execution: %d hits, %d fallbacks\n", hits, falls)
+		if hits == 0 {
+			log.Fatal("-require-columnar: the vectorized columnar path served no queries")
+		}
 	}
 
 	if *jsonOut != "" {

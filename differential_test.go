@@ -86,7 +86,20 @@ func TestDifferentialPlannedVsInterpreter(t *testing.T) {
 					}
 				}
 			}
-			t.Logf("%s: %d distinct queries result-identical (planned+cached vs interpreter)", b.name, len(queries))
+			// The planned passes above ran with the columnar path enabled
+			// (the default); the corpus must actually exercise it, or the
+			// differential is vacuously comparing row path to row path.
+			var hits, falls int64
+			for _, db := range sys.DS.DBs {
+				h, f := db.ColumnarStats()
+				hits += h
+				falls += f
+			}
+			if hits == 0 {
+				t.Fatalf("columnar path never hit across the corpus (fallbacks=%d)", falls)
+			}
+			t.Logf("%s: %d distinct queries result-identical (planned+cached vs interpreter); columnar hits=%d fallbacks=%d",
+				b.name, len(queries), hits, falls)
 		})
 	}
 }

@@ -128,6 +128,30 @@ func (s *System) Observe(r *obs.Registry) {
 		waits := r.Histogram("fisql_llm_batch_wait_seconds", nil)
 		b.SetFlushObserver(func(_ int, wait time.Duration) { waits.Observe(wait) })
 	}
+	if s.DS != nil && len(s.DS.DBs) > 0 {
+		// Engine columnar-execution counters, summed across the corpus's
+		// databases (each Database keeps its own atomic tallies).
+		dbs := make([]*engine.Database, 0, len(s.DS.DBs))
+		for _, db := range s.DS.DBs {
+			dbs = append(dbs, db)
+		}
+		r.CounterFunc("fisql_engine_columnar_hits_total", func() int64 {
+			var n int64
+			for _, db := range dbs {
+				h, _ := db.ColumnarStats()
+				n += h
+			}
+			return n
+		})
+		r.CounterFunc("fisql_engine_columnar_fallbacks_total", func() int64 {
+			var n int64
+			for _, db := range dbs {
+				_, f := db.ColumnarStats()
+				n += f
+			}
+			return n
+		})
+	}
 }
 
 // Options configures a session's correction method.
@@ -145,8 +169,16 @@ type Options struct {
 
 // NewSpiderSystem builds the SPIDER-like benchmark served by the simulated
 // model.
-func NewSpiderSystem() (*System, error) {
-	ds, err := spider.Build()
+func NewSpiderSystem() (*System, error) { return NewSpiderSystemRows(1) }
+
+// NewSpiderSystemRows builds the SPIDER-like benchmark with every database
+// scaled to rows times its base row count (rows <= 1 is the standard
+// corpus). Scaling deterministically appends table rows — questions, gold
+// SQL and demonstrations are byte-identical at any multiplier — so it
+// multiplies engine scan work; execution-match accuracy can shift slightly
+// at scale because query results are computed over the extra rows.
+func NewSpiderSystemRows(rows int) (*System, error) {
+	ds, err := spider.BuildRows(rows)
 	if err != nil {
 		return nil, err
 	}
@@ -155,8 +187,13 @@ func NewSpiderSystem() (*System, error) {
 
 // NewExperiencePlatformSystem builds the closed-domain Experience-Platform
 // benchmark served by the simulated model.
-func NewExperiencePlatformSystem() (*System, error) {
-	ds, err := aep.Build()
+func NewExperiencePlatformSystem() (*System, error) { return NewExperiencePlatformSystemRows(1) }
+
+// NewExperiencePlatformSystemRows builds the Experience-Platform benchmark
+// with the database scaled to rows times its base row count (rows <= 1 is
+// the standard corpus).
+func NewExperiencePlatformSystemRows(rows int) (*System, error) {
+	ds, err := aep.BuildRows(rows)
 	if err != nil {
 		return nil, err
 	}

@@ -119,8 +119,16 @@ func quotas() dataset.Quotas {
 // Build constructs the Experience-Platform benchmark with the default seed.
 func Build() (*dataset.Dataset, error) { return BuildSeed(Seed) }
 
+// BuildRows constructs the default-seed benchmark with the database's tables
+// grown to mult times their base row count. Scaling runs strictly after
+// corpus assembly and only appends rows, so examples, demonstrations and the
+// 1x data are byte-for-byte identical to Build; mult <= 1 IS Build.
+func BuildRows(mult int) (*dataset.Dataset, error) { return buildSeedRows(Seed, mult) }
+
 // BuildSeed constructs the benchmark with an explicit seed.
-func BuildSeed(seed int64) (*dataset.Dataset, error) {
+func BuildSeed(seed int64) (*dataset.Dataset, error) { return buildSeedRows(seed, 1) }
+
+func buildSeedRows(seed int64, mult int) (*dataset.Dataset, error) {
 	rng := rand.New(rand.NewSource(seed))
 	ds := dataset.New("experience_platform")
 	s := Schema()
@@ -171,6 +179,13 @@ func BuildSeed(seed int64) (*dataset.Dataset, error) {
 	asm := &dataset.Assembler{DS: ds, Gens: map[string]*dataset.Gen{s.Name: g}, Rng: rng}
 	if err := asm.Assemble(rest, q); err != nil {
 		return nil, err
+	}
+	if mult > 1 {
+		// Fresh stream: scaled rows are a pure function of (seed, mult).
+		g.Rng = rand.New(rand.NewSource(seed + 1))
+		if err := g.ScaleRows(mult); err != nil {
+			return nil, fmt.Errorf("scale: %w", err)
+		}
 	}
 	return ds, nil
 }

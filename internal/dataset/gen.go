@@ -61,6 +61,40 @@ func (g *Gen) Populate(n int) error {
 	return nil
 }
 
+// ScaleRows grows every populated table to mult times its current row count
+// by appending freshly generated rows, for benchmarking the engine on much
+// larger databases than the examples need. It runs strictly after the base
+// population (and example generation) so the 1x corpus stays byte-identical:
+// scaling only appends. Primary keys continue the existing sequence and
+// foreign keys sample the parent's already-scaled rows, so population order
+// (parents before children) still holds referential integrity. Generation is
+// deterministic for a fixed Rng seed and multiplier.
+func (g *Gen) ScaleRows(mult int) error {
+	if mult <= 1 {
+		return nil
+	}
+	for ti := range g.Schema.Tables {
+		st := &g.Schema.Tables[ti]
+		t, ok := g.DB.Table(st.Name)
+		if !ok {
+			return fmt.Errorf("table %s missing from database", st.Name)
+		}
+		base := len(t.Rows)
+		for r := base; r < base*mult; r++ {
+			row := make([]engine.Value, len(st.Columns))
+			for ci, c := range st.Columns {
+				v, err := g.columnValue(st, c, r)
+				if err != nil {
+					return err
+				}
+				row[ci] = v
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return nil
+}
+
 func (g *Gen) columnValue(t *schema.Table, c schema.Column, rowIdx int) (engine.Value, error) {
 	name := strings.ToLower(c.Name)
 	// Primary-key ids are sequential; foreign keys sample the parent.

@@ -36,9 +36,19 @@ func quotas() dataset.Quotas {
 // Build constructs the SPIDER-like benchmark with the default seed.
 func Build() (*dataset.Dataset, error) { return BuildSeed(Seed) }
 
+// BuildRows constructs the default-seed benchmark with every database's
+// tables grown to mult times their base row count, for exercising the
+// engine at scale. Scaling runs strictly after corpus assembly and only
+// appends rows, so examples, demonstrations and the 1x data are
+// byte-for-byte identical to Build; mult <= 1 IS Build. The scaled rows are
+// deterministic for a given multiplier.
+func BuildRows(mult int) (*dataset.Dataset, error) { return buildSeedRows(Seed, mult) }
+
 // BuildSeed constructs the benchmark with an explicit seed (used by
 // robustness tests; the headline numbers hold for the default seed).
-func BuildSeed(seed int64) (*dataset.Dataset, error) {
+func BuildSeed(seed int64) (*dataset.Dataset, error) { return buildSeedRows(seed, 1) }
+
+func buildSeedRows(seed int64, mult int) (*dataset.Dataset, error) {
 	rng := rand.New(rand.NewSource(seed))
 	ds := dataset.New("spider")
 	gens := make(map[string]*dataset.Gen)
@@ -57,6 +67,18 @@ func BuildSeed(seed int64) (*dataset.Dataset, error) {
 	asm := &dataset.Assembler{DS: ds, Gens: gens, Rng: rng}
 	if err := asm.Assemble(candidates, quotas()); err != nil {
 		return nil, err
+	}
+	if mult > 1 {
+		// A fresh stream (not the assembly rng's end state) keeps the scaled
+		// rows a pure function of (seed, mult), whatever assembly consumed.
+		srng := rand.New(rand.NewSource(seed + 1))
+		for _, s := range Schemas() {
+			g := gens[s.Name]
+			g.Rng = srng
+			if err := g.ScaleRows(mult); err != nil {
+				return nil, fmt.Errorf("scale %s: %w", s.Name, err)
+			}
+		}
 	}
 	return ds, nil
 }

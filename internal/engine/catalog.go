@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"fisql/internal/sqlast"
 	"fisql/internal/sqlparse"
@@ -45,6 +46,27 @@ type Database struct {
 	// for base-table scans (see scanEnvs).
 	scanMu    sync.Mutex
 	scanCache map[scanKey][]*rowEnv
+
+	// colMu guards colCache, the lazily built columnar projections of each
+	// table (see columnar.go). Same staleness contract as scanCache: rows
+	// can only be appended, so a length mismatch triggers a rebuild.
+	colMu    sync.Mutex
+	colCache map[*Table]*colTable
+
+	// colHits/colFallbacks tally how many Run calls the vectorized columnar
+	// path served versus routed to the row executor. Kept per database (not
+	// package-global) so wiring code can register each corpus once without
+	// double-counting when several systems share one metrics registry.
+	colHits      atomic.Int64
+	colFallbacks atomic.Int64
+}
+
+// ColumnarStats reports how many planned executions the vectorized columnar
+// path served (hits) versus handed to the row-at-a-time executor
+// (fallbacks). Counting happens in Executor.Run; the dynamic Select path and
+// executors with SetColumnar(false) are not counted.
+func (db *Database) ColumnarStats() (hits, fallbacks int64) {
+	return db.colHits.Load(), db.colFallbacks.Load()
 }
 
 type scanKey struct {

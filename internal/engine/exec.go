@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -26,6 +27,8 @@ type Executor struct {
 	plan *Plan
 	// noHashJoin forces the nested-loop join path; see SetHashJoin.
 	noHashJoin bool
+	// noColumnar disables the vectorized columnar path; see SetColumnar.
+	noColumnar bool
 	// likePatterns memoizes lowercased LIKE patterns so the per-row match
 	// does not re-lower the pattern for every candidate row.
 	likePatterns map[string]string
@@ -40,6 +43,13 @@ func NewExecutor(db *Database) *Executor {
 // nested-loop path is semantically identical; the knob exists so
 // differential tests and benchmarks can pin one side.
 func (ex *Executor) SetHashJoin(on bool) { ex.noHashJoin = !on }
+
+// SetColumnar toggles the vectorized columnar path Run tries before the
+// row-at-a-time executor (on by default). The columnar path is
+// result-identical by construction — it bails back to the row path rather
+// than diverge — so the knob exists for differential tests and paired
+// benchmarks, like SetHashJoin.
+func (ex *Executor) SetColumnar(on bool) { ex.noColumnar = !on }
 
 // Query parses, plans and executes a SELECT given as text. Use a shared
 // Cache to amortize the parse+plan work across repeated queries.
@@ -63,6 +73,13 @@ func (ex *Executor) Run(p *Plan) (*Result, error) {
 	prev := ex.plan
 	ex.plan = p
 	defer func() { ex.plan = prev }()
+	if !ex.noColumnar {
+		if res, ok := ex.runVec(p); ok {
+			ex.db.colHits.Add(1)
+			return res, nil
+		}
+		ex.db.colFallbacks.Add(1)
+	}
 	return ex.execSelect(p.Stmt, nil)
 }
 
@@ -541,17 +558,28 @@ func (ex *Executor) equiJoinSpec(envs []*rowEnv, j *sqlast.Join, jAlias string, 
 	return spec, true
 }
 
-// joinKey renders a join key value for hashing. Numeric keys collapse
-// int/float the way Compare does; -0.0 folds into 0.
-func joinKey(v Value, numeric bool) string {
+// joinKey is a typed hash-join key. On a homogeneous numeric domain two
+// values Compare-equal exactly when their float64 renderings are equal, so
+// the key is the float's bit pattern (-0.0 folded into 0 so the two zeros
+// collide); on a text domain equality is exact string equality, so the key
+// is the raw string. A typed key avoids the strconv.FormatFloat allocation
+// the previous string key paid per probe/build row.
+type joinKey struct {
+	f uint64
+	s string
+}
+
+// makeJoinKey builds the hash key for one value. Numeric keys collapse
+// int/float the way Compare does.
+func makeJoinKey(v Value, numeric bool) joinKey {
 	if numeric {
 		f, _ := v.AsFloat()
 		if f == 0 {
 			f = 0
 		}
-		return strconv.FormatFloat(f, 'g', -1, 64)
+		return joinKey{f: math.Float64bits(f)}
 	}
-	return v.S
+	return joinKey{s: v.S}
 }
 
 // hashJoin executes the join described by spec, building a hash table on the
@@ -568,29 +596,31 @@ func (ex *Executor) hashJoin(envs []*rowEnv, j *sqlast.Join, jAlias string, jCol
 	// is unknown), so they are skipped on both sides.
 	var probe func(li int, le *rowEnv) []int
 	if len(jRows) <= len(envs) {
-		ht := make(map[string][]int, len(jRows))
+		ht := make(map[joinKey][]int, len(jRows))
 		for ri, r := range jRows {
 			v := r[spec.rightCol]
 			if v.IsNull() {
 				continue
 			}
-			ht[joinKey(v, spec.numeric)] = append(ht[joinKey(v, spec.numeric)], ri)
+			k := makeJoinKey(v, spec.numeric)
+			ht[k] = append(ht[k], ri)
 		}
 		probe = func(_ int, le *rowEnv) []int {
 			v := leftKey(le)
 			if v.IsNull() {
 				return nil
 			}
-			return ht[joinKey(v, spec.numeric)]
+			return ht[makeJoinKey(v, spec.numeric)]
 		}
 	} else {
-		ht := make(map[string][]int, len(envs))
+		ht := make(map[joinKey][]int, len(envs))
 		for li, le := range envs {
 			v := leftKey(le)
 			if v.IsNull() {
 				continue
 			}
-			ht[joinKey(v, spec.numeric)] = append(ht[joinKey(v, spec.numeric)], li)
+			k := makeJoinKey(v, spec.numeric)
+			ht[k] = append(ht[k], li)
 		}
 		lists := make([][]int, len(envs))
 		total := 0
@@ -599,7 +629,7 @@ func (ex *Executor) hashJoin(envs []*rowEnv, j *sqlast.Join, jAlias string, jCol
 			if v.IsNull() {
 				continue
 			}
-			for _, li := range ht[joinKey(v, spec.numeric)] {
+			for _, li := range ht[makeJoinKey(v, spec.numeric)] {
 				lists[li] = append(lists[li], ri)
 				total++
 				if total > ex.maxRows {
@@ -666,6 +696,12 @@ func (ex *Executor) hashJoin(envs []*rowEnv, j *sqlast.Join, jAlias string, jCol
 // function calls evaluate over these rows instead of erroring.
 type evalCtx struct {
 	group []*rowEnv
+	// aggVals, when non-nil, supplies precomputed per-group aggregate values
+	// keyed by call node. The vectorized path folds aggregates over column
+	// arrays instead of row environments and injects the results here, so
+	// scalar evaluation of HAVING/items/ORDER BY stays the row path's own
+	// code. Nodes absent from the map fall through to the group fold.
+	aggVals map[*sqlast.FuncCall]Value
 }
 
 func (ex *Executor) evalBool(e sqlast.Expr, env *rowEnv, ctx *evalCtx) (bool, error) {
@@ -1125,6 +1161,11 @@ func hasAggregate(e sqlast.Expr) bool {
 
 func (ex *Executor) evalFunc(x *sqlast.FuncCall, env *rowEnv, ctx *evalCtx) (Value, error) {
 	if isAggregateName(x.Name) {
+		if ctx != nil && ctx.aggVals != nil {
+			if v, ok := ctx.aggVals[x]; ok {
+				return v, nil
+			}
+		}
 		if ctx == nil || ctx.group == nil {
 			return Value{}, fmt.Errorf("aggregate %s used outside aggregation context", x.Name)
 		}
@@ -1391,12 +1432,12 @@ func dedupeRows(rows [][]Value) [][]Value {
 	return out
 }
 
-// projected carries an output row together with the environment/group it was
-// produced from, so ORDER BY can evaluate arbitrary expressions.
+// projected carries an output row together with the environment/context it
+// was produced from, so ORDER BY can evaluate arbitrary expressions.
 type projected struct {
-	row   []Value
-	env   *rowEnv
-	group []*rowEnv
+	row []Value
+	env *rowEnv
+	ctx *evalCtx // aggregate context; nil for non-aggregated rows
 }
 
 // execCore runs one SELECT arm (no set ops, no order/limit) and stashes the
@@ -1508,11 +1549,7 @@ func (ex *Executor) orderKey(sp *orderSpec, sel *sqlast.SelectStmt, res *Result,
 	// General expression over the source row/group.
 	if projRows != nil && i < len(projRows) {
 		p := projRows[i]
-		var ctx *evalCtx
-		if p.group != nil {
-			ctx = &evalCtx{group: p.group}
-		}
-		return ex.eval(sp.expr, p.env, ctx)
+		return ex.eval(sp.expr, p.env, p.ctx)
 	}
 	return Value{}, fmt.Errorf("cannot resolve ORDER BY expression %s", sp.want)
 }
@@ -1579,7 +1616,7 @@ func (ex *Executor) project(sel *sqlast.SelectStmt, outer *rowEnv) ([]projected,
 			if err != nil {
 				return nil, nil, err
 			}
-			out = append(out, projected{row: row, env: rep, group: group})
+			out = append(out, projected{row: row, env: rep, ctx: ctx})
 		}
 	} else {
 		out = make([]projected, 0, len(envs))

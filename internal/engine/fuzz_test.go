@@ -8,6 +8,7 @@
 package engine_test
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"sync"
@@ -56,8 +57,52 @@ func fuzzSetup() error {
 				fuzzWorld.seeds = append(fuzzWorld.seeds, [2]string{d.DB, d.SQL})
 			}
 		}
+		if fuzzWorld.err != nil {
+			return
+		}
+		// A row-scaled corpus variant, so the differential also runs where
+		// the columnar kernels process real batch sizes. Seeded with the
+		// scan/filter/aggregate shapes the vectorized path specializes.
+		scaled, err := aep.BuildRows(10)
+		if err != nil {
+			fuzzWorld.err = err
+			return
+		}
+		for name, db := range scaled.DBs {
+			sn := "scaled10:" + name
+			fuzzWorld.dbs[sn] = db
+			for _, t := range db.Tables() {
+				c0 := t.Columns[0].Name
+				cn := t.Columns[len(t.Columns)-1].Name
+				fuzzWorld.seeds = append(fuzzWorld.seeds,
+					[2]string{sn, fmt.Sprintf("SELECT COUNT(*) FROM %s", t.Name)},
+					[2]string{sn, fmt.Sprintf("SELECT * FROM %s WHERE %s IS NOT NULL ORDER BY %s LIMIT 7", t.Name, c0, cn)},
+					[2]string{sn, fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s HAVING COUNT(*) > 2", cn, t.Name, cn)},
+					[2]string{sn, fmt.Sprintf("SELECT MIN(%s), MAX(%s), COUNT(%s) FROM %s WHERE %s IS NOT NULL", c0, cn, cn, t.Name, c0)},
+				)
+			}
+			for _, e := range scaled.Examples {
+				if e.DB == name {
+					fuzzWorld.seeds = append(fuzzWorld.seeds, [2]string{sn, e.Gold})
+				}
+			}
+		}
 	})
 	return fuzzWorld.err
+}
+
+// runRowLeg executes a cached plan on a columnar-disabled executor — the
+// pure row-at-a-time reference the vectorized path must be indistinguishable
+// from. ok=false means the statement didn't plan (nothing to compare).
+func runRowLeg(db *engine.Database, sql string) (*engine.Result, error, bool) {
+	p, err := fuzzWorld.cache.Plan(db, sql)
+	if err != nil {
+		return nil, nil, false
+	}
+	ex := engine.NewExecutor(db)
+	ex.SetColumnar(false)
+	res, err := ex.Run(p)
+	return res, err, true
 }
 
 // FuzzExecPlannedVsDynamic differentially executes every (db, sql) input on
@@ -99,6 +144,9 @@ func FuzzExecPlannedVsDynamic(f *testing.F) {
 			if err2 == nil || err2.Error() != err1.Error() {
 				t.Fatalf("cached re-run changed the error: %v vs %v\nsql: %q", err2, err1, sql)
 			}
+			if _, errR, planned := runRowLeg(db, sql); planned && (errR == nil || errR.Error() != err1.Error()) {
+				t.Fatalf("columnar-off leg changed the error: %v vs %v\nsql: %q", errR, err1, sql)
+			}
 			return
 		}
 		if err2 != nil {
@@ -109,6 +157,13 @@ func FuzzExecPlannedVsDynamic(f *testing.F) {
 		}
 		if !reflect.DeepEqual(planned1, planned2) {
 			t.Fatalf("cached re-run diverged from first run\nsql: %q", sql)
+		}
+		// Third leg: the same shared plan with the columnar path disabled.
+		// The planned legs above ran with it enabled, so any divergence
+		// here is the vectorized executor's fault specifically.
+		row, errR, planned := runRowLeg(db, sql)
+		if planned && !reflect.DeepEqual(row, planned1) {
+			t.Fatalf("columnar-off leg diverged (err=%v)\ncolumnar: %+v\nrow:      %+v\nsql: %q", errR, planned1, row, sql)
 		}
 	})
 }
@@ -129,6 +184,7 @@ func TestFuzzSeedCorpus(t *testing.T) {
 		ex := engine.NewExecutor(db)
 		ex.SetHashJoin(false)
 		dynamic, errD := ex.Query(s[1])
+		row, errR, hasPlan := runRowLeg(db, s[1])
 		switch {
 		case (errP == nil) != (errD == nil):
 			t.Errorf("%s: planned err=%v dynamic err=%v\nsql: %q", s[0], errP, errD, s[1])
@@ -136,8 +192,13 @@ func TestFuzzSeedCorpus(t *testing.T) {
 			if errP.Error() != errD.Error() {
 				t.Errorf("%s: error text diverged: %q vs %q", s[0], errP, errD)
 			}
+			if hasPlan && (errR == nil || errR.Error() != errP.Error()) {
+				t.Errorf("%s: columnar-off error diverged: %v vs %v\nsql: %q", s[0], errR, errP, s[1])
+			}
 		case !reflect.DeepEqual(planned, dynamic):
 			t.Errorf("%s: results diverged for %q", s[0], strings.TrimSpace(s[1]))
+		case hasPlan && !reflect.DeepEqual(row, planned):
+			t.Errorf("%s: columnar-off leg diverged (err=%v) for %q", s[0], errR, strings.TrimSpace(s[1]))
 		}
 	}
 }

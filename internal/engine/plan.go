@@ -50,6 +50,11 @@ type Plan struct {
 	db    *Database
 	cols  map[*sqlast.ColumnRef]colSlot
 	diags []string
+
+	// vec lazily caches the statement's columnar qualification (see vec.go):
+	// built on first Run, shared by every executor running this plan. The
+	// build is deterministic, so a racing double-build stores equal values.
+	vec atomic.Pointer[vecPlan]
 }
 
 // Diagnostics returns the column-resolution problems found at plan time

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"fisql/internal/sqlparse"
+)
+
+// runBoth executes sql twice — columnar enabled and disabled — and requires
+// identical results (or identical errors).
+func runBoth(t *testing.T, db *Database, sql string) (*Result, bool) {
+	t.Helper()
+	on, onErr := NewExecutor(db).Query(sql)
+	exOff := NewExecutor(db)
+	exOff.SetColumnar(false)
+	off, offErr := exOff.Query(sql)
+	if (onErr == nil) != (offErr == nil) {
+		t.Fatalf("%s: error divergence: columnar=%v row=%v", sql, onErr, offErr)
+	}
+	if onErr != nil {
+		if onErr.Error() != offErr.Error() {
+			t.Fatalf("%s: error text divergence: columnar=%v row=%v", sql, onErr, offErr)
+		}
+		return nil, false
+	}
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("%s: result divergence:\ncolumnar: %+v\nrow:      %+v", sql, on, off)
+	}
+	return on, true
+}
+
+func TestColumnarParity(t *testing.T) {
+	db := testDB(t)
+	queries := []string{
+		// Scan / filter shapes (vectorized kernels).
+		"SELECT * FROM singer",
+		"SELECT name FROM singer WHERE country = 'France'",
+		"SELECT name FROM singer WHERE age > 30",
+		"SELECT name FROM singer WHERE age >= 30 AND country <> 'France'",
+		"SELECT name FROM singer WHERE age < 30 OR is_male = 'F'",
+		"SELECT name FROM singer WHERE NOT (age > 30)",
+		"SELECT * FROM stadium WHERE capacity BETWEEN 2000 AND 12000",
+		"SELECT * FROM stadium WHERE name LIKE '%Park%'",
+		"SELECT * FROM stadium WHERE stadium_id IN (1, 2, 9)",
+		"SELECT * FROM stadium WHERE location IS NOT NULL",
+		"SELECT name FROM singer WHERE 30 < age",
+		"SELECT name FROM singer WHERE age = age",
+		"SELECT name FROM singer WHERE NULL",
+		// Aggregates, grouping, HAVING.
+		"SELECT COUNT(*) FROM singer",
+		"SELECT COUNT(*), SUM(capacity), AVG(average), MIN(name), MAX(location) FROM stadium",
+		"SELECT country, COUNT(*) FROM singer GROUP BY country",
+		"SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) > 1",
+		"SELECT year, COUNT(*) FROM concert GROUP BY year ORDER BY COUNT(*) DESC, year",
+		"SELECT COUNT(DISTINCT country) FROM singer",
+		"SELECT AVG(age) FROM singer WHERE country = 'France'",
+		// ORDER BY / LIMIT / DISTINCT.
+		"SELECT name, capacity FROM stadium ORDER BY capacity DESC LIMIT 2",
+		"SELECT name FROM singer ORDER BY age LIMIT 2 OFFSET 1",
+		"SELECT DISTINCT country FROM singer ORDER BY country",
+		// Joins (vectorized pair building).
+		"SELECT s.name, c.concert_name FROM concert AS c JOIN stadium AS s ON c.stadium_id = s.stadium_id",
+		"SELECT c.concert_name, s.name FROM concert AS c LEFT JOIN stadium AS s ON c.stadium_id = s.stadium_id ORDER BY c.concert_id",
+		"SELECT s.name, COUNT(*) FROM concert AS c JOIN stadium AS s ON c.stadium_id = s.stadium_id GROUP BY s.name",
+		"SELECT c.concert_name FROM concert AS c JOIN stadium AS s ON c.stadium_id = s.stadium_id WHERE s.capacity > 10000",
+		// Subqueries (generic eval through shared envs, or row fallback).
+		"SELECT name FROM singer WHERE age > (SELECT AVG(age) FROM singer)",
+		"SELECT name FROM singer AS s WHERE EXISTS (SELECT 1 FROM singer_in_concert AS sc WHERE sc.singer_id = s.singer_id)",
+		"SELECT name FROM stadium WHERE stadium_id IN (SELECT stadium_id FROM concert)",
+		// Expression projections.
+		"SELECT name, age * 2 + 1 FROM singer WHERE age % 2 = 0",
+		"SELECT UPPER(name), LENGTH(country) FROM singer",
+		"SELECT CASE WHEN age > 40 THEN 'old' ELSE 'young' END FROM singer",
+		// Error cases must error identically (fallback owns the message).
+		"SELECT nosuch FROM singer",
+		"SELECT name FROM singer WHERE age > 'x' AND nosuch = 1",
+		"SELECT SUM(name) FROM singer",
+	}
+	for _, q := range queries {
+		runBoth(t, db, q)
+	}
+	hits, falls := db.ColumnarStats()
+	if hits == 0 {
+		t.Fatalf("columnar path never hit (hits=%d fallbacks=%d)", hits, falls)
+	}
+}
+
+func TestColumnarNullAndMixedColumns(t *testing.T) {
+	db := NewDatabase("d")
+	if err := db.LoadScript(`
+CREATE TABLE t (id INT, num REAL, s TEXT, b BOOL);
+INSERT INTO t VALUES (1, 1.5, 'a', TRUE);
+INSERT INTO t VALUES (2, NULL, 'B', FALSE);
+INSERT INTO t VALUES (NULL, -0.0, NULL, NULL);
+INSERT INTO t VALUES (4, 2, 'a', TRUE);
+CREATE TABLE e (id INT, x INT);
+INSERT INTO e (id) VALUES (1);
+INSERT INTO e (id) VALUES (2);
+`); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT * FROM t WHERE num > 1",
+		"SELECT * FROM t WHERE num IS NULL",
+		"SELECT * FROM t WHERE s = 'a'",
+		"SELECT * FROM t WHERE s = 'A'", // equality is exact, not folded
+		"SELECT * FROM t WHERE s < 'b'", // ordering folds case
+		"SELECT * FROM t WHERE b",       // bool column: kindOther, generic path
+		"SELECT * FROM t WHERE id",
+		"SELECT * FROM t WHERE num BETWEEN 0 AND 2",
+		"SELECT * FROM t WHERE id IN (1, NULL)",
+		"SELECT * FROM t WHERE id NOT IN (1, 2, 4)",
+		"SELECT COUNT(num), SUM(num), MIN(num), MAX(s) FROM t",
+		"SELECT num, COUNT(*) FROM t GROUP BY num",
+		"SELECT s, COUNT(*) FROM t GROUP BY s",
+		// All-NULL column: kindEmpty kernels and folds.
+		"SELECT * FROM e WHERE x > 0",
+		"SELECT * FROM e WHERE x IS NULL",
+		"SELECT COUNT(x), SUM(x), MIN(x) FROM e",
+		"SELECT x, COUNT(*) FROM e GROUP BY x",
+		// Join keyed on a column with NULLs, and on an all-NULL column.
+		"SELECT a.id, b.id FROM t AS a JOIN t AS b ON a.num = b.num",
+		"SELECT t.id, e.id FROM t LEFT JOIN e ON t.id = e.x",
+		"SELECT t.id, e.id FROM t JOIN e ON t.id = e.x",
+	}
+	for _, q := range queries {
+		runBoth(t, db, q)
+	}
+}
+
+func TestColumnarQualification(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"SELECT * FROM singer", true},
+		{"SELECT COUNT(*) FROM singer GROUP BY country", true},
+		{"SELECT * FROM concert JOIN stadium ON concert.stadium_id = stadium.stadium_id", true},
+		{"SELECT * FROM concert LEFT JOIN stadium ON concert.stadium_id = stadium.stadium_id", true},
+		// Not qualified: derived table, cross join, compound, multi-join,
+		// non-equi ON, same-side ON.
+		{"SELECT * FROM (SELECT * FROM singer) AS s", false},
+		{"SELECT * FROM singer CROSS JOIN stadium", false},
+		{"SELECT name FROM singer UNION SELECT name FROM stadium", false},
+		{"SELECT * FROM concert JOIN stadium ON concert.stadium_id = stadium.stadium_id JOIN singer ON singer.singer_id = concert.concert_id", false},
+		{"SELECT * FROM concert JOIN stadium ON concert.stadium_id < stadium.stadium_id", false},
+		{"SELECT * FROM concert AS c JOIN stadium AS s ON c.stadium_id = c.concert_id", false},
+	}
+	for _, c := range cases {
+		sel, err := sqlparse.ParseSelect(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		p := PlanSelect(db, sel)
+		vp := buildVecPlan(p)
+		if vp.ok != c.want {
+			t.Errorf("%s: qualified=%v, want %v", c.sql, vp.ok, c.want)
+		}
+	}
+}
+
+func TestColumnarCounters(t *testing.T) {
+	db := testDB(t)
+	h0, f0 := db.ColumnarStats()
+	mustQuery(t, db, "SELECT COUNT(*) FROM singer")
+	h1, f1 := db.ColumnarStats()
+	if h1 != h0+1 || f1 != f0 {
+		t.Fatalf("expected a hit: hits %d->%d fallbacks %d->%d", h0, h1, f0, f1)
+	}
+	mustQuery(t, db, "SELECT name FROM singer UNION SELECT name FROM stadium")
+	h2, f2 := db.ColumnarStats()
+	if h2 != h1 || f2 != f1+1 {
+		t.Fatalf("expected a fallback: hits %d->%d fallbacks %d->%d", h1, h2, f1, f2)
+	}
+	// A disabled executor counts nothing.
+	ex := NewExecutor(db)
+	ex.SetColumnar(false)
+	if _, err := ex.Query("SELECT COUNT(*) FROM singer"); err != nil {
+		t.Fatal(err)
+	}
+	h3, f3 := db.ColumnarStats()
+	if h3 != h2 || f3 != f2 {
+		t.Fatalf("disabled executor moved counters: hits %d->%d fallbacks %d->%d", h2, h3, f2, f3)
+	}
+}
+
+func TestColKindClassification(t *testing.T) {
+	db := NewDatabase("d")
+	if err := db.LoadScript(`
+CREATE TABLE k (i INT, f REAL, m REAL, s TEXT, b BOOL, e INT, mx TEXT);
+INSERT INTO k (i, f, m, s, b, mx) VALUES (1, 1.5, 2, 'x', TRUE, 'a');
+INSERT INTO k (i, f, m, s, b, mx) VALUES (2, 2.5, 2.5, 'y', FALSE, '3');
+`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("k")
+	// DDL coerces by column type, so mixed-type columns can't be scripted;
+	// patch rows directly to get an int/float mix and a text/number mix.
+	tbl.Rows[0][2] = Int(2)
+	tbl.Rows[1][6] = Int(3)
+	ct := db.colTable(tbl)
+	wants := []colKind{kindInt, kindFloat, kindNum, kindString, kindOther, kindEmpty, kindOther}
+	for i, want := range wants {
+		if ct.cols[i].kind != want {
+			t.Errorf("col %s: kind=%d want %d", tbl.Columns[i].Name, ct.cols[i].kind, want)
+		}
+	}
+	// Cache invalidates on append.
+	tbl.Rows = append(tbl.Rows, []Value{Null(), Null(), Null(), Null(), Null(), Null(), Null()})
+	ct2 := db.colTable(tbl)
+	if ct2 == ct || ct2.n != 3 {
+		t.Fatalf("expected rebuild after append (n=%d)", ct2.n)
+	}
+	if !ct2.cols[0].null(2) {
+		t.Fatal("appended NULL row not reflected in null bitmap")
+	}
+}
+
+func TestColumnarLimitParity(t *testing.T) {
+	db := testDB(t)
+	for _, q := range []string{
+		"SELECT name FROM singer LIMIT 0",
+		"SELECT name FROM singer LIMIT 100",
+		"SELECT name FROM singer LIMIT 2 OFFSET 100",
+		"SELECT name FROM singer WHERE age > 1000 LIMIT 3",
+	} {
+		runBoth(t, db, q)
+	}
+}
