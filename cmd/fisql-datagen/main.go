@@ -30,12 +30,16 @@ func main() {
 	out := flag.String("out", "", "output directory (required)")
 	examplesOnly := flag.Bool("examples-only", false, "write only examples.jsonl")
 	rows := flag.Int("rows", 1, "row-count multiplier: scale every table to N times its base rows (examples are unchanged)")
+	demoMult := flag.Int("demos", 1, "demonstration-pool multiplier: scale the demo pool to N times its base size with deterministic phrasing variants (examples and tables are unchanged)")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("-out is required")
 	}
 	if *rows < 1 {
 		log.Fatal("-rows must be >= 1")
+	}
+	if *demoMult < 1 {
+		log.Fatal("-demos must be >= 1")
 	}
 
 	var ds *dataset.Dataset
@@ -51,6 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("build corpus: %v", err)
 	}
+	ds.Demos = dataset.ScaleDemos(ds.Demos, *demoMult)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}

@@ -34,6 +34,8 @@ func main() {
 		"row-count multiplier: scale every database to N times its base rows (questions and gold SQL are unchanged and runs stay deterministic; execution-match accuracy can shift slightly because results are computed over the scaled data)")
 	requireColumnar := flag.Bool("require-columnar", false,
 		"fail unless the engine's vectorized columnar path served at least one query (CI guard)")
+	ragIndex := flag.String("rag-index", "exact",
+		"demonstration retrieval index: exact (linear scan) or hnsw (sublinear graph + exact rerank; results are byte-identical)")
 	flag.Parse()
 
 	if *rows < 1 {
@@ -46,6 +48,11 @@ func main() {
 	ae, err := fisql.NewExperiencePlatformSystemRows(*rows)
 	if err != nil {
 		log.Fatalf("build experience-platform corpus: %v", err)
+	}
+	for _, sys := range []*fisql.System{sp, ae} {
+		if err := sys.SetDemoIndex(*ragIndex); err != nil {
+			log.Fatalf("-rag-index: %v", err)
+		}
 	}
 	r := runner{sp: sp, ae: ae, ctx: context.Background(), export: eval.NewExport(), workers: *workers}
 	if *metrics {
@@ -144,7 +151,7 @@ type runner struct {
 
 func (r *runner) mustGenerate(sys *fisql.System, k int) ([]eval.GenResult, eval.Accuracy) {
 	res, acc, err := eval.RunGenerationOpts(r.ctx, sys.Client, sys.DS, k,
-		eval.RunOptions{Workers: r.workers, Obs: r.obs})
+		eval.RunOptions{Workers: r.workers, Obs: r.obs, Store: sys.Store})
 	if err != nil {
 		log.Fatalf("generation: %v", err)
 	}

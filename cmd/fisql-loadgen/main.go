@@ -130,6 +130,10 @@ type stageJSON struct {
 func main() {
 	log.SetFlags(0)
 	corpus := flag.String("corpus", "aep", "corpus to drive: aep or spider")
+	ragIndex := flag.String("rag-index", "exact",
+		"demonstration retrieval index of the in-process server: exact or hnsw")
+	ragFold := flag.Bool("rag-fold", false,
+		"fold successful feedback corrections back into the in-process server's retrieval store")
 	sessions := flag.Int("sessions", 32, "concurrent sessions (one worker each)")
 	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
 	mix := flag.String("mix", "5:3:2", "ask:feedback:history request weights")
@@ -183,6 +187,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("build corpus: %v", err)
 	}
+	if err := sys.SetDemoIndex(*ragIndex); err != nil {
+		log.Fatalf("-rag-index: %v", err)
+	}
+	sys.FoldFeedback = *ragFold
 	questionsByDB := map[string][]string{}
 	for _, e := range sys.DS.Examples {
 		questionsByDB[e.DB] = append(questionsByDB[e.DB], e.Question)

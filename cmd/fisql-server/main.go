@@ -103,6 +103,10 @@ func main() {
 		"shed a queued request after waiting this long for a slot")
 	retryAfter := flag.Duration("retry-after", server.DefaultRetryAfter,
 		"Retry-After hint on load-shedding 429 responses (rounded up to whole seconds)")
+	ragIndex := flag.String("rag-index", "exact",
+		"demonstration retrieval index: exact (linear scan) or hnsw (sublinear graph + exact rerank)")
+	ragFold := flag.Bool("rag-fold", false,
+		"fold successful feedback corrections back into the retrieval store as new demonstrations")
 	flag.Parse()
 
 	sp, err := fisql.NewSpiderSystem()
@@ -112,6 +116,12 @@ func main() {
 	ae, err := fisql.NewExperiencePlatformSystem()
 	if err != nil {
 		log.Fatalf("build experience-platform corpus: %v", err)
+	}
+	for _, sys := range []*fisql.System{sp, ae} {
+		if err := sys.SetDemoIndex(*ragIndex); err != nil {
+			log.Fatalf("-rag-index: %v", err)
+		}
+		sys.FoldFeedback = *ragFold
 	}
 	if *llmBatch > 0 {
 		// Wrap before Observe so the batcher's counters register too. Every

@@ -19,6 +19,7 @@
 package fisql
 
 import (
+	"fmt"
 	"time"
 
 	"fisql/internal/assistant"
@@ -95,6 +96,24 @@ type System struct {
 	// Client is non-deterministic (a real sampled LLM). Safe for concurrent
 	// use.
 	Memo *AnswerMemo
+	// FoldFeedback makes every session fold its successful corrections back
+	// into the retrieval store as new demonstrations (the store dedups), so
+	// the demonstration library learns from live traffic. Leave off for
+	// reproducing the paper's numbers — a growing pool shifts retrieval.
+	FoldFeedback bool
+}
+
+// SetDemoIndex rebuilds the retrieval store over the corpus demonstrations
+// with the named index ("exact" — the default linear scan — or "hnsw", the
+// sublinear graph index with exact rerank). Call before creating assistants
+// or sessions; they capture the store at construction.
+func (s *System) SetDemoIndex(kind string) error {
+	k, ok := rag.ParseIndexKind(kind)
+	if !ok {
+		return fmt.Errorf("unknown demo index %q (want %q or %q)", kind, rag.IndexExact, rag.IndexHNSW)
+	}
+	s.Store = rag.NewStoreOptions(s.DS.Demos, rag.Options{Index: k})
+	return nil
 }
 
 // Observe registers the system's cache statistics on a metrics registry:
@@ -116,6 +135,20 @@ func (s *System) Observe(r *obs.Registry) {
 		r.CounterFunc("fisql_answer_memo_hits_total", func() int64 { h, _ := m.Stats(); return h })
 		r.CounterFunc("fisql_answer_memo_misses_total", func() int64 { _, mi := m.Stats(); return mi })
 		r.GaugeFunc("fisql_answer_memo_entries", func() int64 { return int64(m.Len()) })
+	}
+	if st := s.Store; st != nil {
+		// Retrieval-store counters: search/hit volume, the feedback-fold
+		// insert rate (inserts + dedup skips), live library size, and the
+		// index-probe count that proves which index implementation is
+		// actually serving (the CI differential gate reads the same source).
+		r.CounterFunc("fisql_rag_searches_total", func() int64 { return st.Stats().Searches })
+		r.CounterFunc("fisql_rag_hits_total", func() int64 { return st.Stats().Hits })
+		r.CounterFunc("fisql_rag_inserts_total", func() int64 { return st.Stats().Inserts })
+		r.CounterFunc("fisql_rag_dup_skips_total", func() int64 { return st.Stats().DupSkips })
+		r.CounterFunc("fisql_rag_index_probes_total", func() int64 { return st.Stats().IndexProbes })
+		r.GaugeFunc("fisql_rag_entries", func() int64 { return int64(st.Len()) })
+		lat := r.Histogram("fisql_rag_search_seconds", nil)
+		st.SetSearchObserver(func(d time.Duration) { lat.Observe(d) })
 	}
 	if b, ok := s.Client.(*llm.Batcher); ok {
 		r.CounterFunc("fisql_llm_batch_calls_total", func() int64 { return b.Stats().Calls })
@@ -226,9 +259,15 @@ func (s *System) QueryRewrite() *QueryRewrite {
 }
 
 // Session opens an interactive conversation against one database. The
-// default method is full FISQL (routing on, highlights on).
+// default method is full FISQL (routing on, highlights on). When the system
+// has FoldFeedback set, the session folds its successful corrections back
+// into the shared retrieval store.
 func (s *System) Session(db string, opt Options) *Session {
-	return core.NewSession(s.Assistant(), s.FISQL(opt), db)
+	sess := core.NewSession(s.Assistant(), s.FISQL(opt), db)
+	if s.FoldFeedback {
+		sess.FoldStore = s.Store
+	}
+	return sess
 }
 
 // Databases lists the corpus's database names in a stable order.

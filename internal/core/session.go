@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"fisql/internal/assistant"
+	"fisql/internal/dataset"
 	"fisql/internal/feedback"
+	"fisql/internal/rag"
 )
 
 // Session is one interactive conversation with the Assistant on a single
@@ -16,6 +18,14 @@ type Session struct {
 	Assistant *assistant.Assistant
 	Corrector Corrector
 	DB        string
+
+	// FoldStore, when set, receives every successful correction — feedback
+	// that produced a query which parsed and executed — as a new
+	// (question, corrected SQL) demonstration, so the retrieval library
+	// learns from live sessions ("Speak to your Parser": user feedback is
+	// the best source of new demonstrations). The store deduplicates, so
+	// many sessions converging on the same fix insert it once.
+	FoldStore *rag.Store
 
 	question string
 	sql      string
@@ -91,5 +101,11 @@ func (s *Session) Feedback(ctx context.Context, text string, hl *feedback.Highli
 	s.history = append(s.history,
 		Turn{Role: "feedback", Text: text},
 		Turn{Role: "assistant", Text: ans.SQL, Answer: ans})
+	// Fold the correction into the demonstration library only once it
+	// actually executed: a correction whose SQL fails to run would teach
+	// future retrievals a broken demonstration.
+	if s.FoldStore != nil && ans.ExecErr == nil {
+		s.FoldStore.Add(dataset.Demo{DB: s.DB, Question: s.question, SQL: sql})
+	}
 	return ans, nil
 }

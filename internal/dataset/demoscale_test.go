@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func scaleFixture() []Demo {
+	return []Demo{
+		{DB: "music", Question: "How many singers are there?", SQL: "SELECT COUNT(*) FROM singer"},
+		{DB: "pets", Question: "List the weight of all pets.", SQL: "SELECT weight FROM pet"},
+	}
+}
+
+func TestScaleDemosIdentity(t *testing.T) {
+	demos := scaleFixture()
+	for _, mult := range []int{-1, 0, 1} {
+		if got := ScaleDemos(demos, mult); !reflect.DeepEqual(got, demos) {
+			t.Errorf("mult=%d: pool changed", mult)
+		}
+	}
+	if got := ScaleDemos(nil, 32); len(got) != 0 {
+		t.Errorf("empty pool scaled to %d", len(got))
+	}
+}
+
+func TestScaleDemosShape(t *testing.T) {
+	demos := scaleFixture()
+	got := ScaleDemos(demos, 32)
+	if len(got) != len(demos)*32 {
+		t.Fatalf("len = %d, want %d", len(got), len(demos)*32)
+	}
+	// Originals first, byte-identical.
+	if !reflect.DeepEqual(got[:len(demos)], demos) {
+		t.Fatal("originals not preserved as prefix")
+	}
+	// Every entry unique under the retrieval dedup key, same db and SQL as
+	// its base.
+	type key struct{ db, q, sql string }
+	seen := map[key]bool{}
+	for i, d := range got {
+		base := demos[i%len(demos)]
+		if d.DB != base.DB || d.SQL != base.SQL {
+			t.Fatalf("entry %d changed db/sql: %+v", i, d)
+		}
+		k := key{d.DB, d.Question, d.SQL}
+		if seen[k] {
+			t.Fatalf("duplicate scaled demo: %+v", d)
+		}
+		seen[k] = true
+	}
+	// Deterministic.
+	if !reflect.DeepEqual(got, ScaleDemos(demos, 32)) {
+		t.Fatal("ScaleDemos not deterministic")
+	}
+}

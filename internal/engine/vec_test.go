@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -8,10 +9,14 @@ import (
 )
 
 // runBoth executes sql twice — columnar enabled and disabled — and requires
-// identical results (or identical errors).
+// identical results (or identical errors). The columnar leg removes the
+// tiny-table aggregation floor so the fixtures here, all far below
+// DefaultColumnarMinRows, still drive the vectorized kernels.
 func runBoth(t *testing.T, db *Database, sql string) (*Result, bool) {
 	t.Helper()
-	on, onErr := NewExecutor(db).Query(sql)
+	exOn := NewExecutor(db)
+	exOn.SetColumnarMinRows(0)
+	on, onErr := exOn.Query(sql)
 	exOff := NewExecutor(db)
 	exOff.SetColumnar(false)
 	off, offErr := exOff.Query(sql)
@@ -164,15 +169,26 @@ func TestColumnarQualification(t *testing.T) {
 func TestColumnarCounters(t *testing.T) {
 	db := testDB(t)
 	h0, f0 := db.ColumnarStats()
-	mustQuery(t, db, "SELECT COUNT(*) FROM singer")
+	exAll := NewExecutor(db)
+	exAll.SetColumnarMinRows(0)
+	if _, err := exAll.Query("SELECT COUNT(*) FROM singer"); err != nil {
+		t.Fatal(err)
+	}
 	h1, f1 := db.ColumnarStats()
 	if h1 != h0+1 || f1 != f0 {
 		t.Fatalf("expected a hit: hits %d->%d fallbacks %d->%d", h0, h1, f0, f1)
 	}
+	// The same aggregate on a default executor falls back: singer sits far
+	// below DefaultColumnarMinRows.
+	mustQuery(t, db, "SELECT COUNT(*) FROM singer")
+	hm, fm := db.ColumnarStats()
+	if hm != h1 || fm != f1+1 {
+		t.Fatalf("expected a tiny-table fallback: hits %d->%d fallbacks %d->%d", h1, hm, f1, fm)
+	}
 	mustQuery(t, db, "SELECT name FROM singer UNION SELECT name FROM stadium")
 	h2, f2 := db.ColumnarStats()
-	if h2 != h1 || f2 != f1+1 {
-		t.Fatalf("expected a fallback: hits %d->%d fallbacks %d->%d", h1, h2, f1, f2)
+	if h2 != hm || f2 != fm+1 {
+		t.Fatalf("expected a fallback: hits %d->%d fallbacks %d->%d", hm, h2, fm, f2)
 	}
 	// A disabled executor counts nothing.
 	ex := NewExecutor(db)
@@ -183,6 +199,49 @@ func TestColumnarCounters(t *testing.T) {
 	h3, f3 := db.ColumnarStats()
 	if h3 != h2 || f3 != f2 {
 		t.Fatalf("disabled executor moved counters: hits %d->%d fallbacks %d->%d", h2, h3, f2, f3)
+	}
+}
+
+// TestColumnarMinRows pins the tiny-table aggregation floor: aggregated
+// statements vectorize at DefaultColumnarMinRows rows and fall back one row
+// under it, scans vectorize at any size, and SetColumnarMinRows(0) removes
+// the floor — with identical results on every path.
+func TestColumnarMinRows(t *testing.T) {
+	db := NewDatabase("d")
+	if err := db.LoadScript("CREATE TABLE big (id INT, grp TEXT);\nCREATE TABLE small (id INT, grp TEXT);"); err != nil {
+		t.Fatal(err)
+	}
+	fill := func(name string, rows int) {
+		tbl, _ := db.Table(name)
+		for i := 0; i < rows; i++ {
+			tbl.Rows = append(tbl.Rows, []Value{Int(int64(i)), Text(fmt.Sprintf("g%d", i%7))})
+		}
+	}
+	fill("big", DefaultColumnarMinRows)
+	fill("small", DefaultColumnarMinRows-1)
+	agg := "SELECT grp, COUNT(*) FROM %s GROUP BY grp ORDER BY grp"
+	scan := "SELECT id FROM %s WHERE id >= 3"
+	check := func(ex *Executor, sql string, wantHit bool) {
+		t.Helper()
+		h0, f0 := db.ColumnarStats()
+		if _, err := ex.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+		h1, f1 := db.ColumnarStats()
+		if hit := h1 == h0+1 && f1 == f0; hit != wantHit {
+			t.Errorf("%s: columnar hit=%v, want %v", sql, hit, wantHit)
+		}
+	}
+	ex := NewExecutor(db)
+	check(ex, fmt.Sprintf(agg, "big"), true)
+	check(ex, fmt.Sprintf(agg, "small"), false)
+	check(ex, fmt.Sprintf(scan, "big"), true)
+	check(ex, fmt.Sprintf(scan, "small"), true)
+	exAll := NewExecutor(db)
+	exAll.SetColumnarMinRows(0)
+	check(exAll, fmt.Sprintf(agg, "small"), true)
+	for _, tbl := range []string{"big", "small"} {
+		runBoth(t, db, fmt.Sprintf(agg, tbl))
 	}
 }
 

@@ -78,6 +78,11 @@ type RunOptions struct {
 	// latency histograms (retrieve/prompt/llm/plan/execute). Histograms are
 	// atomic, so concurrent workers fold observations in without locking.
 	Obs *obs.Metrics
+	// Store overrides the retrieval store used for demonstration selection
+	// (for example a store built with the HNSW index); nil builds the
+	// default exact store over ds.Demos. Ignored when k == 0 — zero-shot
+	// runs retrieve nothing.
+	Store *rag.Store
 }
 
 // RunGeneration evaluates the NL2SQL pipeline over the whole corpus with k
@@ -94,7 +99,10 @@ func RunGeneration(ctx context.Context, client llm.Client, ds *dataset.Dataset, 
 func RunGenerationOpts(ctx context.Context, client llm.Client, ds *dataset.Dataset, k int, opt RunOptions) ([]GenResult, Accuracy, error) {
 	var store *rag.Store
 	if k > 0 {
-		store = rag.NewStore(ds.Demos)
+		store = opt.Store
+		if store == nil {
+			store = rag.NewStore(ds.Demos)
+		}
 	}
 	asst := &assistant.Assistant{Client: client, DS: ds, Store: store, K: k, Cache: planCache}
 	results := make([]GenResult, len(ds.Examples))

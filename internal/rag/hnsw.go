@@ -1,0 +1,789 @@
+package rag
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HNSW over TF-IDF posting lists.
+//
+// The index keeps one hierarchical navigable-small-world graph per database
+// partition (demonstrations are only ever searched within a db, or across
+// all dbs, never across an arbitrary subset). Distance is 1 - cosine, which
+// is a proper dissimilarity in [0, 1] for the store's non-negative
+// normalized vectors. Builds are reproducible: a node's level is a pure
+// function of the config seed and its pool id (splitmix64), neighbor
+// selection breaks distance ties by node order, and the Store populates the
+// index serially in pool order — so the same pool and config always produce
+// the same graph, and therefore the same candidate sets.
+//
+// When a partition holds no more nodes than the effective ef, graph
+// navigation cannot beat — or even match — a straight scan of the
+// partition, so Candidates returns the whole partition. That keeps small
+// corpora structurally exact (the candidate set IS the exact scan's) and
+// reserves graph traversal for the pools where it pays.
+
+// HNSWConfig parameterizes the graph. Zero values take the defaults.
+type HNSWConfig struct {
+	// M is the neighbor budget per node per layer (layer 0 keeps 2M).
+	M int
+	// EfConstruction is the candidate-list width while inserting.
+	EfConstruction int
+	// EfSearch is the candidate-list width while searching; the effective
+	// width is max(EfSearch, k). Larger ef = better recall, more distance
+	// evaluations.
+	EfSearch int
+	// EfDescent is the beam width kept through the upper layers on the way
+	// to layer 0. Zero takes max(M, 8), capped by the effective ef.
+	EfDescent int
+	// Seed drives the deterministic per-insert level assignment.
+	Seed uint64
+}
+
+// Default HNSW parameters. DefaultEfSearch is sized so both benchmark
+// corpora at 1x (largest partition: aep, 103 demos) fall under the
+// whole-partition fallback — retrieval is structurally byte-identical to
+// the exact scan there — while scaled pools traverse the graph.
+const (
+	DefaultM              = 16
+	DefaultEfConstruction = 200
+	DefaultEfSearch       = 128
+	defaultSeed           = 0x9E3779B97F4A7C15
+	maxLevel              = 24
+)
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 0 {
+		c.M = DefaultM
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = DefaultEfConstruction
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = DefaultEfSearch
+	}
+	if c.Seed == 0 {
+		c.Seed = defaultSeed
+	}
+	return c
+}
+
+// ipost is an index-internal posting: the term interned to a dense int32 id
+// and the weight narrowed to float32. Traversal evaluates hundreds of
+// distances per search and at large pools every one is a cold memory
+// access, so the representation is sized for cache lines, not precision:
+// id compares are several times cheaper than term-string compares. Queries
+// stay in this paired form (they are tiny and L1-resident); stored node
+// vectors are split into separate term-id and weight arenas — see
+// hnswGraph. The narrowed weights only steer the graph walk — the exact
+// rerank in Store.Search re-scores every candidate with the string-keyed
+// float64 cosine, so byte-identity of results never depends on this
+// representation.
+type ipost struct {
+	t int32
+	w float32
+}
+
+// hnswIndex implements Index with one graph per database partition.
+type hnswIndex struct {
+	cfg    HNSWConfig
+	terms  map[string]int32 // term -> interned id, first-seen insert order
+	graphs map[string]*hnswGraph
+	probes atomic.Int64
+	// scratch pools the per-search visited set and heaps so steady-state
+	// searches allocate only their result slice.
+	scratch sync.Pool
+}
+
+// hnswGraph is one partition's multi-layer graph. Node numbers are dense
+// per-graph; ids maps them back to pool ids (ascending, since inserts
+// arrive in pool order).
+//
+// Node vectors live in contiguous arenas rather than a per-node slice
+// table: a distance evaluation costs one dense offset lookup plus one
+// sequential read of the postings, instead of three dependent cache misses
+// (pool-id table, slice header, scattered data). Term ids and weights are
+// split into parallel arenas (structure-of-arrays): the merge-join streams
+// term ids on every step but loads a weight only on the rare id match, so
+// the bytes a distance evaluation actually touches are nearly halved
+// versus interleaved postings. Layer-0 adjacency — read on every beam
+// expansion — is likewise a fixed-stride arena instead of per-node slices.
+// At a 100k-node pool the walk is memory-bound, and this layout is most of
+// its speed: the hot state (term ids + layer-0 edges) for the benchmark
+// corpora at 1000x fits in a large L3 where the nested-slice form does not
+// come close.
+type hnswGraph struct {
+	ids     []int32
+	levels  []int32
+	tarena  []int32   // fixed-stride node vector term ids, padTerm-padded
+	warena  []float32 // matching weights (0 at pads)
+	vstride int32     // postings per arena block; grows (with a rebuild) when a longer vector arrives
+	stride  int32     // layer-0 neighbor capacity per node (2M)
+	nbr0    []int32 // fixed-stride layer-0 adjacency arena
+	len0    []int32 // node -> live entries in its nbr0 block
+	// upper[node][l-1] lists the node's neighbors at layer l >= 1; only
+	// ~1/M of nodes have upper layers, so these stay as plain slices.
+	upper  map[int32][][]int32
+	entry  int32
+	maxLvl int32
+}
+
+// padTerm fills the tail of fixed-stride vector blocks. It is larger than
+// any real interned id, so the merge-joins skip pads for free (a pad can
+// only meet another pad, contributing +0).
+const padTerm = math.MaxInt32
+
+func (g *hnswGraph) vecT(node int32) []int32 {
+	return g.tarena[node*g.vstride : (node+1)*g.vstride]
+}
+
+func (g *hnswGraph) vecW(node int32) []float32 {
+	return g.warena[node*g.vstride : (node+1)*g.vstride]
+}
+
+func (g *hnswGraph) neighbors(node, l int32) []int32 {
+	if l == 0 {
+		s := node * g.stride
+		return g.nbr0[s : s+g.len0[node]]
+	}
+	return g.upper[node][l-1]
+}
+
+func newHNSWIndex(cfg HNSWConfig) *hnswIndex {
+	h := &hnswIndex{
+		cfg:    cfg.withDefaults(),
+		terms:  make(map[string]int32),
+		graphs: make(map[string]*hnswGraph),
+	}
+	h.scratch.New = func() any { return new(searchScratch) }
+	return h
+}
+
+// intern appends the term-sorted posting list to g's arenas as an
+// id-sorted, padTerm-padded fixed-stride block, returning the interned
+// vector in paired form for use as the insert-time query. New terms get
+// the next id (inserts run serially in pool order, so the assignment is
+// deterministic). A vector longer than the current stride triggers a
+// rebuild of the arenas at the new stride — the stride is "longest vector
+// so far", a deterministic function of the insert stream, so rebuilt and
+// incrementally-grown graphs are identical.
+func (h *hnswIndex) intern(g *hnswGraph, vec []posting) []ipost {
+	iv := make([]ipost, 0, len(vec))
+	for _, p := range vec {
+		tid, ok := h.terms[p.term]
+		if !ok {
+			tid = int32(len(h.terms))
+			h.terms[p.term] = tid
+		}
+		iv = append(iv, ipost{tid, float32(p.w)})
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].t < iv[j].t })
+	if n := int32(len(iv)); n > g.vstride {
+		oldT, oldW := g.tarena, g.warena
+		nodes := int32(0)
+		if g.vstride > 0 {
+			nodes = int32(len(oldT)) / g.vstride
+		}
+		g.tarena = make([]int32, 0, (nodes+1)*n)
+		g.warena = make([]float32, 0, (nodes+1)*n)
+		for i := int32(0); i < nodes; i++ {
+			g.tarena = append(g.tarena, oldT[i*g.vstride:(i+1)*g.vstride]...)
+			g.warena = append(g.warena, oldW[i*g.vstride:(i+1)*g.vstride]...)
+			for j := g.vstride; j < n; j++ {
+				g.tarena = append(g.tarena, padTerm)
+				g.warena = append(g.warena, 0)
+			}
+		}
+		g.vstride = n
+	}
+	for _, p := range iv {
+		g.tarena = append(g.tarena, p.t)
+		g.warena = append(g.warena, p.w)
+	}
+	for j := int32(len(iv)); j < g.vstride; j++ {
+		g.tarena = append(g.tarena, padTerm)
+		g.warena = append(g.warena, 0)
+	}
+	return iv
+}
+
+// internQuery converts a query vector, dropping terms the index has never
+// seen: they cannot match any stored posting, and the weights (normalized
+// against the full query norm) are kept, so the dot product over the
+// remaining terms is the stored-vector cosine up to float32 rounding.
+func (h *hnswIndex) internQuery(qv []posting, buf []ipost) []ipost {
+	iq := buf[:0]
+	for _, p := range qv {
+		if tid, ok := h.terms[p.term]; ok {
+			iq = append(iq, ipost{tid, float32(p.w)})
+		}
+	}
+	sort.Slice(iq, func(i, j int) bool { return iq[i].t < iq[j].t })
+	return iq
+}
+
+// idot merge-joins an id-sorted paired query against a node's arena block,
+// accumulating in float64. The weight stream dw is only dereferenced on an
+// id match, so a non-matching evaluation touches term-id cache lines alone.
+func idot(q []ipost, dt []int32, dw []float32) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(q) && j < len(dt) {
+		switch {
+		case q[i].t == dt[j]:
+			dot += float64(q[i].w) * float64(dw[j])
+			i++
+			j++
+		case q[i].t < dt[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot
+}
+
+// idotNN merge-joins two nodes' arena blocks.
+func idotNN(at []int32, aw []float32, bt []int32, bw []float32) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(at) && j < len(bt) {
+		switch {
+		case at[i] == bt[j]:
+			if at[i] == padTerm {
+				return dot
+			}
+			dot += float64(aw[i]) * float64(bw[j])
+			i++
+			j++
+		case at[i] < bt[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot
+}
+
+func (h *hnswIndex) Kind() string { return string(IndexHNSW) }
+
+func (h *hnswIndex) Probes() int64 { return h.probes.Load() }
+
+// nodeDist pairs a graph node with its distance to the current query.
+type nodeDist struct {
+	node int32
+	dist float64
+}
+
+// closer is the index's total order on (distance, node): distance first,
+// node number breaking ties, so every selection step is deterministic.
+func closer(a, b nodeDist) bool {
+	return a.dist < b.dist || (a.dist == b.dist && a.node < b.node)
+}
+
+// splitmix64 is the SplitMix64 mixer — a bijective avalanche over uint64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// levelFor draws the node's top layer from the standard exponential level
+// distribution (mean 1/ln M), seeded per insert id so rebuilding the same
+// pool reproduces the same graph.
+func levelFor(seed uint64, id int, m int) int32 {
+	x := splitmix64(seed ^ (uint64(id) + 1))
+	u := float64(x>>11) / (1 << 53) // uniform [0, 1)
+	lvl := int32(-math.Log(1-u) / math.Log(float64(m)))
+	if lvl > maxLevel {
+		lvl = maxLevel
+	}
+	return lvl
+}
+
+func (h *hnswIndex) dist(q []ipost, g *hnswGraph, node int32) float64 {
+	return 1 - idot(q, g.vecT(node), g.vecW(node))
+}
+
+// ndist is the node-node distance used at build time.
+func (h *hnswIndex) ndist(g *hnswGraph, a, b int32) float64 {
+	return 1 - idotNN(g.vecT(a), g.vecW(a), g.vecT(b), g.vecW(b))
+}
+
+// Insert adds pool id with its vector to the db partition's graph: greedy
+// descent through the upper layers, then an efConstruction-wide beam search
+// per layer from the node's own level down, linking to the closest M
+// results bidirectionally and pruning any neighbor list that overflows its
+// budget back to the closest entries.
+func (h *hnswIndex) Insert(id int, db string, vec []posting) {
+	g := h.graphs[db]
+	if g == nil {
+		g = &hnswGraph{
+			stride: int32(2 * h.cfg.M),
+			upper:  make(map[int32][][]int32),
+		}
+		h.graphs[db] = g
+	}
+	node := int32(len(g.ids))
+	lvl := levelFor(h.cfg.Seed, id, h.cfg.M)
+	g.ids = append(g.ids, int32(id))
+	g.levels = append(g.levels, lvl)
+	g.nbr0 = append(g.nbr0, make([]int32, g.stride)...)
+	g.len0 = append(g.len0, 0)
+	if lvl > 0 {
+		g.upper[node] = make([][]int32, lvl)
+	}
+	ivec := h.intern(g, vec)
+	if node == 0 {
+		g.entry, g.maxLvl = 0, lvl
+		return
+	}
+
+	sc := h.scratch.Get().(*searchScratch)
+	defer h.scratch.Put(sc)
+
+	eps := []nodeDist{{g.entry, h.dist(ivec, g, g.entry)}}
+	for l := g.maxLvl; l > lvl; l-- {
+		eps[0] = h.greedy(g, ivec, eps[0], l)
+	}
+	for l := min(lvl, g.maxLvl); l >= 0; l-- {
+		found := h.searchLayer(g, ivec, eps, h.cfg.EfConstruction, l, sc)
+		sel := h.selectNeighbors(g, found, h.cfg.M)
+		budget := h.cfg.M
+		if l == 0 {
+			budget = 2 * h.cfg.M
+		}
+		for _, f := range sel {
+			h.addLink(g, node, f.node, l, budget)
+			h.addLink(g, f.node, node, l, budget)
+		}
+		// Carry the whole result set down as the next layer's entry points
+		// (the paper's Algorithm 1) — a single entry point funnels the next
+		// beam into one basin.
+		eps = append(eps[:0], found...)
+	}
+	if lvl > g.maxLvl {
+		g.entry, g.maxLvl = node, lvl
+	}
+}
+
+// selectNeighbors is the HNSW paper's neighbor-selection heuristic
+// (Algorithm 4): walk the candidates closest-first, keeping one only if it
+// is closer to the base than to every neighbor already kept. On clustered
+// data — and a demonstration pool grown from user corrections is exactly
+// that: dozens of near-rephrasings per question — the plain
+// "keep the m closest" rule wires tight near-duplicate cliques with no
+// edges out, and the beam search gets trapped inside the wrong cluster.
+// The heuristic spends part of the budget on spread, keeping the graph
+// navigable across clusters. Skipped candidates backfill any unused budget
+// (the paper's keepPrunedConnections), preserving degree and connectivity.
+func (h *hnswIndex) selectNeighbors(g *hnswGraph, cands []nodeDist, m int) []nodeDist {
+	if len(cands) <= m {
+		return cands
+	}
+	sel := make([]nodeDist, 0, m)
+	var skipped []nodeDist
+	for _, c := range cands {
+		if len(sel) == m {
+			break
+		}
+		diverse := true
+		for _, s := range sel {
+			if h.ndist(g, c.node, s.node) < c.dist {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			sel = append(sel, c)
+		} else {
+			skipped = append(skipped, c)
+		}
+	}
+	for _, c := range skipped {
+		if len(sel) == m {
+			break
+		}
+		sel = append(sel, c)
+	}
+	return sel
+}
+
+// addLink appends nb to node's layer-l neighbor list. A list already at its
+// budget is re-selected over the old entries plus nb with the same diversity
+// heuristic used at link time, keyed by the node's own vector — the
+// fixed-stride layer-0 arena never overflows its block.
+func (h *hnswIndex) addLink(g *hnswGraph, node, nb, l int32, budget int) {
+	if l == 0 {
+		if int(g.len0[node]) < budget {
+			g.nbr0[node*g.stride+g.len0[node]] = nb
+			g.len0[node]++
+			return
+		}
+	} else {
+		if list := g.upper[node][l-1]; len(list) < budget {
+			g.upper[node][l-1] = append(list, nb)
+			return
+		}
+	}
+	list := g.neighbors(node, l)
+	nds := make([]nodeDist, 0, len(list)+1)
+	for _, x := range list {
+		nds = append(nds, nodeDist{x, h.ndist(g, node, x)})
+	}
+	nds = append(nds, nodeDist{nb, h.ndist(g, node, nb)})
+	sort.Slice(nds, func(i, j int) bool { return closer(nds[i], nds[j]) })
+	sel := h.selectNeighbors(g, nds, budget)
+	if l == 0 {
+		s := node * g.stride
+		for i, nd := range sel {
+			g.nbr0[s+int32(i)] = nd.node
+		}
+		g.len0[node] = int32(len(sel))
+	} else {
+		out := g.upper[node][l-1][:0]
+		for _, nd := range sel {
+			out = append(out, nd.node)
+		}
+		g.upper[node][l-1] = out
+	}
+}
+
+// greedy hill-climbs layer l from ep to a local distance minimum. Only
+// strict improvements move, so it terminates and is deterministic under the
+// fixed neighbor-list order.
+func (h *hnswIndex) greedy(g *hnswGraph, q []ipost, ep nodeDist, l int32) nodeDist {
+	for {
+		improved := false
+		for _, nb := range g.neighbors(ep.node, l) {
+			if d := h.dist(q, g, nb); d < ep.dist {
+				ep = nodeDist{nb, d}
+				improved = true
+			}
+		}
+		if !improved {
+			return ep
+		}
+	}
+}
+
+// searchLayer is the ef-bounded best-first search of layer l from the given
+// entry points: expand the closest unexpanded candidate, keep the ef best
+// results, stop when the closest candidate is farther than the worst kept
+// result. Returns the results sorted closest-first; the slice aliases sc
+// and is valid until the next searchLayer call with the same scratch (eps
+// may alias the previous call's result — it is consumed before the scratch
+// is rewritten). When ef is at least the partition size the beam never
+// evicts, so the search visits the entry points' entire connected
+// component.
+func (h *hnswIndex) searchLayer(g *hnswGraph, q []ipost, eps []nodeDist, ef int, l int32, sc *searchScratch) []nodeDist {
+	sc.visited.reset(len(g.ids))
+	sc.cand.reset(false)
+	sc.res.reset(true)
+	for _, ep := range eps {
+		if !sc.visited.visit(ep.node) {
+			continue
+		}
+		sc.cand.push(ep)
+		sc.res.push(ep)
+		if sc.res.len() > ef {
+			sc.res.pop()
+		}
+	}
+	for sc.cand.len() > 0 {
+		c := sc.cand.pop()
+		if c.dist > sc.res.top().dist {
+			break
+		}
+		// Expand in two passes: collect the unvisited neighbors, then score
+		// them in a loop whose iterations are independent. At large pools a
+		// distance evaluation is a cold cache access; the dependency-free
+		// scoring loop lets the CPU overlap those misses instead of
+		// serializing each behind the previous neighbor's heap bookkeeping.
+		batch := sc.batch[:0]
+		for _, nb := range g.neighbors(c.node, l) {
+			if sc.visited.visit(nb) {
+				batch = append(batch, nb)
+			}
+		}
+		sc.batch = batch
+		bdist := sc.bdist[:0]
+		for _, nb := range batch {
+			bdist = append(bdist, h.dist(q, g, nb))
+		}
+		sc.bdist = bdist
+		for i, nb := range batch {
+			nd := nodeDist{nb, bdist[i]}
+			if sc.res.len() < ef || closer(nd, sc.res.top()) {
+				sc.cand.push(nd)
+				sc.res.push(nd)
+				if sc.res.len() > ef {
+					sc.res.pop()
+				}
+			}
+		}
+	}
+	// Drain the max-heap back to front for a closest-first result list.
+	out := sc.out[:0]
+	for sc.res.len() > 0 {
+		out = append(out, sc.res.pop())
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	sc.out = out
+	return out
+}
+
+// Candidates returns the ANN neighborhood of the query in ascending pool
+// order: greedy descent to layer 0 followed by an ef-wide beam search, per
+// partition (all partitions when db is empty). Partitions no larger than
+// the effective ef are returned whole — see the package comment on the
+// exact-fallback contract.
+func (h *hnswIndex) Candidates(qv []posting, db string, k int) []int32 {
+	h.probes.Add(1)
+	ef := max(h.cfg.EfSearch, k)
+	sc := h.scratch.Get().(*searchScratch)
+	defer h.scratch.Put(sc)
+	iq := h.internQuery(qv, sc.iq)
+	sc.iq = iq[:0]
+	if db != "" {
+		g := h.graphs[db]
+		if g == nil {
+			return nil
+		}
+		return h.searchGraph(g, iq, ef, nil, sc)
+	}
+	var out []int32
+	for _, g := range h.graphs {
+		out = h.searchGraph(g, iq, ef, out, sc)
+	}
+	// Map iteration order is random; ascending pool order restores
+	// determinism and the rerank's pool-order tie-break.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (h *hnswIndex) searchGraph(g *hnswGraph, q []ipost, ef int, out []int32, sc *searchScratch) []int32 {
+	if len(g.ids) == 0 {
+		return out
+	}
+	if len(g.ids) <= ef {
+		// The beam could not evict anything: a graph walk would visit the
+		// whole partition the slow way. Hand back the partition, restoring
+		// ascending pool order (node order is BFS order after optimize).
+		base := len(out)
+		out = append(out, g.ids...)
+		part := out[base:]
+		sort.Slice(part, func(i, j int) bool { return part[i] < part[j] })
+		return out
+	}
+	// Beam descent: keep a small multi-point frontier through the upper
+	// layers instead of a single greedy walker. One entry point funnels the
+	// layer-0 beam into whichever basin the walker happened to land in —
+	// with clustered pools (near-duplicate demonstrations) that basin is
+	// often a tight wrong-cluster clique the beam then cannot leave. A
+	// frontier of descentEf seeds keeps several basins alive until layer 0
+	// adjudicates them with the full ef.
+	descentEf := h.cfg.EfDescent
+	if descentEf <= 0 {
+		descentEf = max(h.cfg.M, 8)
+	}
+	descentEf = min(ef, descentEf)
+	eps := []nodeDist{{g.entry, h.dist(q, g, g.entry)}}
+	for l := g.maxLvl; l > 0; l-- {
+		eps = h.searchLayer(g, q, eps, descentEf, l, sc)
+	}
+	found := h.searchLayer(g, q, eps, ef, 0, sc)
+	base := len(out)
+	for _, nd := range found {
+		out = append(out, g.ids[nd.node])
+	}
+	part := out[base:]
+	sort.Slice(part, func(i, j int) bool { return part[i] < part[j] })
+	return out
+}
+
+// optimize renumbers every graph's nodes into breadth-first order from the
+// entry point over layer 0. Beam expansion reads a node's neighbors and
+// then their vectors; BFS order places a neighborhood's arena blocks on
+// adjacent cache lines and pages, so the expansion's scattered reads turn
+// into near-sequential ones the prefetcher can cover. The permutation is a
+// pure function of the built graph (FIFO queue, neighbor lists in stored
+// order, unreached nodes appended in node order), so optimized builds are
+// as reproducible as the construction itself. Called once after a bulk
+// build; later incremental inserts simply append past the ordered prefix.
+func (h *hnswIndex) optimize() {
+	for _, g := range h.graphs {
+		reorderGraph(g)
+	}
+}
+
+func reorderGraph(g *hnswGraph) {
+	n := int32(len(g.ids))
+	if n == 0 {
+		return
+	}
+	order := make([]int32, 0, n) // new node -> old node
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, g.entry)
+	seen[g.entry] = true
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
+		order = append(order, x)
+		for _, nb := range g.neighbors(x, 0) {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for x := int32(0); x < n; x++ {
+		if !seen[x] {
+			order = append(order, x)
+		}
+	}
+	perm := make([]int32, n) // old node -> new node
+	for newID, old := range order {
+		perm[old] = int32(newID)
+	}
+	ids := make([]int32, n)
+	levels := make([]int32, n)
+	tarena := make([]int32, len(g.tarena))
+	warena := make([]float32, len(g.warena))
+	nbr0 := make([]int32, len(g.nbr0))
+	len0 := make([]int32, n)
+	upper := make(map[int32][][]int32, len(g.upper))
+	for newID, old := range order {
+		ni, oi := int32(newID), old
+		ids[ni] = g.ids[oi]
+		levels[ni] = g.levels[oi]
+		copy(tarena[ni*g.vstride:(ni+1)*g.vstride], g.tarena[oi*g.vstride:(oi+1)*g.vstride])
+		copy(warena[ni*g.vstride:(ni+1)*g.vstride], g.warena[oi*g.vstride:(oi+1)*g.vstride])
+		len0[ni] = g.len0[oi]
+		for j := int32(0); j < g.len0[oi]; j++ {
+			nbr0[ni*g.stride+j] = perm[g.nbr0[oi*g.stride+j]]
+		}
+		if lists, ok := g.upper[oi]; ok {
+			nl := make([][]int32, len(lists))
+			for l, list := range lists {
+				m := make([]int32, len(list))
+				for k, nb := range list {
+					m[k] = perm[nb]
+				}
+				nl[l] = m
+			}
+			upper[ni] = nl
+		}
+	}
+	g.ids, g.levels = ids, levels
+	g.tarena, g.warena = tarena, warena
+	g.nbr0, g.len0, g.upper = nbr0, len0, upper
+	g.entry = perm[g.entry]
+}
+
+// searchScratch holds one search's visited set, heaps, result list and
+// interned-query buffer.
+type searchScratch struct {
+	visited visitSet
+	cand    ndHeap // min-heap: closest candidate on top
+	res     ndHeap // max-heap: worst kept result on top
+	out     []nodeDist
+	iq      []ipost
+	batch   []int32   // expansion scratch: unvisited neighbors
+	bdist   []float64 // expansion scratch: their distances
+}
+
+// visitSet is a bitset visited marker with a dirty-word list: a search
+// touches a few hundred nodes, so reset clears only the words it dirtied.
+// The bitset keeps the whole structure L1-resident even at a 100k-node
+// graph (13KB), where a per-node epoch array would be another random
+// cache-missing stream beside the vector reads.
+type visitSet struct {
+	bits  []uint64
+	dirty []int32
+}
+
+func (v *visitSet) reset(n int) {
+	words := (n + 63) / 64
+	if len(v.bits) < words {
+		v.bits = make([]uint64, words)
+		v.dirty = v.dirty[:0]
+		return
+	}
+	for _, w := range v.dirty {
+		v.bits[w] = 0
+	}
+	v.dirty = v.dirty[:0]
+}
+
+// visit marks node and reports whether it was unvisited.
+func (v *visitSet) visit(node int32) bool {
+	w, b := node>>6, uint64(1)<<(node&63)
+	if v.bits[w]&b != 0 {
+		return false
+	}
+	if v.bits[w] == 0 {
+		v.dirty = append(v.dirty, w)
+	}
+	v.bits[w] |= b
+	return true
+}
+
+// ndHeap is a binary heap of nodeDist: min-heap over (dist, node) when
+// maxHeap is false, max-heap otherwise.
+type ndHeap struct {
+	a       []nodeDist
+	maxHeap bool
+}
+
+func (h *ndHeap) reset(maxHeap bool) { h.a = h.a[:0]; h.maxHeap = maxHeap }
+func (h *ndHeap) len() int           { return len(h.a) }
+func (h *ndHeap) top() nodeDist      { return h.a[0] }
+
+func (h *ndHeap) before(x, y nodeDist) bool {
+	if h.maxHeap {
+		return closer(y, x)
+	}
+	return closer(x, y)
+}
+
+func (h *ndHeap) push(nd nodeDist) {
+	h.a = append(h.a, nd)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *ndHeap) pop() nodeDist {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if r := c + 1; r < last && h.before(h.a[r], h.a[c]) {
+			c = r
+		}
+		if !h.before(h.a[c], h.a[i]) {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return top
+}

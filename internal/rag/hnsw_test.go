@@ -1,0 +1,334 @@
+package rag
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"fisql/internal/dataset"
+)
+
+// synthPool builds a deterministic pool of n demos spread over the given
+// dbs, with questions drawn from a small vocabulary so similarity scores
+// collide often — the hardest case for pool-order tie-breaks.
+func synthPool(n int, dbs []string) []dataset.Demo {
+	vocab := []string{
+		"count", "list", "name", "age", "singer", "pet", "show", "average",
+		"max", "min", "city", "country", "order", "concert", "stadium",
+		"weight", "year", "many", "how", "all", "the", "of", "total",
+		"distinct", "group", "top", "oldest", "youngest", "per", "each",
+	}
+	rng := rand.New(rand.NewSource(7))
+	demos := make([]dataset.Demo, n)
+	for i := range demos {
+		words := 2 + rng.Intn(7)
+		q := ""
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				q += " "
+			}
+			q += vocab[rng.Intn(len(vocab))]
+		}
+		demos[i] = dataset.Demo{
+			DB:       dbs[rng.Intn(len(dbs))],
+			Question: q,
+			SQL:      fmt.Sprintf("SELECT %d", i),
+		}
+	}
+	return demos
+}
+
+// assertSameResults fails unless the two result lists are byte-identical:
+// same demos, same order, bit-equal scores.
+func assertSameResults(t *testing.T, label string, exact, got []Result) {
+	t.Helper()
+	if !reflect.DeepEqual(exact, got) {
+		t.Fatalf("%s: results diverge\nexact: %+v\ngot:   %+v", label, exact, got)
+	}
+}
+
+// TestHNSWMatchesExactProperty is the property test of the byte-identity
+// contract: on random pools, queries and k — including the empty-db filter,
+// k larger than the pool and zero-score queries — HNSW plus exact rerank
+// returns exactly what the linear scan returns. The generator is seeded, so
+// the test is deterministic; pool sizes straddle the whole-partition
+// fallback threshold so both the fallback and real graph traversal are
+// exercised.
+func TestHNSWMatchesExactProperty(t *testing.T) {
+	vocab := []string{
+		"count", "list", "name", "age", "singer", "pet", "show", "average",
+		"max", "min", "city", "country", "order", "concert", "stadium",
+	}
+	dbs := []string{"a", "b", "c"}
+	cfg := HNSWConfig{EfSearch: 64}
+	f := func(poolSeed int64, querySeed int64) bool {
+		rng := rand.New(rand.NewSource(poolSeed))
+		n := rng.Intn(240) // 0..239: partitions land both sides of ef=64
+		demos := make([]dataset.Demo, n)
+		for i := range demos {
+			words := 1 + rng.Intn(6)
+			q := ""
+			for w := 0; w < words; w++ {
+				if w > 0 {
+					q += " "
+				}
+				q += vocab[rng.Intn(len(vocab))]
+			}
+			demos[i] = dataset.Demo{DB: dbs[rng.Intn(len(dbs))], Question: q, SQL: fmt.Sprintf("SELECT %d", i)}
+		}
+		exact := NewStoreOptions(demos, Options{Index: IndexExact})
+		hnsw := NewStoreOptions(demos, Options{Index: IndexHNSW, HNSW: cfg})
+
+		qrng := rand.New(rand.NewSource(querySeed))
+		for trial := 0; trial < 12; trial++ {
+			words := qrng.Intn(6) // 0 words = empty query
+			q := ""
+			for w := 0; w < words; w++ {
+				if w > 0 {
+					q += " "
+				}
+				if qrng.Intn(8) == 0 {
+					q += "unseenterm" // zero-score path: no shared vocabulary
+				} else {
+					q += vocab[qrng.Intn(len(vocab))]
+				}
+			}
+			db := ""
+			if qrng.Intn(3) > 0 {
+				db = dbs[qrng.Intn(len(dbs))]
+			}
+			k := qrng.Intn(300) - 2 // includes k <= 0 and k > pool size
+			if !reflect.DeepEqual(exact.Search(q, db, k), hnsw.Search(q, db, k)) {
+				t.Logf("diverged: pool=%d q=%q db=%q k=%d", n, q, db, k)
+				return false
+			}
+		}
+		return true
+	}
+	cfgQ := &quick.Config{Rand: rand.New(rand.NewSource(99)), MaxCount: 40}
+	if err := quick.Check(f, cfgQ); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHNSWMatchesExactFixture pins the identity on the package's small
+// fixture pool for every (query, db, k) combination used elsewhere.
+func TestHNSWMatchesExactFixture(t *testing.T) {
+	exact := NewStoreOptions(pool(), Options{Index: IndexExact})
+	hnsw := NewStoreOptions(pool(), Options{Index: IndexHNSW})
+	queries := []string{
+		"How many singers are there?", "list the name of all singers",
+		"how many pets", "zzzz qqqq", "", "singers age name list average",
+	}
+	for _, q := range queries {
+		for _, db := range []string{"", "music", "pets", "nosuchdb"} {
+			for _, k := range []int{-1, 0, 1, 2, 100} {
+				assertSameResults(t, fmt.Sprintf("q=%q db=%q k=%d", q, db, k),
+					exact.Search(q, db, k), hnsw.Search(q, db, k))
+			}
+		}
+	}
+	if hnsw.IndexKindName() != string(IndexHNSW) {
+		t.Fatalf("index kind = %q", hnsw.IndexKindName())
+	}
+	if p := hnsw.Stats().IndexProbes; p == 0 {
+		t.Fatal("hnsw index served no probes")
+	}
+}
+
+// TestHNSWTraversalLargePool forces real graph traversal (pool well above
+// ef) and checks identity plus the needle query.
+func TestHNSWTraversalLargePool(t *testing.T) {
+	demos := synthPool(900, []string{"db"})
+	demos = append(demos, dataset.Demo{DB: "db", Question: "the special needle question", SQL: "SELECT 42"})
+	cfg := HNSWConfig{EfSearch: 48}
+	exact := NewStoreOptions(demos, Options{Index: IndexExact})
+	hnsw := NewStoreOptions(demos, Options{Index: IndexHNSW, HNSW: cfg})
+	hits := hnsw.Search("special needle", "db", 4)
+	if len(hits) == 0 || hits[0].Demo.SQL != "SELECT 42" {
+		t.Fatalf("needle not found: %+v", hits)
+	}
+	for _, d := range demos[:50] {
+		assertSameResults(t, d.Question,
+			exact.Search(d.Question, "db", 8), hnsw.Search(d.Question, "db", 8))
+	}
+}
+
+// TestHNSWDeterministicBuild rebuilds the same pool (serial and parallel)
+// and requires bit-identical search results: levels are seeded per insert
+// and neighbor selection is tie-broken, so the graphs must agree.
+func TestHNSWDeterministicBuild(t *testing.T) {
+	demos := synthPool(400, []string{"x", "y"})
+	a := NewStoreOptions(demos, Options{Index: IndexHNSW, Workers: 1})
+	b := NewStoreOptions(demos, Options{Index: IndexHNSW, Workers: 8})
+	for i := 0; i < 40; i++ {
+		q := demos[i*7].Question
+		assertSameResults(t, q, a.Search(q, "x", 6), b.Search(q, "x", 6))
+		assertSameResults(t, q, a.Search(q, "", 6), b.Search(q, "", 6))
+	}
+}
+
+// TestParallelBuildIdentity is the parallel-NewStore satellite's identity
+// gate: document frequencies, IDF table and every vector must be
+// bit-identical at any worker count.
+func TestParallelBuildIdentity(t *testing.T) {
+	demos := synthPool(1207, []string{"a", "b", "c", "d"})
+	serial := NewStoreOptions(demos, Options{Workers: 1})
+	for _, workers := range []int{2, 3, 8, 64} {
+		par := NewStoreOptions(demos, Options{Workers: workers})
+		if !reflect.DeepEqual(serial.idf, par.idf) {
+			t.Fatalf("workers=%d: IDF tables diverge", workers)
+		}
+		if !reflect.DeepEqual(serial.vecs, par.vecs) {
+			t.Fatalf("workers=%d: vectors diverge", workers)
+		}
+	}
+}
+
+// TestAddFoldsDemo checks the incremental path: an added demo is
+// immediately retrievable, duplicates are skipped, and existing results are
+// byte-identical before and after (frozen IDF: growing the pool must not
+// re-weight anything).
+func TestAddFoldsDemo(t *testing.T) {
+	for _, kind := range []IndexKind{IndexExact, IndexHNSW} {
+		t.Run(string(kind), func(t *testing.T) {
+			s := NewStoreOptions(pool(), Options{Index: kind})
+			before := s.Search("list the name of all singers", "music", 3)
+
+			d := dataset.Demo{DB: "films", Question: "How many films were released?", SQL: "SELECT COUNT(*) FROM film"}
+			if !s.Add(d) {
+				t.Fatal("first Add returned false")
+			}
+			if s.Add(d) {
+				t.Fatal("duplicate Add returned true")
+			}
+			if s.Len() != len(pool())+1 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			hits := s.Search("how many films released", "films", 2)
+			if len(hits) == 0 || hits[0].Demo.SQL != d.SQL {
+				t.Fatalf("added demo not retrieved: %+v", hits)
+			}
+			after := s.Search("list the name of all singers", "music", 3)
+			assertSameResults(t, "pre-existing results changed by Add", before, after)
+
+			st := s.Stats()
+			if st.Inserts != 1 || st.DupSkips != 1 || st.Entries != len(pool())+1 || st.Base != len(pool()) {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestAddMatchesRebuildOrder checks that incremental Adds keep the two
+// indexes in agreement: a store grown by Add returns the same results as
+// the exact store grown the same way.
+func TestAddMatchesRebuildOrder(t *testing.T) {
+	base := synthPool(300, []string{"db"})
+	extra := synthPool(90, []string{"db"})[30:]
+	exact := NewStoreOptions(base, Options{Index: IndexExact})
+	hnsw := NewStoreOptions(base, Options{Index: IndexHNSW, HNSW: HNSWConfig{EfSearch: 48}})
+	for i, d := range extra {
+		d.Question = fmt.Sprintf("%s added %d", d.Question, i)
+		d.SQL = fmt.Sprintf("SELECT %d + 1000", i)
+		exact.Add(d)
+		hnsw.Add(d)
+	}
+	for i := 0; i < 30; i++ {
+		q := base[i*9].Question
+		assertSameResults(t, q, exact.Search(q, "db", 8), hnsw.Search(q, "db", 8))
+	}
+}
+
+// TestConcurrentAddSearch is the -race stress: concurrent Adds, Searches
+// and Stats snapshots on both index kinds must be race-clean and converge
+// to the right pool size.
+func TestConcurrentAddSearch(t *testing.T) {
+	for _, kind := range []IndexKind{IndexExact, IndexHNSW} {
+		t.Run(string(kind), func(t *testing.T) {
+			s := NewStoreOptions(synthPool(200, []string{"a", "b"}), Options{Index: kind})
+			const writers, perWriter, readers = 4, 40, 4
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						s.Add(dataset.Demo{
+							DB:       "a",
+							Question: fmt.Sprintf("concurrent question %d from writer %d", i, w),
+							SQL:      fmt.Sprintf("SELECT %d, %d", w, i),
+						})
+					}
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < 60; i++ {
+						s.Search("concurrent question count list", "a", 8)
+						if i%10 == 0 {
+							s.Stats()
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			if got, want := s.Len(), 200+writers*perWriter; got != want {
+				t.Fatalf("Len = %d, want %d", got, want)
+			}
+			hits := s.Search("concurrent question 39 from writer 3", "a", 1)
+			if len(hits) == 0 {
+				t.Fatal("folded demo not retrievable after concurrent run")
+			}
+		})
+	}
+}
+
+// TestHNSWLayer0Reachable walks layer 0 from the entry point and requires
+// every node reachable: the beam search can only return what it can reach,
+// so a disconnected graph would silently cap recall.
+func TestHNSWLayer0Reachable(t *testing.T) {
+	demos := synthPool(800, []string{"db"})
+	s := NewStoreOptions(demos, Options{Index: IndexHNSW})
+	h := s.index.(*hnswIndex)
+	g := h.graphs["db"]
+	if g == nil || len(g.ids) != len(demos) {
+		t.Fatal("missing graph")
+	}
+	seen := make([]bool, len(g.ids))
+	queue := []int32{g.entry}
+	seen[g.entry] = true
+	visited := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.neighbors(n, 0) {
+			if !seen[nb] {
+				seen[nb] = true
+				visited++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if visited != len(g.ids) {
+		t.Fatalf("layer 0 reachable: %d of %d nodes", visited, len(g.ids))
+	}
+}
+
+// TestParseIndexKind pins the flag-value mapping.
+func TestParseIndexKind(t *testing.T) {
+	for s, want := range map[string]IndexKind{"": IndexExact, "exact": IndexExact, "hnsw": IndexHNSW} {
+		got, ok := ParseIndexKind(s)
+		if !ok || got != want {
+			t.Errorf("ParseIndexKind(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseIndexKind("annoy"); ok {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package rag
+
+import "sync/atomic"
+
+// IndexKind names an Index implementation.
+type IndexKind string
+
+const (
+	// IndexExact scans every posting list in the db partition — the seed
+	// behavior, exact by construction.
+	IndexExact IndexKind = "exact"
+	// IndexHNSW navigates a hierarchical navigable-small-world graph and
+	// returns an approximate neighborhood for exact reranking.
+	IndexHNSW IndexKind = "hnsw"
+)
+
+// ParseIndexKind maps a flag value to an IndexKind ("" means exact).
+func ParseIndexKind(s string) (IndexKind, bool) {
+	switch IndexKind(s) {
+	case "", IndexExact:
+		return IndexExact, true
+	case IndexHNSW:
+		return IndexHNSW, true
+	}
+	return "", false
+}
+
+// Index produces candidate demonstration ids for a query; the Store
+// re-scores candidates exactly, so an Index only decides which ids are
+// worth scoring. Implementations are called under the Store's lock — Insert
+// under the write lock, Candidates under the read lock — so they need no
+// locking of their own beyond atomic counters.
+type Index interface {
+	// Kind names the implementation (the Stats/CI "which path served this"
+	// signal).
+	Kind() string
+	// Insert registers demonstration id (a dense pool index; ids arrive in
+	// increasing order) with its database partition and TF-IDF vector. The
+	// vector is shared with the Store and must not be mutated.
+	Insert(id int, db string, vec []posting)
+	// Candidates returns ids to re-score for the query, restricted to db
+	// (empty db = all partitions), in ascending pool order so the Store's
+	// insertion loop reproduces the exact scan's pool-order tie-break. The
+	// returned slice may alias internal state and is valid only until the
+	// caller releases the Store's read lock; callers must not mutate it.
+	// k is the number of results the caller ultimately wants.
+	Candidates(qv []posting, db string, k int) []int32
+	// Probes counts Candidates calls actually served (the CI gate that the
+	// requested index is not silently bypassed).
+	Probes() int64
+}
+
+// exactIndex partitions ids by database and returns the whole partition,
+// reproducing the seed's linear scan: the Store's rerank then *is* the
+// exact Search.
+type exactIndex struct {
+	all    []int32
+	byDB   map[string][]int32
+	probes atomic.Int64
+}
+
+func newExactIndex() *exactIndex {
+	return &exactIndex{byDB: make(map[string][]int32)}
+}
+
+func (x *exactIndex) Kind() string { return string(IndexExact) }
+
+func (x *exactIndex) Insert(id int, db string, _ []posting) {
+	x.all = append(x.all, int32(id))
+	x.byDB[db] = append(x.byDB[db], int32(id))
+}
+
+func (x *exactIndex) Candidates(_ []posting, db string, _ int) []int32 {
+	x.probes.Add(1)
+	if db == "" {
+		return x.all
+	}
+	return x.byDB[db]
+}
+
+func (x *exactIndex) Probes() int64 { return x.probes.Load() }
