@@ -63,6 +63,7 @@ import (
 	"fisql"
 	"fisql/internal/obs"
 	"fisql/internal/persist"
+	"fisql/internal/persist/persisttest"
 	"fisql/internal/server"
 )
 
@@ -166,6 +167,14 @@ func main() {
 		"fail if overload p99 exceeds this multiple of the at-capacity p99 (plus slack)")
 	overloadP99Slack := flag.Duration("overload-p99-slack", 30*time.Millisecond,
 		"absolute allowance added to the overload p99 bound, for timer noise")
+	clusterOn := flag.Bool("cluster", false,
+		"run the cluster failover chaos scenario instead of a timed load run")
+	clusterNodes := flag.Int("cluster-nodes", 3,
+		"in-process cluster nodes behind the router in the cluster scenario")
+	clusterKillAt := flag.Float64("cluster-kill-at", 0.5,
+		"kill the busiest node after this fraction of -duration (0 < f < 1)")
+	clusterHealthInterval := flag.Duration("cluster-health-interval", 25*time.Millisecond,
+		"router health-probe period in the cluster scenario")
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -202,6 +211,19 @@ func main() {
 			log.Fatal("-restart drives an in-process server; it cannot be combined with -addr")
 		}
 		os.Exit(runRestart(sys, *corpus, dbs, questionsByDB, *restartSessions, *restartBudget))
+	}
+	if *clusterOn {
+		if *addr != "" {
+			log.Fatal("-cluster drives an in-process cluster; it cannot be combined with -addr")
+		}
+		os.Exit(runCluster(sys, *corpus, dbs, questionsByDB, clusterConfig{
+			Nodes:          *clusterNodes,
+			KillAt:         *clusterKillAt,
+			HealthInterval: *clusterHealthInterval,
+			Sessions:       *sessions,
+			Duration:       *duration,
+			Seed:           *seed,
+		}))
 	}
 	if *overload {
 		if *addr != "" {
@@ -394,13 +416,9 @@ func runRestart(sys *fisql.System, corpus string, dbs []string,
 	}
 
 	// Pre-crash captures: the byte-exact /history body of every session.
-	capture := make(map[string][]byte, len(ids))
-	for _, sid := range ids {
-		body, err := getBody(client, ts.URL+"/v1/sessions/"+sid+"/history")
-		if err != nil {
-			log.Fatalf("restart scenario: capture %s: %v", sid, err)
-		}
-		capture[sid] = body
+	capture, err := persisttest.Capture(client, ts.URL, ids)
+	if err != nil {
+		log.Fatalf("restart scenario: %v", err)
 	}
 
 	// Kill: stop serving and abandon the journal without a checkpoint, then
@@ -432,20 +450,11 @@ func runRestart(sys *fisql.System, corpus string, dbs []string,
 	defer ts2.Close()
 	defer journal2.Close()
 
-	mismatches := 0
-	for _, sid := range ids {
-		body, err := getBody(client, ts2.URL+"/v1/sessions/"+sid+"/history")
-		if err != nil {
-			log.Printf("restart scenario: recovered history %s: %v", sid, err)
-			mismatches++
-			continue
-		}
-		if !bytes.Equal(body, capture[sid]) {
-			log.Printf("restart scenario: history %s differs after recovery:\npre-crash: %s\nrecovered: %s",
-				sid, capture[sid], body)
-			mismatches++
-		}
+	diffs := persisttest.DiffHistories(client, ts2.URL, capture)
+	for _, d := range diffs {
+		log.Printf("restart scenario: %s", d)
 	}
+	mismatches := len(diffs)
 
 	fmt.Printf("fisql-loadgen restart: corpus=%s sessions=%d records=%d torn_bytes=%d\n",
 		corpus, rec.Sessions, rec.Records, rec.TruncatedBytes)

@@ -46,13 +46,16 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"fisql"
+	"fisql/internal/cluster"
 	"fisql/internal/llm"
 	"fisql/internal/obs"
 	"fisql/internal/persist"
@@ -107,7 +110,25 @@ func main() {
 		"demonstration retrieval index: exact (linear scan) or hnsw (sublinear graph + exact rerank)")
 	ragFold := flag.Bool("rag-fold", false,
 		"fold successful feedback corrections back into the retrieval store as new demonstrations")
+	clusterNode := flag.String("cluster-node", "",
+		"run as a cluster node under this member id (requires -cluster-members and -journal)")
+	clusterMembers := flag.String("cluster-members", "",
+		`bootstrap cluster membership as "id=http://host:port,id2=..."`)
+	clusterReplica := flag.String("cluster-replica-journal", "",
+		"replica journal path for -cluster-node (default: <journal>.replica)")
+	clusterRouter := flag.Bool("cluster-router", false,
+		"run as the cluster's client-facing router over -cluster-members instead of a corpus server")
+	clusterHealthInterval := flag.Duration("cluster-health-interval", time.Second,
+		"router health-probe period (-cluster-router; <= 0 disables the background probe)")
+	clusterHealthTimeout := flag.Duration("cluster-health-timeout", cluster.DefaultHealthTimeout,
+		"router health-probe timeout (-cluster-router)")
 	flag.Parse()
+
+	if *clusterRouter {
+		runRouter(*addr, *clusterMembers, *clusterHealthInterval, *clusterHealthTimeout,
+			*metrics, *drainTimeout)
+		return
+	}
 
 	sp, err := fisql.NewSpiderSystem()
 	if err != nil {
@@ -136,12 +157,17 @@ func main() {
 		server.WithSessionTTL(*sessionTTL),
 		server.WithMaxBodyBytes(*maxBody),
 	}
+	var m *obs.Metrics
 	if *metrics {
-		m := obs.NewMetrics()
+		m = obs.NewMetrics()
 		// Both corpora report into one registry; duplicate-name sources sum.
 		sp.Observe(m.Registry)
 		ae.Observe(m.Registry)
-		opts = append(opts, server.WithMetrics(m))
+		if *clusterNode == "" {
+			// In cluster mode the node installs the metrics itself, adding
+			// the fisql_cluster_* series.
+			opts = append(opts, server.WithMetrics(m))
+		}
 	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
@@ -168,12 +194,61 @@ func main() {
 		if err != nil {
 			log.Fatalf("open journal: %v", err)
 		}
-		opts = append(opts, server.WithJournal(journal))
+		if *clusterNode == "" {
+			opts = append(opts, server.WithJournal(journal))
+		}
 	}
-	h := server.New(map[string]server.SessionFactory{
+	factories := map[string]server.SessionFactory{
 		"spider": sysAdapter{sp},
 		"aep":    sysAdapter{ae},
-	}, opts...)
+	}
+	var handler http.Handler
+	var h *server.Server
+	var replica *persist.Journal
+	if *clusterNode != "" {
+		// Cluster node: the embedded server journals its own sessions, the
+		// replica journal holds follower copies, and /internal/* speaks the
+		// inter-node protocol. The router pins clients here by session id.
+		if journal == nil {
+			log.Fatal("-cluster-node requires -journal: a node without local durability cannot honor promotion")
+		}
+		members, err := parseMembers(*clusterMembers)
+		if err != nil {
+			log.Fatalf("-cluster-members: %v", err)
+		}
+		found := false
+		for _, mem := range members {
+			found = found || mem.ID == *clusterNode
+		}
+		if !found {
+			log.Fatalf("-cluster-node %q does not appear in -cluster-members", *clusterNode)
+		}
+		replicaPath := *clusterReplica
+		if replicaPath == "" {
+			replicaPath = *journalPath + ".replica"
+		}
+		policy, _ := persist.ParseFsyncPolicy(*journalFsync)
+		replica, err = persist.Open(replicaPath, persist.Options{
+			Fsync:           policy,
+			CompactMinBytes: *journalCompact,
+		})
+		if err != nil {
+			log.Fatalf("open replica journal: %v", err)
+		}
+		node := cluster.NewNode(cluster.NodeConfig{
+			ID:            *clusterNode,
+			Members:       members,
+			Systems:       factories,
+			Journal:       journal,
+			Replica:       replica,
+			Metrics:       m,
+			ServerOptions: opts,
+		})
+		handler, h = node, node.Server()
+	} else {
+		h = server.New(factories, opts...)
+		handler = h
+	}
 	if journal != nil {
 		rec := h.Recovery()
 		log.Printf("journal %s: recovered %d sessions from %d records in %s (skipped %d, truncated %d torn bytes)",
@@ -185,7 +260,7 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: h}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -217,5 +292,78 @@ func main() {
 				log.Printf("close journal: %v", err)
 			}
 		}
+		if replica != nil {
+			if err := replica.Close(); err != nil {
+				log.Printf("close replica journal: %v", err)
+			}
+		}
+	}
+}
+
+// parseMembers decodes the "id=url,id2=url2" -cluster-members form.
+func parseMembers(s string) ([]cluster.Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty membership")
+	}
+	var members []cluster.Member
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad member %q (want id=http://host:port)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate member id %q", id)
+		}
+		seen[id] = true
+		members = append(members, cluster.Member{ID: id, Addr: strings.TrimSuffix(addr, "/")})
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("need at least 2 members, got %d", len(members))
+	}
+	return members, nil
+}
+
+// runRouter serves the cluster router: session-id issuance, rendezvous
+// pinning, forwarding, health probing and failover driving. It builds no
+// corpora — the nodes own those.
+func runRouter(addr, membersSpec string, healthInterval, healthTimeout time.Duration,
+	metricsOn bool, drainTimeout time.Duration) {
+	members, err := parseMembers(membersSpec)
+	if err != nil {
+		log.Fatalf("-cluster-members: %v", err)
+	}
+	cfg := cluster.RouterConfig{
+		Members:        members,
+		HealthInterval: healthInterval,
+		HealthTimeout:  healthTimeout,
+	}
+	if metricsOn {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	rt := cluster.NewRouter(cfg)
+	srv := &http.Server{Addr: addr, Handler: rt}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fisql-server router over %d nodes listening on http://%s", len(members), addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("router shutting down, draining in-flight requests (up to %s)", drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		rt.Close()
 	}
 }

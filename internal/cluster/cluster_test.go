@@ -1,0 +1,557 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fisql/internal/assistant"
+	"fisql/internal/core"
+	"fisql/internal/dataset"
+	"fisql/internal/dataset/aep"
+	"fisql/internal/engine"
+	"fisql/internal/llm"
+	"fisql/internal/obs"
+	"fisql/internal/persist"
+	"fisql/internal/persist/persisttest"
+	"fisql/internal/rag"
+	"fisql/internal/server"
+)
+
+const askQuestion = "How many audiences were created in January?"
+
+// testFactory mirrors the single-node server test factory: one shared
+// dataset, simulated model, retrieval store and plan cache. Sharing it
+// across every node of a test cluster matches production (all nodes serve
+// the same corpus build) and is what makes cross-node replay deterministic.
+type testFactory struct {
+	ds    *dataset.Dataset
+	sim   *llm.Sim
+	store *rag.Store
+	cache *engine.Cache
+}
+
+func (f *testFactory) NewSession(db string) *core.Session {
+	asst := &assistant.Assistant{Client: f.sim, DS: f.ds, Store: f.store, K: 8, Cache: f.cache}
+	method := &core.FISQL{Client: f.sim, DS: f.ds, Store: f.store, K: 8, Routing: true, Highlights: true}
+	return core.NewSession(asst, method, db)
+}
+
+func (f *testFactory) Databases() []string {
+	var out []string
+	for name := range f.ds.Schemas {
+		out = append(out, name)
+	}
+	return out
+}
+
+var (
+	facOnce sync.Once
+	facVal  *testFactory
+	facErr  error
+)
+
+func factory(t *testing.T) *testFactory {
+	t.Helper()
+	facOnce.Do(func() {
+		ds, err := aep.Build()
+		if err != nil {
+			facErr = err
+			return
+		}
+		facVal = &testFactory{ds: ds, sim: llm.NewSim(ds), store: rag.NewStore(ds.Demos),
+			cache: engine.NewCache(0)}
+	})
+	if facErr != nil {
+		t.Fatal(facErr)
+	}
+	return facVal
+}
+
+// swapHandler lets the httptest servers exist (and hand out addresses)
+// before the Nodes they serve are built — NodeConfig needs every member's
+// address up front.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node not up", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+type testNode struct {
+	id      string
+	node    *Node
+	ts      *httptest.Server
+	handler *swapHandler
+	journal *persist.Journal
+	replica *persist.Journal
+	jpath   string
+	rpath   string
+	metrics *obs.Metrics
+	killed  bool
+}
+
+// kill simulates node death: established connections die, new dials fail,
+// and the journals are closed without any shutdown courtesy — the file is
+// left exactly as the append stream left it. crashJournalsFirst controls
+// whether an in-flight turn can still reach the journal and its follower
+// (connections first: yes, the turn may be durable but unacknowledged;
+// journals first: no, it fails cleanly before the append).
+func (tn *testNode) kill(crashJournalsFirst bool) {
+	if tn.killed {
+		return
+	}
+	tn.killed = true
+	if crashJournalsFirst {
+		tn.journal.Crash()
+		tn.replica.Crash()
+	}
+	tn.ts.Listener.Close()
+	tn.ts.CloseClientConnections()
+	if !crashJournalsFirst {
+		tn.journal.Crash()
+		tn.replica.Crash()
+	}
+}
+
+type testCluster struct {
+	t       *testing.T
+	dir     string
+	members []Member
+	nodes   map[string]*testNode
+	router  *Router
+	rts     *httptest.Server
+	client  *http.Client
+}
+
+type clusterOptions struct {
+	healthInterval time.Duration
+	fsync          persist.FsyncPolicy
+	routerMetrics  *obs.Metrics
+	nodeMetrics    bool
+	serverOptions  []server.Option
+}
+
+// newTestCluster brings up n in-process nodes behind a router. The caller
+// gets a plain HTTP client pointed at the router URL; per-node access goes
+// through tc.nodes.
+func newTestCluster(t *testing.T, n int, opts clusterOptions) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:      t,
+		dir:    t.TempDir(),
+		nodes:  map[string]*testNode{},
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node-%c", 'a'+i)
+		sh := &swapHandler{}
+		ts := httptest.NewServer(sh)
+		tc.members = append(tc.members, Member{ID: id, Addr: ts.URL})
+		tc.nodes[id] = &testNode{id: id, ts: ts, handler: sh}
+	}
+	for _, m := range tc.members {
+		tn := tc.nodes[m.ID]
+		tn.jpath = filepath.Join(tc.dir, m.ID+".journal")
+		tn.rpath = filepath.Join(tc.dir, m.ID+".replica")
+		var err error
+		tn.journal, err = persist.Open(tn.jpath, persist.Options{Fsync: opts.fsync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.replica, err = persist.Open(tn.rpath, persist.Options{Fsync: opts.fsync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opts.nodeMetrics {
+			tn.metrics = obs.NewMetrics()
+		}
+		tn.node = NewNode(NodeConfig{
+			ID:            m.ID,
+			Members:       tc.members,
+			Systems:       map[string]server.SessionFactory{"aep": factory(t)},
+			Journal:       tn.journal,
+			Replica:       tn.replica,
+			Metrics:       tn.metrics,
+			ServerOptions: opts.serverOptions,
+		})
+		tn.handler.set(tn.node)
+	}
+	tc.router = NewRouter(RouterConfig{
+		Members:        tc.members,
+		Metrics:        opts.routerMetrics,
+		HealthInterval: opts.healthInterval,
+		HealthTimeout:  500 * time.Millisecond,
+	})
+	tc.rts = httptest.NewServer(tc.router)
+	t.Cleanup(func() {
+		tc.router.Close()
+		tc.rts.Close()
+		for _, tn := range tc.nodes {
+			if !tn.killed {
+				tn.ts.Close()
+				tn.journal.Close()
+				tn.replica.Close()
+			}
+		}
+	})
+	return tc
+}
+
+func (tc *testCluster) url() string { return tc.rts.URL }
+
+// ownerOf resolves the current owner node of a session id via the router's
+// live membership — the same placement the router itself uses.
+func (tc *testCluster) ownerOf(id string) *testNode {
+	owner, ok := Owner(id, tc.router.Members())
+	if !ok {
+		tc.t.Fatal("no members")
+	}
+	return tc.nodes[owner.ID]
+}
+
+func (tc *testCluster) postJSON(path string, body any) (int, map[string]any) {
+	tc.t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := tc.client.Post(tc.url()+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		tc.t.Fatalf("post %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func (tc *testCluster) createSession(t *testing.T) string {
+	t.Helper()
+	code, out := tc.postJSON("/v1/sessions", map[string]string{"corpus": "aep"})
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %v", code, out)
+	}
+	id, _ := out["session_id"].(string)
+	if id == "" {
+		t.Fatalf("no session id: %v", out)
+	}
+	return id
+}
+
+func (tc *testCluster) ask(t *testing.T, id, question string) (int, map[string]any) {
+	t.Helper()
+	return tc.postJSON("/v1/sessions/"+id+"/ask", map[string]string{"question": question})
+}
+
+func (tc *testCluster) feedback(t *testing.T, id, text string) (int, map[string]any) {
+	t.Helper()
+	return tc.postJSON("/v1/sessions/"+id+"/feedback", map[string]string{"text": text})
+}
+
+// ---------------------------------------------------------------------------
+
+// TestClusterBasicRouting: sessions created through the router land on
+// their rendezvous owners, spread across nodes, and every turn forwarded
+// later reaches the same session state.
+func TestClusterBasicRouting(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+
+	const sessions = 24
+	ids := make([]string, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		id := tc.createSession(t)
+		ids = append(ids, id)
+		if code, out := tc.ask(t, id, askQuestion); code != http.StatusOK {
+			t.Fatalf("ask %s: %d %v", id, code, out)
+		}
+		if i%3 == 0 {
+			if code, out := tc.feedback(t, id, "only the top 5"); code != http.StatusOK {
+				t.Fatalf("feedback %s: %d %v", id, code, out)
+			}
+		}
+	}
+
+	// Placement: every session lives exactly on its rendezvous owner, and
+	// more than one node carries load.
+	nodesUsed := map[string]int{}
+	for _, id := range ids {
+		owner := tc.ownerOf(id)
+		nodesUsed[owner.id]++
+		found := false
+		for _, sid := range owner.node.Server().SessionIDs() {
+			if sid == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("session %s not on its owner %s", id, owner.id)
+		}
+	}
+	if len(nodesUsed) < 2 {
+		t.Errorf("all sessions on one node: %v", nodesUsed)
+	}
+	total := 0
+	for _, tn := range tc.nodes {
+		total += len(tn.node.Server().SessionIDs())
+	}
+	if total != sessions {
+		t.Errorf("cluster holds %d sessions, want %d", total, sessions)
+	}
+
+	// Histories read back through the router.
+	for _, id := range ids {
+		if _, err := persisttest.History(tc.client, tc.url(), id); err != nil {
+			t.Errorf("history %s: %v", id, err)
+		}
+	}
+}
+
+// TestClusterReplicaPlacement: every session's records are replicated to
+// its rendezvous follower — and only there — before the turn is
+// acknowledged, so the ack already implies follower durability.
+func TestClusterReplicaPlacement(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+
+	for i := 0; i < 12; i++ {
+		id := tc.createSession(t)
+		if code, out := tc.ask(t, id, askQuestion); code != http.StatusOK {
+			t.Fatalf("ask %s: %d %v", id, code, out)
+		}
+		f, ok := Follower(id, tc.router.Members())
+		if !ok {
+			t.Fatal("no follower in a 3-node cluster")
+		}
+		for nid, tn := range tc.nodes {
+			recs := tn.replica.SessionRecords(id)
+			if nid == f.ID {
+				// create + ask, replicated synchronously with the ack.
+				if len(recs) != 2 {
+					t.Errorf("follower %s holds %d records of %s, want 2", nid, len(recs), id)
+				}
+			} else if recs != nil {
+				t.Errorf("non-follower %s holds a replica of %s", nid, id)
+			}
+		}
+	}
+}
+
+// TestClusterSSEThroughRouter: an SSE ask streams through the router
+// unharmed — complete event sequence, done payload equal to the plain JSON
+// answer body.
+func TestClusterSSEThroughRouter(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+	id := tc.createSession(t)
+
+	body, _ := json.Marshal(map[string]string{"question": askQuestion})
+	req, _ := http.NewRequest(http.MethodPost, tc.url()+"/v1/sessions/"+id+"/ask", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := tc.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]string{}
+	var order []string
+	for _, block := range bytes.Split(raw, []byte("\n\n")) {
+		var name, data string
+		for _, line := range bytes.Split(block, []byte("\n")) {
+			if v, ok := bytes.CutPrefix(line, []byte("event: ")); ok {
+				name = string(v)
+			}
+			if v, ok := bytes.CutPrefix(line, []byte("data: ")); ok {
+				data = string(v)
+			}
+		}
+		if name != "" {
+			events[name] = data
+			order = append(order, name)
+		}
+	}
+	want := []string{"open", "sql", "explanation", "result", "done"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("event order %v, want %v", order, want)
+	}
+
+	// The done payload matches the non-streamed answer of the same question
+	// in a fresh session (deterministic pipeline + shared memo).
+	id2 := tc.createSession(t)
+	code, ans := tc.ask(t, id2, askQuestion)
+	if code != http.StatusOK {
+		t.Fatalf("plain ask: %d", code)
+	}
+	plain, _ := json.Marshal(ans)
+	var fromSSE, fromPlain map[string]any
+	if err := json.Unmarshal([]byte(events["done"]), &fromSSE); err != nil {
+		t.Fatalf("done payload: %v", err)
+	}
+	_ = json.Unmarshal(plain, &fromPlain)
+	if fmt.Sprint(fromSSE) != fmt.Sprint(fromPlain) {
+		t.Errorf("done payload differs from plain answer:\nsse:   %v\nplain: %v", fromSSE, fromPlain)
+	}
+}
+
+// TestClusterDrain: draining a node moves its sessions to the survivors
+// with byte-identical histories and journaled handoffs, and the drained
+// node ends up empty.
+func TestClusterDrain(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+
+	ids := make([]string, 0, 18)
+	for i := 0; i < 18; i++ {
+		id := tc.createSession(t)
+		ids = append(ids, id)
+		tc.ask(t, id, askQuestion)
+		if i%2 == 0 {
+			tc.feedback(t, id, "only the top 5")
+		}
+	}
+	capture, err := persisttest.Capture(tc.client, tc.url(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the node owning the most sessions.
+	victim := ""
+	most := -1
+	for nid, tn := range tc.nodes {
+		if n := len(tn.node.Server().SessionIDs()); n > most {
+			victim, most = nid, n
+		}
+	}
+	if most == 0 {
+		t.Fatal("no node owns any session")
+	}
+	code, out := tc.postJSON("/internal/cluster/drain", map[string]string{"id": victim})
+	if code != http.StatusOK {
+		t.Fatalf("drain: %d %v", code, out)
+	}
+	if moved := int(out["moved"].(float64)); moved != most {
+		t.Errorf("drain moved %d sessions, node owned %d", moved, most)
+	}
+	if n := len(tc.nodes[victim].node.Server().SessionIDs()); n != 0 {
+		t.Errorf("drained node still owns %d sessions", n)
+	}
+	if len(tc.router.Members()) != 2 {
+		t.Errorf("membership after drain: %v", tc.router.Members())
+	}
+	if diffs := persisttest.DiffHistories(tc.client, tc.url(), capture); diffs != nil {
+		t.Errorf("histories drifted across drain:\n%v", diffs)
+	}
+	// The handoffs were journaled as moves, not deletes: the drained node's
+	// journal no longer retains the sessions.
+	for _, id := range ids {
+		if recs := tc.nodes[victim].journal.SessionRecords(id); recs != nil {
+			t.Errorf("drained node still retains journal records of %s", id)
+		}
+	}
+	// Moved sessions still take turns.
+	for _, id := range ids[:4] {
+		if code, out := tc.ask(t, id, askQuestion); code != http.StatusOK {
+			t.Errorf("post-drain ask %s: %d %v", id, code, out)
+		}
+	}
+}
+
+// TestClusterAddNode: joining a node moves exactly the sessions the new
+// placement assigns to it (minimal disruption), byte-identically.
+func TestClusterAddNode(t *testing.T) {
+	tc := newTestCluster(t, 2, clusterOptions{})
+
+	ids := make([]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		id := tc.createSession(t)
+		ids = append(ids, id)
+		tc.ask(t, id, askQuestion)
+	}
+	capture, err := persisttest.Capture(tc.client, tc.url(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bring up the third node and compute, before the join, which sessions
+	// the new placement will hand it.
+	sh := &swapHandler{}
+	ts := httptest.NewServer(sh)
+	newMember := Member{ID: "node-c", Addr: ts.URL}
+	target := append(append([]Member(nil), tc.members...), newMember)
+	wantMoved := 0
+	for _, id := range ids {
+		if owner, _ := Owner(id, target); owner.ID == newMember.ID {
+			wantMoved++
+		}
+	}
+	jpath := filepath.Join(tc.dir, "node-c.journal")
+	rpath := filepath.Join(tc.dir, "node-c.replica")
+	j, err := persist.Open(jpath, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := persist.Open(rpath, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := &testNode{id: newMember.ID, ts: ts, handler: sh, journal: j, replica: rep, jpath: jpath, rpath: rpath}
+	tn.node = NewNode(NodeConfig{
+		ID:      newMember.ID,
+		Members: target,
+		Systems: map[string]server.SessionFactory{"aep": factory(t)},
+		Journal: j,
+		Replica: rep,
+	})
+	sh.set(tn.node)
+	tc.nodes[newMember.ID] = tn
+	t.Cleanup(func() {
+		if !tn.killed {
+			ts.Close()
+			j.Close()
+			rep.Close()
+		}
+	})
+
+	code, out := tc.postJSON("/internal/cluster/add", map[string]string{"id": newMember.ID, "addr": newMember.Addr})
+	if code != http.StatusOK {
+		t.Fatalf("add: %d %v", code, out)
+	}
+	if moved := int(out["moved"].(float64)); moved != wantMoved {
+		t.Errorf("join moved %d sessions, rendezvous assigns the new node %d", moved, wantMoved)
+	}
+	if got := len(tn.node.Server().SessionIDs()); got != wantMoved {
+		t.Errorf("new node owns %d sessions, want %d", got, wantMoved)
+	}
+	if diffs := persisttest.DiffHistories(tc.client, tc.url(), capture); diffs != nil {
+		t.Errorf("histories drifted across join:\n%v", diffs)
+	}
+	for _, id := range ids {
+		if code, out := tc.ask(t, id, askQuestion); code != http.StatusOK {
+			t.Errorf("post-join ask %s: %d %v", id, code, out)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"fisql/internal/obs"
+	"fisql/internal/persist"
+	"fisql/internal/server"
+)
+
+// maxReplicaBody caps one replication request body. A full-session resync
+// of the longest plausible session is well under a megabyte; 64 MiB keeps a
+// runaway peer from ballooning the follower.
+const maxReplicaBody = 64 << 20
+
+// replStripes is the lock-striping factor of per-session replication: the
+// owner must never interleave a session's full-resync frames with its
+// incremental frames (the follower would retain duplicate records), so both
+// paths serialize on the session's stripe.
+const replStripes = 16
+
+// NodeConfig configures NewNode.
+type NodeConfig struct {
+	// ID is this node's stable name; it must appear in Members.
+	ID string
+	// Members is the static bootstrap membership. The router's pushes
+	// replace it at runtime.
+	Members []Member
+	// Systems maps corpus names to session factories, as for server.New.
+	Systems map[string]server.SessionFactory
+	// Journal is this node's own journal — the sessions it owns. Required:
+	// a cluster node without local durability could not honor promotion.
+	Journal *persist.Journal
+	// Replica holds follower copies of sessions other nodes own. Required.
+	Replica *persist.Journal
+	// Metrics, when set, receives the fisql_cluster_* node-side series and
+	// is passed through to the embedded server.
+	Metrics *obs.Metrics
+	// Client is the HTTP client for inter-node calls (replication,
+	// handoff). Nil gets a 5-second-timeout default.
+	Client *http.Client
+	// ServerOptions are extra options for the embedded server (admission,
+	// caps, TTLs). WithJournal, WithReplicator, WithPresetSessionIDs and
+	// WithMetrics are supplied by NewNode and must not be repeated here.
+	ServerOptions []server.Option
+}
+
+// Node is one cluster member: the single-node server plus the inter-node
+// protocol — journal replication to followers, adoption of replicated
+// sessions on promotion, and journaled handoff on rebalance. It serves
+// /internal/* itself and delegates everything else to the embedded server.
+type Node struct {
+	id      string
+	srv     *server.Server
+	journal *persist.Journal
+	replica *persist.Journal
+	client  *http.Client
+	mux     *http.ServeMux
+
+	mu      sync.Mutex
+	members []Member
+	version int64
+	// lastFollower records, per owned session, the node id its records were
+	// last successfully replicated to. A mismatch with the current
+	// rendezvous follower (membership changed, or a send failed) triggers a
+	// full-session resync instead of an incremental frame.
+	lastFollower map[string]string
+
+	replMu [replStripes]sync.Mutex
+
+	replicatedRecs *obs.Counter
+	replErrs       *obs.Counter
+	adoptedTotal   *obs.Counter
+	handoffsOut    *obs.Counter
+}
+
+// NewNode builds the node. The embedded server performs journal recovery
+// before NewNode returns, exactly as a single-node restart would.
+func NewNode(cfg NodeConfig) *Node {
+	n := &Node{
+		id:           cfg.ID,
+		journal:      cfg.Journal,
+		replica:      cfg.Replica,
+		client:       cfg.Client,
+		members:      append([]Member(nil), cfg.Members...),
+		lastFollower: map[string]string{},
+	}
+	if n.client == nil {
+		n.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	opts := append([]server.Option(nil), cfg.ServerOptions...)
+	opts = append(opts,
+		server.WithJournal(cfg.Journal),
+		server.WithReplicator(n.replicate),
+		server.WithPresetSessionIDs(),
+	)
+	if cfg.Metrics != nil {
+		opts = append(opts, server.WithMetrics(cfg.Metrics))
+		r := cfg.Metrics.Registry
+		n.replicatedRecs = r.Counter("fisql_cluster_replicated_records_total")
+		n.replErrs = r.Counter("fisql_cluster_replication_errors_total")
+		n.adoptedTotal = r.Counter("fisql_cluster_adopted_sessions_total")
+		n.handoffsOut = r.Counter("fisql_cluster_handoffs_out_total")
+		rep := cfg.Replica
+		r.GaugeFunc("fisql_cluster_replica_sessions", func() int64 { return rep.Stats().LiveSessions })
+	}
+	n.srv = server.New(cfg.Systems, opts...)
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("POST /internal/replicate", n.handleReplicate)
+	n.mux.HandleFunc("POST /internal/members", n.handleMembers)
+	n.mux.HandleFunc("POST /internal/promote", n.handlePromote)
+	n.mux.HandleFunc("POST /internal/adopt", n.handleAdopt)
+	n.mux.HandleFunc("POST /internal/rebalance", n.handleRebalance)
+	n.mux.HandleFunc("GET /internal/status", n.handleStatus)
+	return n
+}
+
+// Server exposes the embedded single-node server (recovery info, session
+// ids) for the command and tests.
+func (n *Node) Server() *server.Server { return n.srv }
+
+// ServeHTTP routes /internal/* to the cluster protocol and everything else
+// to the embedded server.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/internal/") {
+		n.mux.ServeHTTP(w, r)
+		return
+	}
+	n.srv.ServeHTTP(w, r)
+}
+
+func (n *Node) membersSnapshot() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Member(nil), n.members...)
+}
+
+func (n *Node) stripe(id string) *sync.Mutex {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &n.replMu[h.Sum32()%replStripes]
+}
+
+// replicate is the server.Replicator hook: called after the local journal
+// append, before the turn is acknowledged. It ships the record to the
+// session's rendezvous follower — incrementally when that follower is in
+// sync, as a full-session frame stream when the follower changed or a
+// previous send failed (the replica journal's re-create handling makes the
+// full set a clean replacement, not a duplication).
+func (n *Node) replicate(rec persist.Record) error {
+	members := n.membersSnapshot()
+	f, ok := Follower(rec.Session, members)
+	if !ok || f.ID == n.id {
+		// Single-node cluster: no follower to keep. Local durability stands.
+		return nil
+	}
+	mu := n.stripe(rec.Session)
+	mu.Lock()
+	defer mu.Unlock()
+	n.mu.Lock()
+	last := n.lastFollower[rec.Session]
+	n.mu.Unlock()
+	recs := []persist.Record{rec}
+	if last != f.ID {
+		// The just-appended record is already in the journal's retained set,
+		// so the full set includes it. A delete/handoff of the session drops
+		// the set to nil — ship the terminal record alone.
+		if full := n.journal.SessionRecords(rec.Session); full != nil {
+			recs = full
+		}
+	}
+	if err := n.postFrames(f, "/internal/replicate", persist.EncodeFrames(recs)); err != nil {
+		n.replErrs.Inc()
+		n.mu.Lock()
+		delete(n.lastFollower, rec.Session)
+		n.mu.Unlock()
+		return err
+	}
+	n.replicatedRecs.Add(int64(len(recs)))
+	n.mu.Lock()
+	if rec.Type == persist.TDelete || rec.Type == persist.THandoff {
+		delete(n.lastFollower, rec.Session)
+	} else {
+		n.lastFollower[rec.Session] = f.ID
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Node) postFrames(m Member, path string, frames []byte) error {
+	resp, err := n.client.Post(m.Addr+path, "application/octet-stream", bytes.NewReader(frames))
+	if err != nil {
+		return fmt.Errorf("post %s to %s: %w", path, m.ID, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("post %s to %s: status %d", path, m.ID, resp.StatusCode)
+	}
+	return nil
+}
+
+// handleReplicate appends a follower stream to the replica journal. The
+// body is raw journal frames — the owner's on-disk encoding, CRC and all —
+// validated as a whole before any record is applied, so a torn or corrupt
+// stream leaves the replica journal untouched and the owner retries.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read frames: "+err.Error())
+		return
+	}
+	recs, _, err := persist.ScanBytes(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode frames: "+err.Error())
+		return
+	}
+	for _, rec := range recs {
+		if err := n.replica.Append(rec); err != nil {
+			httpError(w, http.StatusInternalServerError, "replica append: "+err.Error())
+			return
+		}
+	}
+	writeJSON(w, map[string]any{"appended": len(recs)})
+}
+
+type membersMsg struct {
+	Version int64    `json:"version"`
+	Members []Member `json:"members"`
+}
+
+// handleMembers installs a pushed membership view, then reconciles both
+// journals against it: replica sessions this node neither owns nor follows
+// under the new view are dropped, and owned sessions whose rendezvous
+// follower changed are resynced in full — so a single later failure never
+// finds a session without a live replica.
+func (n *Node) handleMembers(w http.ResponseWriter, r *http.Request) {
+	var msg membersMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return
+	}
+	n.mu.Lock()
+	if msg.Version < n.version {
+		// An out-of-order push from an older view; the newer one already
+		// landed.
+		n.mu.Unlock()
+		writeJSON(w, map[string]any{"version": n.version, "stale": true})
+		return
+	}
+	n.version = msg.Version
+	n.members = append([]Member(nil), msg.Members...)
+	n.mu.Unlock()
+
+	n.reconcileReplica(msg.Members)
+	for _, id := range n.srv.SessionIDs() {
+		n.resyncSession(id, msg.Members)
+	}
+	writeJSON(w, map[string]any{"version": msg.Version, "members": len(msg.Members)})
+}
+
+// reconcileReplica drops replica sessions this node is no longer involved
+// with. A session whose new owner is this node is kept — it is pending
+// adoption by the promote call that follows a membership push.
+func (n *Node) reconcileReplica(members []Member) {
+	for _, id := range n.replica.LiveSessions() {
+		keep := false
+		for _, m := range Owners(id, members, 2) {
+			if m.ID == n.id {
+				keep = true
+			}
+		}
+		if !keep {
+			_ = n.replica.Append(persist.Record{Type: persist.TDelete, Session: id})
+		}
+	}
+}
+
+// resyncSession ships one owned session's full record set to its current
+// follower if that follower is not known to be in sync.
+func (n *Node) resyncSession(id string, members []Member) {
+	f, ok := Follower(id, members)
+	if !ok || f.ID == n.id {
+		return
+	}
+	mu := n.stripe(id)
+	mu.Lock()
+	defer mu.Unlock()
+	n.mu.Lock()
+	last := n.lastFollower[id]
+	n.mu.Unlock()
+	if last == f.ID {
+		return
+	}
+	recs := n.journal.SessionRecords(id)
+	if recs == nil {
+		return
+	}
+	if err := n.postFrames(f, "/internal/replicate", persist.EncodeFrames(recs)); err != nil {
+		n.replErrs.Inc()
+		return
+	}
+	n.replicatedRecs.Add(int64(len(recs)))
+	n.mu.Lock()
+	n.lastFollower[id] = f.ID
+	n.mu.Unlock()
+}
+
+type promoteMsg struct {
+	Dead string `json:"dead"`
+}
+
+type promoteResp struct {
+	Adopted   []string `json:"adopted"`
+	Watermark int64    `json:"watermark"`
+}
+
+// handlePromote runs after a node death (the router has already pushed the
+// surviving membership): every replica session whose owner under the
+// current view is this node is adopted — rebuilt by deterministic replay,
+// journaled locally, replicated to its new follower — and its id watermark
+// is reported so the router's id issuance never reuses a dead node's ids.
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var msg promoteMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return
+	}
+	members := n.membersSnapshot()
+	var recs []persist.Record
+	for _, id := range n.replica.LiveSessions() {
+		owner, ok := Owner(id, members)
+		if !ok || owner.ID != n.id {
+			continue
+		}
+		recs = append(recs, n.replica.SessionRecords(id)...)
+	}
+	res := n.srv.AdoptSessions(recs)
+	for _, id := range res.Adopted {
+		// The session now lives in this node's own journal; its replica
+		// entry here is done (its new follower got a copy during adoption).
+		_ = n.replica.Append(persist.Record{Type: persist.TDelete, Session: id})
+	}
+	n.adoptedTotal.Add(int64(len(res.Adopted)))
+	wm := n.journal.Watermark()
+	if rw := n.replica.Watermark(); rw > wm {
+		wm = rw
+	}
+	if res.MaxID > wm {
+		wm = res.MaxID
+	}
+	writeJSON(w, promoteResp{Adopted: res.Adopted, Watermark: wm})
+}
+
+// handleAdopt receives a handed-off session as raw journal frames from its
+// old owner during a rebalance and adopts it through the same replay path
+// promotion uses.
+func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read frames: "+err.Error())
+		return
+	}
+	recs, _, err := persist.ScanBytes(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode frames: "+err.Error())
+		return
+	}
+	res := n.srv.AdoptSessions(recs)
+	n.adoptedTotal.Add(int64(len(res.Adopted)))
+	writeJSON(w, promoteResp{Adopted: res.Adopted, Watermark: n.journal.Watermark()})
+}
+
+type rebalanceMsg struct {
+	Members []Member `json:"members"`
+}
+
+// handleRebalance hands off every owned session whose rendezvous owner
+// under the given target membership is another node: the session's full
+// record set goes to the new owner's adopt endpoint, and only after the
+// new owner confirms is the session released here — journaled as a
+// THandoff naming the target, never a delete, so the journal records a
+// move. Drain is this call with a membership that excludes this node.
+func (n *Node) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var msg rebalanceMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return
+	}
+	moved := 0
+	var failed []string
+	for _, id := range n.srv.SessionIDs() {
+		owner, ok := Owner(id, msg.Members)
+		if !ok || owner.ID == n.id {
+			continue
+		}
+		recs := n.journal.SessionRecords(id)
+		if recs == nil {
+			continue
+		}
+		if err := n.postFrames(owner, "/internal/adopt", persist.EncodeFrames(recs)); err != nil {
+			failed = append(failed, id)
+			continue
+		}
+		n.srv.ReleaseSession(id, owner.ID)
+		moved++
+	}
+	n.handoffsOut.Add(int64(moved))
+	writeJSON(w, map[string]any{"moved": moved, "failed": failed})
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	version := n.version
+	n.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"id":               n.id,
+		"version":          version,
+		"sessions":         len(n.srv.SessionIDs()),
+		"replica_sessions": len(n.replica.LiveSessions()),
+		"watermark":        n.journal.Watermark(),
+	})
+}
+
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}

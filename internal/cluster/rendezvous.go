@@ -1,0 +1,100 @@
+// Package cluster is the multi-node serving tier: a router that pins
+// sessions to nodes by rendezvous hashing, a compact binary-over-HTTP
+// inter-node protocol that forwards /v1/* traffic to the owning node and
+// streams journal frames to followers, and failover that promotes a
+// session's follower when its owner dies — rebuilding the session by the
+// same deterministic replay a single-node restart uses, so acknowledged
+// turns survive a node loss byte-identically.
+//
+// Placement is pure function, not state: the owner of session s under
+// member set M is the member with the highest rendezvous weight
+// hash(member, s), and the designated follower is the second-highest.
+// Because removing a member never reorders the remaining weights, the
+// survivor ranked first after the owner dies is exactly the old follower —
+// the node already holding the session's replicated journal. Failover
+// therefore needs no ownership table, no leader election, and moves no
+// session that didn't lose its owner.
+package cluster
+
+import "sort"
+
+// Member is one node of the cluster as the router and the nodes themselves
+// see it.
+type Member struct {
+	// ID is the stable node name; it feeds the rendezvous hash, so renaming
+	// a node moves its sessions.
+	ID string `json:"id"`
+	// Addr is the node's base URL (scheme://host:port, no trailing slash).
+	Addr string `json:"addr"`
+}
+
+// weight is the rendezvous score of key on member: FNV-1a 64 over the
+// member id, a separator, and the key, passed through a splitmix64-style
+// finalizer. FNV alone correlates scores of keys sharing long prefixes
+// (session ids are "s1", "s2", ... — all sharing "s"); the finalizer's
+// avalanche breaks that correlation so placement is uniform.
+func weight(memberID, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(memberID); i++ {
+		h ^= uint64(memberID[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator: ("ab","c") must not collide with ("a","bc")
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Owners returns up to n members ranked by descending rendezvous weight
+// for key: index 0 is the session's owner, index 1 its designated
+// follower. Ties (astronomically unlikely with 64-bit weights, but the
+// ordering must still be total) break toward the smaller member id.
+func Owners(key string, members []Member, n int) []Member {
+	if len(members) == 0 || n <= 0 {
+		return nil
+	}
+	ranked := append([]Member(nil), members...)
+	sort.Slice(ranked, func(a, b int) bool {
+		wa, wb := weight(ranked[a].ID, key), weight(ranked[b].ID, key)
+		if wa != wb {
+			return wa > wb
+		}
+		return ranked[a].ID < ranked[b].ID
+	})
+	if n < len(ranked) {
+		ranked = ranked[:n]
+	}
+	return ranked
+}
+
+// Owner returns the member that owns key, false when members is empty.
+func Owner(key string, members []Member) (Member, bool) {
+	top := Owners(key, members, 1)
+	if len(top) == 0 {
+		return Member{}, false
+	}
+	return top[0], true
+}
+
+// Follower returns the designated follower for key — the member holding
+// the session's replicated journal — false when the cluster has fewer than
+// two members.
+func Follower(key string, members []Member) (Member, bool) {
+	top := Owners(key, members, 2)
+	if len(top) < 2 {
+		return Member{}, false
+	}
+	return top[1], true
+}

@@ -1,0 +1,137 @@
+// Torn-frame sweep over the replication stream: the follower's replica
+// journal is the only copy of a session once the owner dies, so a torn
+// write at ANY byte boundary of that file must recover to exactly the
+// acknowledged prefix — never a corrupt record, never a half-applied turn.
+// The sweep truncates the replica at every byte offset, replays each
+// prefix through a fresh server, and compares the served history against
+// the history captured from the primary after the corresponding turn.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fisql/internal/persist"
+	"fisql/internal/persist/persisttest"
+	"fisql/internal/server"
+)
+
+func TestReplicaTornFrameSweep(t *testing.T) {
+	tc := newTestCluster(t, 2, clusterOptions{})
+
+	id := tc.createSession(t)
+	// captures[k] is the primary-served history after the first k records
+	// (k=1 is the bare create). A replica truncated to k complete frames
+	// must replay to exactly captures[k].
+	captures := map[int][]byte{}
+	snap := func(k int) {
+		h, err := persisttest.History(tc.client, tc.url(), id)
+		if err != nil {
+			t.Fatalf("capture after %d records: %v", k, err)
+		}
+		captures[k] = h
+	}
+	snap(1)
+	code, ans := tc.ask(t, id, askQuestion)
+	if code != http.StatusOK {
+		t.Fatalf("ask: %d", code)
+	}
+	snap(2)
+	// A grounded feedback turn when the SQL offers an anchor — the replica
+	// must round-trip the highlight fields too; plain feedback otherwise.
+	fb := map[string]any{"text": "we are in 2024"}
+	if sql, _ := ans["sql"].(string); strings.Contains(sql, "2023") {
+		fb["highlight"] = "2023"
+		fb["highlight_start"] = strings.Index(sql, "2023")
+	}
+	if code, out := tc.postJSON("/v1/sessions/"+id+"/feedback", fb); code != http.StatusOK {
+		t.Fatalf("feedback: %d %v", code, out)
+	}
+	snap(3)
+	if code, _ := tc.ask(t, id, "And in February?"); code != http.StatusOK {
+		t.Fatalf("second ask: %d", code)
+	}
+	snap(4)
+
+	follower, ok := Follower(id, tc.router.Members())
+	if !ok {
+		t.Fatal("no follower")
+	}
+	fn := tc.nodes[follower.ID]
+	// Crash both nodes journals-first: the replica file is left exactly as
+	// the append stream wrote it, no shutdown courtesy.
+	for _, tn := range tc.nodes {
+		tn.kill(true)
+	}
+	full, err := os.ReadFile(fn.rpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, err := persist.ScanBytes(full)
+	if err != nil {
+		t.Fatalf("replica stream itself is torn: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replica has %d records, want 4 (create, ask, feedback, ask)", len(recs))
+	}
+
+	dir := t.TempDir()
+	for cut := 0; cut <= len(full); cut++ {
+		// Complete frames within the prefix — ends is ascending, so count
+		// the entries at or below the cut.
+		k := 0
+		for k < len(ends) && ends[k] <= int64(cut) {
+			k++
+		}
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.replica", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := persist.Open(path, persist.Options{Fsync: persist.FsyncOff})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if got := len(j.Records()); got != k {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, got, k)
+		}
+		srv := server.New(map[string]server.SessionFactory{"aep": factory(t)}, server.WithJournal(j))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/sessions/"+id+"/history", nil))
+		if k == 0 {
+			if rec.Code != http.StatusNotFound {
+				t.Errorf("cut %d: history of unreplayed session: %d, want 404", cut, rec.Code)
+			}
+		} else {
+			if rec.Code != http.StatusOK {
+				t.Fatalf("cut %d: history: %d %s", cut, rec.Code, rec.Body.String())
+			}
+			if !bytes.Equal(rec.Body.Bytes(), captures[k]) {
+				t.Errorf("cut %d (%d records): replayed history differs from primary's:\nprimary: %s\nreplica: %s",
+					cut, k, captures[k], rec.Body.Bytes())
+			}
+		}
+		j.Close()
+	}
+	// The sweep covered every boundary class: mid-header, mid-payload, and
+	// exact frame edges. Sanity-check the file is big enough to have done so.
+	if len(full) < 4*12 {
+		t.Fatalf("replica file implausibly small: %d bytes", len(full))
+	}
+	// One JSON-shape check so a formatting change can't silently equalize
+	// both sides into garbage: the full replay must contain all six
+	// messages (user/assistant per ask, feedback/assistant for the
+	// grounded correction).
+	var hist struct {
+		Turns []json.RawMessage `json:"turns"`
+	}
+	if err := json.Unmarshal(captures[4], &hist); err != nil || len(hist.Turns) != 6 {
+		t.Errorf("full history shape unexpected (err %v): %s", err, captures[4])
+	}
+}

@@ -19,6 +19,7 @@ func fuzzSeeds() [][]byte {
 		{Type: TDelete, Session: "s1", HighlightStart: -1},
 		{Type: TCreate, Session: "s2", Corpus: "spider", DB: "concert_singer", HighlightStart: -1},
 		{Type: TAsk, Session: "s2", Text: "日本語 · non-ASCII question £€", HighlightStart: -1},
+		{Type: THandoff, Session: "s2", Text: "node-b", HighlightStart: -1},
 	} {
 		frames = appendFrame(frames, r)
 	}

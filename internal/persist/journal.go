@@ -270,7 +270,9 @@ func (j *Journal) trackLocked(r Record, frame []byte) {
 		sl.recs = append(sl.recs, r)
 		sl.frames = append(sl.frames, frame...)
 		j.liveBytes += int64(len(frame))
-	case TDelete:
+	case TDelete, THandoff:
+		// A handoff ends the session's residence here just like a delete;
+		// the session's records now live in the target node's journal.
 		if sl := j.live[r.Session]; sl != nil {
 			j.liveBytes -= int64(len(sl.frames))
 			delete(j.live, r.Session)
@@ -337,6 +339,34 @@ func (j *Journal) Append(r Record) error {
 		return j.compactLocked()
 	}
 	return nil
+}
+
+// SessionRecords returns a copy of one live session's retained records in
+// append order, or nil when the session is not live. Cluster replication
+// uses it to resync a session's full history to a fresh follower and to
+// hand a session off to a new owner.
+func (j *Journal) SessionRecords(id string) []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sl := j.live[id]
+	if sl == nil {
+		return nil
+	}
+	return append([]Record(nil), sl.recs...)
+}
+
+// LiveSessions returns the ids of sessions with retained records, in
+// creation order.
+func (j *Journal) LiveSessions() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.live))
+	for _, sl := range j.sessionsInOrder() {
+		if len(sl.recs) > 0 {
+			out = append(out, sl.recs[0].Session)
+		}
+	}
+	return out
 }
 
 // Retain prunes the live-session map to the sessions keep reports true for

@@ -29,6 +29,12 @@ const (
 	// records that established it — recovery must never hand out an id some
 	// client still holds, even for a session deleted and compacted away.
 	TWatermark Type = 5
+	// THandoff ends a session's residence on this node without ending the
+	// session: ownership moved to the node named in Text (cluster drain or
+	// rebalance). Replay treats it like TDelete — the session is gone from
+	// here — but the distinct type records that the session lives on
+	// elsewhere, which matters when auditing a journal.
+	THandoff Type = 6
 )
 
 // Record is one session lifecycle event. Which fields are meaningful
@@ -45,7 +51,7 @@ type Record struct {
 	Corpus string
 	DB     string
 
-	// TAsk question or TFeedback text.
+	// TAsk question, TFeedback text, or THandoff target node id.
 	Text string
 
 	// TFeedback grounding. HighlightStart is the byte offset of Highlight
@@ -99,6 +105,8 @@ func encodePayload(b []byte, r Record) []byte {
 	case TDelete:
 	case TWatermark:
 		b = appendUvarint(b, uint64(r.ID))
+	case THandoff:
+		b = appendString(b, r.Text)
 	}
 	return b
 }
@@ -204,6 +212,8 @@ func decodePayload(b []byte) (Record, error) {
 	case TDelete:
 	case TWatermark:
 		r.ID = p.int64()
+	case THandoff:
+		r.Text = p.string()
 	default:
 		if p.err == nil {
 			return Record{}, fmt.Errorf("unknown record type %d", r.Type)
@@ -216,6 +226,18 @@ func decodePayload(b []byte) (Record, error) {
 		return Record{}, fmt.Errorf("%d trailing bytes after record", len(b)-p.pos)
 	}
 	return r, nil
+}
+
+// EncodeFrames serializes recs in the journal's on-disk frame format — the
+// wire form of cluster journal replication. A receiver validates and decodes
+// the stream with ScanBytes, so the bytes a follower appends are exactly the
+// bytes the primary's journal holds.
+func EncodeFrames(recs []Record) []byte {
+	var b []byte
+	for _, r := range recs {
+		b = appendFrame(b, r)
+	}
+	return b
 }
 
 // ScanBytes decodes a journal image frame by frame. It returns the records

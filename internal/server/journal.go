@@ -64,46 +64,18 @@ func (s *Server) recoverJournal() {
 			maxID = n
 		}
 	}
-	for _, rec := range recs {
-		switch rec.Type {
-		case persist.TCreate:
-			sys, ok := s.systems[rec.Corpus]
-			if !ok || !hasDatabase(sys, rec.DB) {
-				info.Skipped++
-				continue
-			}
-			s.store.put(rec.Session, &session{sess: sys.NewSession(rec.DB), db: rec.DB})
-		case persist.TAsk:
-			sess, ok := s.store.get(rec.Session)
-			if !ok {
-				info.Skipped++
-				continue
-			}
-			if _, err := sess.sess.Ask(ctx, rec.Text); err != nil {
-				info.Skipped++
-			}
-		case persist.TFeedback:
-			sess, ok := s.store.get(rec.Session)
-			if !ok {
-				info.Skipped++
-				continue
-			}
-			var hl *feedback.Highlight
-			if rec.HighlightStart >= 0 {
-				hl = &feedback.Highlight{
-					Start: rec.HighlightStart,
-					End:   rec.HighlightStart + len(rec.Highlight),
-					Text:  rec.Highlight,
-				}
-			}
-			if _, err := sess.sess.Feedback(ctx, rec.Text, hl); err != nil {
-				info.Skipped++
-			}
-		default:
-			// Delete records never reach Records() (the journal drops the
-			// whole session), but tolerate them for forward compatibility.
-			info.Skipped++
+	groups, dropped := groupRecords(recs)
+	info.Skipped += dropped
+	for _, group := range groups {
+		sess, skipped, ok := s.replayGroup(ctx, group)
+		info.Skipped += skipped
+		if !ok {
+			continue
 		}
+		// Register in creation order: with a store cap below the journal's
+		// session count, the earliest-created sessions are the LRU victims,
+		// matching what the pre-crash eviction order journaled.
+		s.store.put(group[0].Session, sess)
 	}
 	// Fresh ids must not collide with recovered ones.
 	if cur := s.nextID.Load(); maxID > cur {
@@ -118,6 +90,146 @@ func (s *Server) recoverJournal() {
 	info.Sessions = s.store.len()
 	info.Duration = time.Since(t0)
 	s.recovery = info
+}
+
+// groupRecords splits a record stream into per-session groups, each
+// beginning at its TCreate. Journal record streams (Records and
+// SessionRecords in internal/persist, and the replicated follower stream)
+// keep each session's records contiguous in creation order, so a group is
+// a maximal run starting at a create. dropped counts records preceding the
+// first create — possible only in a torn or partial replica stream.
+func groupRecords(recs []persist.Record) (groups [][]persist.Record, dropped int) {
+	start := -1
+	for i, rec := range recs {
+		if rec.Type == persist.TCreate {
+			if start >= 0 {
+				groups = append(groups, recs[start:i])
+			} else {
+				dropped = i
+			}
+			start = i
+		}
+	}
+	if start >= 0 {
+		groups = append(groups, recs[start:])
+	} else {
+		dropped = len(recs)
+	}
+	return groups, dropped
+}
+
+// replayGroup rebuilds one session from its journal records (group[0] must
+// be the TCreate) by replaying each turn through the normal Ask/Feedback
+// pipeline — the shared deterministic-replay path of startup recovery and
+// cluster adoption. The returned session is not yet registered in the
+// store. ok is false when the corpus or database no longer exists; skipped
+// counts turns that errored or records replay does not apply (delete and
+// handoff markers, which a live group never contains).
+func (s *Server) replayGroup(ctx context.Context, group []persist.Record) (sess *session, skipped int, ok bool) {
+	create := group[0]
+	sys, found := s.systems[create.Corpus]
+	if !found || !hasDatabase(sys, create.DB) {
+		return nil, len(group), false
+	}
+	sess = &session{sess: sys.NewSession(create.DB), db: create.DB}
+	for _, rec := range group[1:] {
+		switch rec.Type {
+		case persist.TAsk:
+			if _, err := sess.sess.Ask(ctx, rec.Text); err != nil {
+				skipped++
+			}
+		case persist.TFeedback:
+			var hl *feedback.Highlight
+			if rec.HighlightStart >= 0 {
+				hl = &feedback.Highlight{
+					Start: rec.HighlightStart,
+					End:   rec.HighlightStart + len(rec.Highlight),
+					Text:  rec.Highlight,
+				}
+			}
+			if _, err := sess.sess.Feedback(ctx, rec.Text, hl); err != nil {
+				skipped++
+			}
+		default:
+			skipped++
+		}
+	}
+	return sess, skipped, true
+}
+
+// AdoptResult reports what AdoptSessions did.
+type AdoptResult struct {
+	// Adopted lists the session ids now live on this node.
+	Adopted []string
+	// Skipped counts records that could not be applied (unknown corpus or
+	// database, errored replay turns, or a group abandoned because this
+	// node's own journal failed while adopting it).
+	Skipped int
+	// MaxID is the highest numeric session id among the adopted records (0
+	// when none parse); the caller folds it into its id watermark so ids
+	// are never reused across a promotion.
+	MaxID int64
+}
+
+// AdoptSessions takes ownership of sessions replicated to this node: recs
+// is the follower-journal record stream of the sessions to adopt, per-
+// session contiguous with each group beginning at its TCreate. Each
+// session is rebuilt by deterministic replay, journaled into this node's
+// own journal (and replicated onward to its new follower), then registered
+// in the store — the same recovery path a restart uses, so the adopted
+// history is byte-identical to what the dead owner had acknowledged.
+// Sessions already present are skipped, making a retried promotion
+// idempotent.
+func (s *Server) AdoptSessions(recs []persist.Record) AdoptResult {
+	ctx := context.Background()
+	var res AdoptResult
+	groups, dropped := groupRecords(recs)
+	res.Skipped += dropped
+	for _, group := range groups {
+		id := group[0].Session
+		if s.store.has(id) {
+			continue
+		}
+		sess, skipped, ok := s.replayGroup(ctx, group)
+		res.Skipped += skipped
+		if !ok {
+			continue
+		}
+		adopted := true
+		for _, rec := range group {
+			if err := s.journalAppend(rec); err != nil {
+				if isReplicationError(err) {
+					// Locally durable; the replicator resyncs the follower in
+					// full on the session's next turn (it tracks per-session
+					// follower state and resends everything after a failure).
+					continue
+				}
+				// This node's own journal broke: adopting anyway would hold
+				// a session the journal never captured. Un-journal the
+				// partial group (best effort) and leave the session behind.
+				_ = s.journal.Append(persist.Record{Type: persist.TDelete, Session: id})
+				adopted = false
+				res.Skipped += len(group)
+				break
+			}
+		}
+		if !adopted {
+			continue
+		}
+		s.store.put(id, sess)
+		res.Adopted = append(res.Adopted, id)
+		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > res.MaxID {
+			res.MaxID = n
+		}
+	}
+	// Fresh ids issued here must never collide with adopted ones.
+	for res.MaxID > 0 {
+		cur := s.nextID.Load()
+		if cur >= res.MaxID || s.nextID.CompareAndSwap(cur, res.MaxID) {
+			break
+		}
+	}
+	return res
 }
 
 func hasDatabase(sys SessionFactory, db string) bool {

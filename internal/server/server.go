@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -66,6 +67,17 @@ type Server struct {
 
 	nextID atomic.Int64
 	store  *sessionStore
+
+	// Cluster hooks. replicator, when set, ships every journaled record to
+	// the session's follower before the turn is acknowledged. presetIDs lets
+	// the router tier pre-assign session ids (the id must determine the
+	// owning node, so it is issued before the create is forwarded).
+	// handoffs names the target node of sessions being released by a drain,
+	// so their removal journals a THandoff instead of a TDelete.
+	replicator Replicator
+	presetIDs  bool
+	handoffMu  sync.Mutex
+	handoffs   map[string]string
 
 	// Admission control (admission.go). Nil limiters admit everything; the
 	// precomputed Retry-After value rides on every shed response.
@@ -124,6 +136,29 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
+// Replicator ships one journal record to wherever the cluster keeps the
+// session's redundant copy (the follower node). It is called after the
+// local journal append succeeds and before the turn is acknowledged; an
+// error fails the request without evicting the session — the local journal
+// did capture the turn, only the follower copy is missing, and a retry
+// re-replicates (see DESIGN.md "Cluster serving" for the exact contract).
+type Replicator func(rec persist.Record) error
+
+// WithReplicator installs the cluster replication hook.
+func WithReplicator(fn Replicator) Option {
+	return func(s *Server) { s.replicator = fn }
+}
+
+// WithPresetSessionIDs lets a create request carry its session id in the
+// X-Fisql-Session-Id header — the cluster router issues ids centrally so
+// rendezvous hashing over the id can pick the owning node before the
+// session exists. Only enable this behind a trusted router: a client that
+// can choose ids can probe for collisions (a preset id that already exists
+// answers 409 instead of silently serving the existing session).
+func WithPresetSessionIDs() Option {
+	return func(s *Server) { s.presetIDs = true }
+}
+
 // WithJournal makes the server durable: every session lifecycle event
 // (create, ask, feedback, delete/evict/expire) is appended to j before the
 // response is acknowledged, and New replays j's surviving records through
@@ -180,13 +215,22 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	}
 	s.retryAfter = strconv.FormatInt(secs, 10)
 	s.store = newSessionStore(s.maxSessions, s.sessionTTL)
-	if s.journal != nil {
+	if s.journal != nil || s.replicator != nil {
 		s.store.onRemove = func(id string) {
 			if s.replaying.Load() {
 				return
 			}
-			_ = s.journal.Append(persist.Record{Type: persist.TDelete, Session: id})
+			rec := persist.Record{Type: persist.TDelete, Session: id}
+			if target, ok := s.handoffTarget(id); ok {
+				rec = persist.Record{Type: persist.THandoff, Session: id, Text: target}
+			}
+			// Best effort on both legs: a removal cannot be un-removed, and
+			// deletes/handoffs replicate asynchronously with respect to the
+			// follower's view (DESIGN.md documents the resurrection window).
+			_ = s.journalAppend(rec)
 		}
+	}
+	if s.journal != nil {
 		s.recoverJournal()
 	}
 	s.mux = http.NewServeMux()
@@ -366,14 +410,79 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// journalAppend records one lifecycle event, if a journal is configured. A
-// failed append is a broken durability promise, so callers surface it as a
-// 500 rather than acknowledging a turn the journal did not capture.
+// journalAppend records one lifecycle event, if a journal is configured,
+// then ships it to the session's follower, if a replicator is configured.
+// A failed local append is a broken durability promise, so callers surface
+// it as a 500 and evict the diverged session; a failed replication comes
+// back wrapped as a replicationError — the turn IS locally durable, so
+// callers fail the request without evicting (isReplicationError).
 func (s *Server) journalAppend(rec persist.Record) error {
-	if s.journal == nil {
-		return nil
+	if s.journal != nil {
+		if err := s.journal.Append(rec); err != nil {
+			return err
+		}
 	}
-	return s.journal.Append(rec)
+	if s.replicator != nil {
+		if err := s.replicator(rec); err != nil {
+			return &replicationError{err: err}
+		}
+	}
+	return nil
+}
+
+// replicationError marks a journalAppend failure that happened after the
+// local append succeeded: only the follower copy is missing. The turn is
+// not acknowledged (the request still fails), but the session's in-memory
+// state matches the local journal exactly, so eviction would destroy a
+// perfectly consistent session. A client retry at-least-once re-applies the
+// turn and re-replicates — see DESIGN.md "Cluster serving".
+type replicationError struct{ err error }
+
+func (e *replicationError) Error() string { return "replicate: " + e.err.Error() }
+func (e *replicationError) Unwrap() error { return e.err }
+
+func isReplicationError(err error) bool {
+	var re *replicationError
+	return errors.As(err, &re)
+}
+
+// handoffTarget reports the node a session being removed is moving to, if
+// its removal came from ReleaseSession rather than a delete/evict/expiry.
+func (s *Server) handoffTarget(id string) (string, bool) {
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
+	t, ok := s.handoffs[id]
+	return t, ok
+}
+
+// ReleaseSession removes id from this node as part of a cluster rebalance:
+// the removal is journaled as a THandoff naming the target node instead of
+// a TDelete, recording that the session moved rather than ended. Returns
+// false when the session does not exist here.
+func (s *Server) ReleaseSession(id, target string) bool {
+	s.handoffMu.Lock()
+	if s.handoffs == nil {
+		s.handoffs = make(map[string]string)
+	}
+	s.handoffs[id] = target
+	s.handoffMu.Unlock()
+	_, ok := s.store.remove(id)
+	s.handoffMu.Lock()
+	delete(s.handoffs, id)
+	s.handoffMu.Unlock()
+	return ok
+}
+
+// SessionIDs snapshots the live session ids in sorted order — the cluster
+// tier's view of what this node currently owns.
+func (s *Server) SessionIDs() []string {
+	ids := s.store.ids()
+	out := make([]string, 0, len(ids))
+	for id := range ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // dropDiverged evicts a session whose live state just diverged from the
@@ -416,8 +525,34 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown database "+req.DB)
 		return
 	}
-	n := s.nextID.Add(1)
-	id := "s" + strconv.FormatInt(n, 10)
+	var n int64
+	var id string
+	if hid := r.Header.Get("X-Fisql-Session-Id"); s.presetIDs && hid != "" {
+		if existing, ok := s.store.get(hid); ok {
+			// A retried create (the router re-forwarding after a transient
+			// failure) can race its own first attempt. 409 with the session's
+			// coordinates lets the router treat the retry as satisfied.
+			writeJSONStatus(w, http.StatusConflict, map[string]any{
+				"error": "session exists", "session_id": hid, "db": existing.db,
+			})
+			return
+		}
+		id = hid
+		if v, err := strconv.ParseInt(strings.TrimPrefix(hid, "s"), 10, 64); err == nil {
+			n = v
+			// Keep locally issued ids ahead of every preset one, so a node
+			// falling back to local issuance can never collide.
+			for {
+				cur := s.nextID.Load()
+				if cur >= v || s.nextID.CompareAndSwap(cur, v) {
+					break
+				}
+			}
+		}
+	} else {
+		n = s.nextID.Add(1)
+		id = "s" + strconv.FormatInt(n, 10)
+	}
 	// Journal before registering: the create record must precede any delete
 	// record a concurrent capacity eviction could emit for this id. The
 	// numeric id rides along so the journal's id high-watermark survives
@@ -425,6 +560,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if err := s.journalAppend(persist.Record{
 		Type: persist.TCreate, Session: id, Corpus: req.Corpus, DB: req.DB, ID: n,
 	}); err != nil {
+		if isReplicationError(err) && s.journal != nil {
+			// The create reached the local journal but not the follower. The
+			// client sees a 500 and will retry with a fresh id, so un-journal
+			// the orphan rather than replaying an unacknowledged session
+			// after a crash.
+			_ = s.journal.Append(persist.Record{Type: persist.TDelete, Session: id})
+		}
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
@@ -609,7 +751,9 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if err := s.journalAppend(persist.Record{
 		Type: persist.TAsk, Session: sess.id, Text: req.Question,
 	}); err != nil {
-		s.dropDiverged(sess)
+		if !isReplicationError(err) {
+			s.dropDiverged(sess)
+		}
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
@@ -685,7 +829,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		Type: persist.TFeedback, Session: sess.id, Text: req.Text,
 		Highlight: req.Highlight, HighlightStart: hlStart,
 	}); err != nil {
-		s.dropDiverged(sess)
+		if !isReplicationError(err) {
+			s.dropDiverged(sess)
+		}
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
@@ -799,6 +945,10 @@ func (s *Server) shed(w http.ResponseWriter) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
@@ -808,6 +958,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
 	_, _ = w.Write(buf.Bytes())
 	bufPool.Put(buf)
 }

@@ -241,7 +241,9 @@ func (s *Server) streamAsk(ctx context.Context, w http.ResponseWriter, tr *obs.T
 	if err := s.journalAppend(persist.Record{
 		Type: persist.TAsk, Session: sess.id, Text: question,
 	}); err != nil {
-		s.dropDiverged(sess)
+		if !isReplicationError(err) {
+			s.dropDiverged(sess)
+		}
 		st.fail(http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}

@@ -209,6 +209,16 @@ func (st *sessionStore) get(id string) (*session, bool) {
 	return s, true
 }
 
+// has reports whether id is live, without promoting it in the LRU order or
+// resetting its idle clock — a read-only existence probe.
+func (st *sessionStore) has(id string) bool {
+	sh := st.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
 // remove deletes id, returning the removed session.
 func (st *sessionStore) remove(id string) (*session, bool) {
 	sh := st.shardFor(id)
