@@ -142,6 +142,9 @@ func runCluster(sys *fisql.System, corpus string, dbs []string,
 			Journal: j,
 			Replica: rep,
 			Metrics: obs.NewMetrics(),
+			// A real token even in the in-process harness, so the smoke run
+			// exercises the authenticated inter-node path end to end.
+			AuthToken: "loadgen-cluster-token",
 		})
 		handlers[i].set(cn.node)
 	}
@@ -150,6 +153,7 @@ func runCluster(sys *fisql.System, corpus string, dbs []string,
 		Members:        members,
 		Metrics:        rm,
 		HealthInterval: cfg.HealthInterval,
+		AuthToken:      "loadgen-cluster-token",
 	})
 	rts := httptest.NewServer(rt)
 	defer func() {

@@ -122,11 +122,13 @@ func main() {
 		"router health-probe period (-cluster-router; <= 0 disables the background probe)")
 	clusterHealthTimeout := flag.Duration("cluster-health-timeout", cluster.DefaultHealthTimeout,
 		"router health-probe timeout (-cluster-router)")
+	clusterToken := flag.String("cluster-token", "",
+		"shared secret gating every /internal/* cluster endpoint; must match across the router and all nodes (empty leaves them open — then keep the ports off client-reachable networks)")
 	flag.Parse()
 
 	if *clusterRouter {
-		runRouter(*addr, *clusterMembers, *clusterHealthInterval, *clusterHealthTimeout,
-			*metrics, *drainTimeout)
+		runRouter(*addr, *clusterMembers, *clusterToken, *clusterHealthInterval,
+			*clusterHealthTimeout, *metrics, *drainTimeout)
 		return
 	}
 
@@ -242,6 +244,7 @@ func main() {
 			Journal:       journal,
 			Replica:       replica,
 			Metrics:       m,
+			AuthToken:     *clusterToken,
 			ServerOptions: opts,
 		})
 		handler, h = node, node.Server()
@@ -327,7 +330,7 @@ func parseMembers(s string) ([]cluster.Member, error) {
 // runRouter serves the cluster router: session-id issuance, rendezvous
 // pinning, forwarding, health probing and failover driving. It builds no
 // corpora — the nodes own those.
-func runRouter(addr, membersSpec string, healthInterval, healthTimeout time.Duration,
+func runRouter(addr, membersSpec, token string, healthInterval, healthTimeout time.Duration,
 	metricsOn bool, drainTimeout time.Duration) {
 	members, err := parseMembers(membersSpec)
 	if err != nil {
@@ -337,6 +340,7 @@ func runRouter(addr, membersSpec string, healthInterval, healthTimeout time.Dura
 		Members:        members,
 		HealthInterval: healthInterval,
 		HealthTimeout:  healthTimeout,
+		AuthToken:      token,
 	}
 	if metricsOn {
 		cfg.Metrics = obs.NewMetrics()

@@ -1,0 +1,28 @@
+package cluster
+
+import (
+	"crypto/subtle"
+	"net/http"
+)
+
+// TokenHeader carries the shared cluster secret on every call to an
+// /internal/* endpoint — inter-node replication and promotion as well as
+// the router's membership administration.
+const TokenHeader = "X-Fisql-Cluster-Token"
+
+// checkToken reports whether r may reach an /internal/* endpoint under the
+// configured shared token, answering 403 itself when not. An empty token
+// leaves the endpoints open — acceptable only when the serving ports are
+// unreachable from clients (see DESIGN.md "Cluster serving"); production
+// deployments set the same -cluster-token on the router and every node.
+func checkToken(w http.ResponseWriter, r *http.Request, token string) bool {
+	if token == "" {
+		return true
+	}
+	got := r.Header.Get(TokenHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1 {
+		return true
+	}
+	httpError(w, http.StatusForbidden, "missing or invalid "+TokenHeader)
+	return false
+}

@@ -152,6 +152,7 @@ type clusterOptions struct {
 	routerMetrics  *obs.Metrics
 	nodeMetrics    bool
 	serverOptions  []server.Option
+	token          string
 }
 
 // newTestCluster brings up n in-process nodes behind a router. The caller
@@ -195,6 +196,7 @@ func newTestCluster(t *testing.T, n int, opts clusterOptions) *testCluster {
 			Journal:       tn.journal,
 			Replica:       tn.replica,
 			Metrics:       tn.metrics,
+			AuthToken:     opts.token,
 			ServerOptions: opts.serverOptions,
 		})
 		tn.handler.set(tn.node)
@@ -204,6 +206,7 @@ func newTestCluster(t *testing.T, n int, opts clusterOptions) *testCluster {
 		Metrics:        opts.routerMetrics,
 		HealthInterval: opts.healthInterval,
 		HealthTimeout:  500 * time.Millisecond,
+		AuthToken:      opts.token,
 	})
 	tc.rts = httptest.NewServer(tc.router)
 	t.Cleanup(func() {
@@ -553,5 +556,262 @@ func TestClusterAddNode(t *testing.T) {
 		if code, out := tc.ask(t, id, askQuestion); code != http.StatusOK {
 			t.Errorf("post-join ask %s: %d %v", id, code, out)
 		}
+	}
+}
+
+// TestClusterAuthToken: with a shared token configured the cluster works
+// end to end — replication, drain and promotion all carry the header —
+// while unauthenticated or wrongly-authenticated /internal/* calls are
+// refused on the nodes and on the router's admin endpoints alike.
+func TestClusterAuthToken(t *testing.T) {
+	const token = "secret-42"
+	tc := newTestCluster(t, 3, clusterOptions{token: token})
+
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		id := tc.createSession(t)
+		ids = append(ids, id)
+		if code, _ := tc.ask(t, id, askQuestion); code != http.StatusOK {
+			t.Fatalf("ask: %d", code)
+		}
+	}
+	// Replication carried the token: every session has a replica somewhere.
+	replicas := 0
+	for _, tn := range tc.nodes {
+		replicas += len(tn.replica.LiveSessions())
+	}
+	if replicas != len(ids) {
+		t.Errorf("replicated %d sessions, want %d", replicas, len(ids))
+	}
+
+	// Probes without or with a wrong token bounce off every /internal/*
+	// surface with 403.
+	var anyNode *testNode
+	for _, tn := range tc.nodes {
+		anyNode = tn
+		break
+	}
+	for _, probe := range []struct{ url, token string }{
+		{anyNode.ts.URL + "/internal/status", ""},
+		{anyNode.ts.URL + "/internal/status", "wrong"},
+		{tc.url() + "/internal/cluster/members", ""},
+		{tc.url() + "/internal/cluster/members", "wrong"},
+	} {
+		req, _ := http.NewRequest(http.MethodGet, probe.url, nil)
+		if probe.token != "" {
+			req.Header.Set(TokenHeader, probe.token)
+		}
+		resp, err := tc.client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("GET %s (token %q): %d, want 403", probe.url, probe.token, resp.StatusCode)
+		}
+	}
+	// Forged mutations are refused too: a replica-frame injection on a node
+	// and a drain on the router.
+	frames := persist.EncodeFrames([]persist.Record{{Type: persist.TDelete, Session: ids[0]}})
+	resp, err := tc.client.Post(anyNode.ts.URL+"/internal/replicate", "application/octet-stream",
+		bytes.NewReader(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("unauthenticated replicate: %d, want 403", resp.StatusCode)
+	}
+	if code, _ := tc.postJSON("/internal/cluster/drain", map[string]string{"id": anyNode.id}); code != http.StatusForbidden {
+		t.Errorf("unauthenticated drain: %d, want 403", code)
+	}
+
+	// The authenticated admin path still works: drain one node with the
+	// token (members/rebalance/adopt pushes all authenticate node-to-node).
+	capture, err := persisttest.Capture(tc.client, tc.url(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained *testNode
+	most := -1
+	for _, tn := range tc.nodes {
+		if n := len(tn.node.Server().SessionIDs()); n > most {
+			drained, most = tn, n
+		}
+	}
+	body, _ := json.Marshal(map[string]string{"id": drained.id})
+	req, _ := http.NewRequest(http.MethodPost, tc.url()+"/internal/cluster/drain", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TokenHeader, token)
+	resp, err = tc.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated drain: %d", resp.StatusCode)
+	}
+	// And failover (members + promote pushes) authenticates as well.
+	var second *testNode
+	most = -1
+	for _, tn := range tc.nodes {
+		if tn == drained {
+			continue
+		}
+		if n := len(tn.node.Server().SessionIDs()); n > most {
+			second, most = tn, n
+		}
+	}
+	second.kill(false)
+	tc.router.MarkDead(second.id)
+	if diffs := persisttest.DiffHistories(tc.client, tc.url(), capture); diffs != nil {
+		t.Errorf("histories drifted across authenticated drain+failover:\n%v", diffs)
+	}
+}
+
+// TestDeleteReplicationRedelivery: a delete whose synchronous replication
+// to the follower fails is redelivered in the background once the follower
+// is reachable again — otherwise the follower's replica keeps the deleted
+// session alive and a later promotion resurrects it.
+func TestDeleteReplicationRedelivery(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+
+	id := tc.createSession(t)
+	if code, _ := tc.ask(t, id, askQuestion); code != http.StatusOK {
+		t.Fatalf("ask: %d", code)
+	}
+	f, ok := Follower(id, tc.router.Members())
+	if !ok {
+		t.Fatal("no follower")
+	}
+	fn := tc.nodes[f.ID]
+	if fn.replica.SessionRecords(id) == nil {
+		t.Fatal("follower holds no replica before the delete")
+	}
+
+	// Fail exactly the replication endpoint on the follower, so the owner's
+	// synchronous delete replication misses while everything else runs.
+	fn.handler.set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/internal/replicate" {
+			httpError(w, http.StatusInternalServerError, "injected replication failure")
+			return
+		}
+		fn.node.ServeHTTP(w, r)
+	}))
+	req, _ := http.NewRequest(http.MethodDelete, tc.url()+"/v1/sessions/"+id, nil)
+	resp, err := tc.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d (delete replication is best-effort and must not fail the request)", resp.StatusCode)
+	}
+	if fn.replica.SessionRecords(id) == nil {
+		t.Fatal("replica dropped the session although replication was failing — fault injection missed")
+	}
+
+	// Heal the follower: the background redelivery must land the delete.
+	fn.handler.set(fn.node)
+	deadline := time.Now().Add(10 * time.Second)
+	for fn.replica.SessionRecords(id) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("replica still holds the deleted session; the delete was never redelivered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMembersStalePushIgnored: a membership push older than the installed
+// view must neither install nor reconcile — its outdated member list would
+// prune replica sessions the current view still needs. The concurrent leg
+// hammers interleaved pushes under -race: application is serialized per
+// node, so the highest version wins and the replica survives.
+func TestMembersStalePushIgnored(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+	tn := tc.nodes["node-a"]
+
+	// A key node-a follows (or owns) under the full membership, so the full
+	// view keeps its replica and any view excluding node-a would drop it.
+	key := ""
+	for i := 0; key == ""; i++ {
+		k := fmt.Sprintf("probe%d", i)
+		for _, m := range Owners(k, tc.members, 2) {
+			if m.ID == tn.id {
+				key = k
+			}
+		}
+	}
+	if err := tn.replica.Append(persist.Record{Type: persist.TCreate, Session: key, Corpus: "aep", DB: "aep", ID: 900000}); err != nil {
+		t.Fatal(err)
+	}
+
+	pushMembers := func(version int64, members []Member) int {
+		body, _ := json.Marshal(membersMsg{Version: version, Members: members})
+		resp, err := tc.client.Post(tn.ts.URL+"/internal/members", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	withoutA := make([]Member, 0, len(tc.members)-1)
+	for _, m := range tc.members {
+		if m.ID != tn.id {
+			withoutA = append(withoutA, m)
+		}
+	}
+
+	// Sequential: install a fresh full view, then replay an older view that
+	// excludes node-a. The stale push must not reconcile.
+	if code := pushMembers(10, tc.members); code != http.StatusOK {
+		t.Fatalf("push v10: %d", code)
+	}
+	if code := pushMembers(5, withoutA); code != http.StatusOK {
+		t.Fatalf("push v5: %d", code)
+	}
+	if tn.replica.SessionRecords(key) == nil {
+		t.Fatal("stale membership push pruned a replica the installed view still needs")
+	}
+
+	// Concurrent: interleave newer full views with older excluding views.
+	// Serialized application applies them in arrival order, but any stale
+	// view is rejected before its reconcile once a newer one landed — and
+	// every applied view that includes node-a keeps the replica. End state:
+	// highest version installed, replica alive (v20, pushed first, beats
+	// every concurrent older view).
+	if code := pushMembers(20, tc.members); code != http.StatusOK {
+		t.Fatalf("push v20: %d", code)
+	}
+	var wg sync.WaitGroup
+	for v := int64(11); v < 20; v++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			pushMembers(v, withoutA)
+		}(v)
+	}
+	wg.Wait()
+	if tn.replica.SessionRecords(key) == nil {
+		t.Fatal("a racing stale push pruned a replica the newest view needs")
+	}
+	var st struct {
+		Version int64 `json:"version"`
+	}
+	resp, err := tc.client.Get(tn.ts.URL + "/internal/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Version != 20 {
+		t.Errorf("installed version %d, want 20", st.Version)
 	}
 }

@@ -336,6 +336,79 @@ func TestFailoverMidSSEStream(t *testing.T) {
 	}
 }
 
+// TestDrainThenKillNewOwner pins the drain→failover composition: the
+// drained node's handoffs must leave every moved session with a LIVE
+// replica on its new rendezvous follower — the handoff marker is local
+// bookkeeping and must never be replicated, because the replica journal
+// treats it like a delete and the post-drain follower is exactly the node
+// the new owner just full-synced. Losing the new owner right after the
+// drain (and after further acknowledged turns) must therefore still
+// recover every session byte-identically. Regression test for the
+// moved-sessions-become-single-copy bug.
+func TestDrainThenKillNewOwner(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+
+	ids := make([]string, 0, 12)
+	for i := 0; i < 12; i++ {
+		id := tc.createSession(t)
+		ids = append(ids, id)
+		if code, _ := tc.ask(t, id, askQuestion); code != http.StatusOK {
+			t.Fatalf("ask: %d", code)
+		}
+	}
+
+	drained := victimWithSessions(t, tc)
+	code, out := tc.postJSON("/internal/cluster/drain", map[string]string{"id": drained.id})
+	if code != http.StatusOK {
+		t.Fatalf("drain: %d %v", code, out)
+	}
+
+	// Every session has two copies again: its new owner's journal and a
+	// live replica on its new follower. Under the bug the replicated
+	// handoff record deleted exactly these replicas.
+	members := tc.router.Members()
+	for _, id := range ids {
+		f, ok := Follower(id, members)
+		if !ok {
+			t.Fatal("no follower among the survivors")
+		}
+		if tc.nodes[f.ID].replica.SessionRecords(id) == nil {
+			t.Errorf("session %s has no live replica on follower %s after drain", id, f.ID)
+		}
+	}
+
+	// Post-drain turns must replicate incrementally onto those replicas —
+	// under the bug they were silently dropped against the dead replica
+	// session, so the damage would only show at the next failover.
+	for _, id := range ids {
+		if code, out := tc.ask(t, id, "post-drain question"); code != http.StatusOK {
+			t.Fatalf("post-drain ask %s: %d %v", id, code, out)
+		}
+	}
+	capture, err := persisttest.Capture(tc.client, tc.url(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the busier survivor — it owns sessions the drain just moved onto
+	// it. The last node must recover all of them from its replicas.
+	second := victimWithSessions(t, tc)
+	if second.id == drained.id {
+		t.Fatal("drained node still owns sessions")
+	}
+	second.kill(false)
+	tc.router.MarkDead(second.id)
+
+	if diffs := persisttest.DiffHistories(tc.client, tc.url(), capture); diffs != nil {
+		t.Errorf("acknowledged turns lost across drain+failover:\n%s", strings.Join(diffs, "\n"))
+	}
+	for _, id := range ids {
+		if code, out := tc.ask(t, id, "post-failover question"); code != http.StatusOK {
+			t.Errorf("post-failover ask %s: %d %v", id, code, out)
+		}
+	}
+}
+
 // TestFailoverHealthLoopPromotes exercises the detection path the others
 // bypass: no explicit MarkDead — the router's background health loop must
 // notice the dead node and run the same promotion.

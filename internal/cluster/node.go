@@ -47,6 +47,12 @@ type NodeConfig struct {
 	// Client is the HTTP client for inter-node calls (replication,
 	// handoff). Nil gets a 5-second-timeout default.
 	Client *http.Client
+	// AuthToken, when non-empty, gates every /internal/* endpoint behind
+	// the TokenHeader header and rides on this node's own inter-node
+	// calls. The router and all members must share one value; without it
+	// any client that can reach a node's port can inject forged replica
+	// frames or membership views.
+	AuthToken string
 	// ServerOptions are extra options for the embedded server (admission,
 	// caps, TTLs). WithJournal, WithReplicator, WithPresetSessionIDs and
 	// WithMetrics are supplied by NewNode and must not be repeated here.
@@ -64,6 +70,15 @@ type Node struct {
 	replica *persist.Journal
 	client  *http.Client
 	mux     *http.ServeMux
+	token   string
+
+	// applyMu serializes membership application (install + reconcile +
+	// resync) in handleMembers. The version check alone is not enough: it
+	// runs before the reconcile phase, so a stale push could pass it, lose
+	// the race to a newer push, and then reconcile the replica journal
+	// against the outdated view — deleting replica sessions the newer view
+	// still needs.
+	applyMu sync.Mutex
 
 	mu      sync.Mutex
 	members []Member
@@ -80,6 +95,7 @@ type Node struct {
 	replErrs       *obs.Counter
 	adoptedTotal   *obs.Counter
 	handoffsOut    *obs.Counter
+	redeliveries   *obs.Counter
 }
 
 // NewNode builds the node. The embedded server performs journal recovery
@@ -90,6 +106,7 @@ func NewNode(cfg NodeConfig) *Node {
 		journal:      cfg.Journal,
 		replica:      cfg.Replica,
 		client:       cfg.Client,
+		token:        cfg.AuthToken,
 		members:      append([]Member(nil), cfg.Members...),
 		lastFollower: map[string]string{},
 	}
@@ -109,6 +126,7 @@ func NewNode(cfg NodeConfig) *Node {
 		n.replErrs = r.Counter("fisql_cluster_replication_errors_total")
 		n.adoptedTotal = r.Counter("fisql_cluster_adopted_sessions_total")
 		n.handoffsOut = r.Counter("fisql_cluster_handoffs_out_total")
+		n.redeliveries = r.Counter("fisql_cluster_delete_redeliveries_total")
 		rep := cfg.Replica
 		r.GaugeFunc("fisql_cluster_replica_sessions", func() int64 { return rep.Stats().LiveSessions })
 	}
@@ -131,6 +149,9 @@ func (n *Node) Server() *server.Server { return n.srv }
 // to the embedded server.
 func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(r.URL.Path, "/internal/") {
+		if !checkToken(w, r, n.token) {
+			return
+		}
 		n.mux.ServeHTTP(w, r)
 		return
 	}
@@ -156,6 +177,22 @@ func (n *Node) stripe(id string) *sync.Mutex {
 // previous send failed (the replica journal's re-create handling makes the
 // full set a clean replacement, not a duplication).
 func (n *Node) replicate(rec persist.Record) error {
+	if rec.Type == persist.THandoff {
+		// A handoff record is local bookkeeping: it ends the session's
+		// residence in THIS journal while the new owner full-syncs the same
+		// session to its own follower — and under the post-move membership
+		// that follower is often the very node a shipped handoff frame
+		// would reach. The replica journal treats a handoff like a delete,
+		// so shipping it would destroy the replica the new owner just
+		// established and silently orphan every later incremental frame,
+		// leaving the moved session permanently single-copy. The old
+		// follower's now-stale replica (if any) is dropped by
+		// reconcileReplica on the membership push instead.
+		n.mu.Lock()
+		delete(n.lastFollower, rec.Session)
+		n.mu.Unlock()
+		return nil
+	}
 	members := n.membersSnapshot()
 	f, ok := Follower(rec.Session, members)
 	if !ok || f.ID == n.id {
@@ -171,8 +208,8 @@ func (n *Node) replicate(rec persist.Record) error {
 	recs := []persist.Record{rec}
 	if last != f.ID {
 		// The just-appended record is already in the journal's retained set,
-		// so the full set includes it. A delete/handoff of the session drops
-		// the set to nil — ship the terminal record alone.
+		// so the full set includes it. A delete of the session drops the set
+		// to nil — ship the terminal record alone.
 		if full := n.journal.SessionRecords(rec.Session); full != nil {
 			recs = full
 		}
@@ -182,11 +219,19 @@ func (n *Node) replicate(rec persist.Record) error {
 		n.mu.Lock()
 		delete(n.lastFollower, rec.Session)
 		n.mu.Unlock()
+		if rec.Type == persist.TDelete {
+			// The removal is already final here, but the follower missed it:
+			// if this node died now, promotion would resurrect the session
+			// from the stale replica (consuming a store slot too). Deletes
+			// are acknowledged best-effort — a removal cannot be un-removed —
+			// so keep pushing in the background until the follower confirms.
+			go n.redeliverDelete(rec)
+		}
 		return err
 	}
 	n.replicatedRecs.Add(int64(len(recs)))
 	n.mu.Lock()
-	if rec.Type == persist.TDelete || rec.Type == persist.THandoff {
+	if rec.Type == persist.TDelete {
 		delete(n.lastFollower, rec.Session)
 	} else {
 		n.lastFollower[rec.Session] = f.ID
@@ -195,8 +240,47 @@ func (n *Node) replicate(rec persist.Record) error {
 	return nil
 }
 
+// redeliverDelete retries a session's delete record against its current
+// follower after the synchronous send failed, shrinking the resurrection
+// window the best-effort delete replication leaves open. Session ids are
+// never reused, so a late delivery can never clash with a new session of
+// the same name; a delete landing on a follower that holds no replica is a
+// harmless no-op. Each attempt re-resolves the follower from the
+// then-current membership; attempts are bounded — past them, the stale
+// replica is dropped at the latest by reconcileReplica on the next
+// membership change involving the session.
+func (n *Node) redeliverDelete(rec persist.Record) {
+	frames := persist.EncodeFrames([]persist.Record{rec})
+	delay := 25 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		time.Sleep(delay)
+		delay *= 2
+		f, ok := Follower(rec.Session, n.membersSnapshot())
+		if !ok || f.ID == n.id {
+			return // no follower to convince anymore
+		}
+		mu := n.stripe(rec.Session)
+		mu.Lock()
+		err := n.postFrames(f, "/internal/replicate", frames)
+		mu.Unlock()
+		if err == nil {
+			n.redeliveries.Inc()
+			return
+		}
+		n.replErrs.Inc()
+	}
+}
+
 func (n *Node) postFrames(m Member, path string, frames []byte) error {
-	resp, err := n.client.Post(m.Addr+path, "application/octet-stream", bytes.NewReader(frames))
+	req, err := http.NewRequest(http.MethodPost, m.Addr+path, bytes.NewReader(frames))
+	if err != nil {
+		return fmt.Errorf("post %s to %s: %w", path, m.ID, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if n.token != "" {
+		req.Header.Set(TokenHeader, n.token)
+	}
+	resp, err := n.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("post %s to %s: %w", path, m.ID, err)
 	}
@@ -223,13 +307,21 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode frames: "+err.Error())
 		return
 	}
+	appended := 0
 	for _, rec := range recs {
+		if rec.Type == persist.THandoff {
+			// Defense in depth: no current owner ships handoff markers (they
+			// are local bookkeeping — see replicate), and applying one here
+			// would delete a replica whose new owner believes it is in sync.
+			continue
+		}
 		if err := n.replica.Append(rec); err != nil {
 			httpError(w, http.StatusInternalServerError, "replica append: "+err.Error())
 			return
 		}
+		appended++
 	}
-	writeJSON(w, map[string]any{"appended": len(recs)})
+	writeJSON(w, map[string]any{"appended": appended})
 }
 
 type membersMsg struct {
@@ -248,6 +340,11 @@ func (n *Node) handleMembers(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
 		return
 	}
+	// Serialize install + reconcile (see applyMu): without this a stale
+	// push that passed the version check could reconcile after a newer push
+	// installed, pruning replicas against the outdated view.
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	n.mu.Lock()
 	if msg.Version < n.version {
 		// An out-of-order push from an older view; the newer one already
@@ -375,6 +472,13 @@ func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := n.srv.AdoptSessions(recs)
+	for _, id := range res.Adopted {
+		// If this node followed the session before becoming its owner, that
+		// replica copy is now redundant: the live copy sits in the own
+		// journal and replicates onward to the session's new follower.
+		// Without this, a later promotion would see the stale replica.
+		_ = n.replica.Append(persist.Record{Type: persist.TDelete, Session: id})
+	}
 	n.adoptedTotal.Add(int64(len(res.Adopted)))
 	writeJSON(w, promoteResp{Adopted: res.Adopted, Watermark: n.journal.Watermark()})
 }

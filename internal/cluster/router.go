@@ -39,6 +39,12 @@ type RouterConfig struct {
 	HealthInterval time.Duration
 	// HealthTimeout bounds one health probe (default DefaultHealthTimeout).
 	HealthTimeout time.Duration
+	// AuthToken, when non-empty, gates the router's own /internal/cluster/*
+	// administration endpoints behind the TokenHeader header and rides on
+	// every control-plane call to the nodes. Must match the nodes'
+	// NodeConfig.AuthToken; without it any client that can reach the router
+	// can remove or add members.
+	AuthToken string
 }
 
 // Router is the cluster's client-facing tier. It issues session ids from a
@@ -58,6 +64,7 @@ type Router struct {
 	health  *http.Client
 	metrics *obs.Metrics
 	mux     *http.ServeMux
+	token   string
 	nextID  atomic.Int64
 
 	// mu gates forwards against membership changes: forwards take the read
@@ -86,6 +93,7 @@ func NewRouter(cfg RouterConfig) *Router {
 	rt := &Router{
 		client:  cfg.Client,
 		metrics: cfg.Metrics,
+		token:   cfg.AuthToken,
 		members: append([]Member(nil), cfg.Members...),
 		version: 1,
 		stop:    make(chan struct{}),
@@ -246,7 +254,15 @@ func (rt *Router) postJSON(m Member, path string, v, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := rt.ctrl.Post(m.Addr+path, "application/json", bytes.NewReader(b))
+	req, err := http.NewRequest(http.MethodPost, m.Addr+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rt.token != "" {
+		req.Header.Set(TokenHeader, rt.token)
+	}
+	resp, err := rt.ctrl.Do(req)
 	if err != nil {
 		return err
 	}
@@ -263,7 +279,14 @@ func (rt *Router) postJSON(m Member, path string, v, out any) error {
 }
 
 func (rt *Router) getJSON(m Member, path string, out any) error {
-	resp, err := rt.ctrl.Get(m.Addr + path)
+	req, err := http.NewRequest(http.MethodGet, m.Addr+path, nil)
+	if err != nil {
+		return err
+	}
+	if rt.token != "" {
+		req.Header.Set(TokenHeader, rt.token)
+	}
+	resp, err := rt.ctrl.Do(req)
 	if err != nil {
 		return err
 	}
@@ -451,6 +474,9 @@ type drainMsg struct {
 }
 
 func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if !checkToken(w, r, rt.token) {
+		return
+	}
 	var msg drainMsg
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
 		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
@@ -511,6 +537,9 @@ type addMsg struct {
 }
 
 func (rt *Router) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if !checkToken(w, r, rt.token) {
+		return
+	}
 	var msg addMsg
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
 		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
@@ -564,6 +593,9 @@ func (rt *Router) Members() []Member {
 }
 
 func (rt *Router) handleMembers(w http.ResponseWriter, r *http.Request) {
+	if !checkToken(w, r, rt.token) {
+		return
+	}
 	rt.mu.RLock()
 	msg := membersMsg{Version: rt.version, Members: append([]Member(nil), rt.members...)}
 	rt.mu.RUnlock()

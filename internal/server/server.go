@@ -226,7 +226,9 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 			}
 			// Best effort on both legs: a removal cannot be un-removed, and
 			// deletes/handoffs replicate asynchronously with respect to the
-			// follower's view (DESIGN.md documents the resurrection window).
+			// follower's view. The cluster replicator redelivers a missed
+			// delete in the background, which narrows — but does not close —
+			// the resurrection window DESIGN.md documents.
 			_ = s.journalAppend(rec)
 		}
 	}
