@@ -36,10 +36,25 @@
 // with clean 429 + Retry-After responses, and that a kill-and-restart
 // recovery after the overload loses no acknowledged turn.
 //
+// With -fanout the generator runs the session-event fanout scenario (see
+// fanout.go): -fanout-subscribers concurrent /v1/sessions/{id}/events
+// subscribers — one of which disconnects mid-run and resumes with
+// Last-Event-ID, plus one stalled reader that never drains its
+// connection — watch a session being driven through -fanout-asks turns,
+// and the run fails unless every subscriber saw the same gap-free,
+// duplicate-free, byte-identical event sequence, the stalled reader did
+// not degrade ask p99 versus a no-subscriber baseline, and the pubsub
+// metrics account for every published event. With -fanout-cluster the
+// same contract is asserted across a mid-run owner kill in an in-process
+// cluster: subscribers reconnect through the router and the promoted
+// follower must continue the exact sequence.
+//
 //	fisql-loadgen -corpus aep -sessions 32 -duration 5s
 //	fisql-loadgen -addr 127.0.0.1:8321 -corpus spider -mix 6:2:2 -json out.json
 //	fisql-loadgen -corpus aep -restart -restart-sessions 1000
 //	fisql-loadgen -corpus aep -overload -overload-duration 1s
+//	fisql-loadgen -corpus aep -fanout -fanout-subscribers 4
+//	fisql-loadgen -corpus aep -fanout -fanout-cluster
 package main
 
 import (
@@ -175,6 +190,18 @@ func main() {
 		"kill the busiest node after this fraction of -duration (0 < f < 1)")
 	clusterHealthInterval := flag.Duration("cluster-health-interval", 25*time.Millisecond,
 		"router health-probe period in the cluster scenario")
+	fanoutOn := flag.Bool("fanout", false,
+		"run the session-event fanout scenario instead of a timed load run")
+	fanoutSubscribers := flag.Int("fanout-subscribers", 4,
+		"concurrent /events subscribers in the fanout scenario (one reconnects mid-run)")
+	fanoutAsks := flag.Int("fanout-asks", 6,
+		"turns driven through the observed session in the fanout scenario")
+	fanoutCluster := flag.Bool("fanout-cluster", false,
+		"run the fanout scenario against an in-process cluster with a mid-run owner kill")
+	fanoutP99Factor := flag.Float64("fanout-p99-factor", 4.0,
+		"fail if ask p99 with subscribers attached exceeds this multiple of the baseline (plus slack)")
+	fanoutP99Slack := flag.Duration("fanout-p99-slack", 50*time.Millisecond,
+		"absolute allowance added to the fanout p99 bound, for timer noise")
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -223,6 +250,19 @@ func main() {
 			Sessions:       *sessions,
 			Duration:       *duration,
 			Seed:           *seed,
+		}))
+	}
+	if *fanoutOn {
+		if *addr != "" {
+			log.Fatal("-fanout drives an in-process server; it cannot be combined with -addr")
+		}
+		os.Exit(runFanout(sys, *corpus, dbs, questionsByDB, fanoutConfig{
+			Subscribers: *fanoutSubscribers,
+			Asks:        *fanoutAsks,
+			Cluster:     *fanoutCluster,
+			Nodes:       *clusterNodes,
+			P99Factor:   *fanoutP99Factor,
+			P99Slack:    *fanoutP99Slack,
 		}))
 	}
 	if *overload {

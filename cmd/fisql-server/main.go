@@ -6,6 +6,7 @@
 //	POST   /v1/sessions/{id}/ask        {"question":"..."}             -> answer
 //	POST   /v1/sessions/{id}/feedback   {"text":"...","highlight":"…"} -> answer
 //	GET    /v1/sessions/{id}/history
+//	GET    /v1/sessions/{id}/events     (SSE; resume with Last-Event-ID)
 //	DELETE /v1/sessions/{id}
 //	GET    /v1/databases?corpus=aep
 //	GET    /v1/healthz
@@ -40,6 +41,13 @@
 // (-retry-after) instead of degrading everyone's latency. Streaming
 // clients send "Accept: text/event-stream" on ask and receive the answer
 // stage by stage (see DESIGN.md, "Async serving").
+//
+// Every session also has a shared event stream: GET
+// /v1/sessions/{id}/events fans out each acknowledged lifecycle event
+// (open, sql, explanation, result, done, feedback, delete) to any number
+// of concurrent SSE subscribers, each event carrying a monotonic id: for
+// Last-Event-ID resume. -pubsub-ring sizes the per-session replay ring
+// (see DESIGN.md, "Session-event fanout").
 package main
 
 import (
@@ -106,6 +114,8 @@ func main() {
 		"shed a queued request after waiting this long for a slot")
 	retryAfter := flag.Duration("retry-after", server.DefaultRetryAfter,
 		"Retry-After hint on load-shedding 429 responses (rounded up to whole seconds)")
+	pubsubRing := flag.Int("pubsub-ring", 0,
+		"per-session event-fanout ring capacity in events; a /v1/sessions/{id}/events subscriber can resume via Last-Event-ID from at most this far back before the gap is reported as dropped (0 for the default, 256)")
 	ragIndex := flag.String("rag-index", "exact",
 		"demonstration retrieval index: exact (linear scan) or hnsw (sublinear graph + exact rerank)")
 	ragFold := flag.Bool("rag-fold", false,
@@ -158,6 +168,9 @@ func main() {
 		server.WithMaxSessions(*maxSessions),
 		server.WithSessionTTL(*sessionTTL),
 		server.WithMaxBodyBytes(*maxBody),
+	}
+	if *pubsubRing > 0 {
+		opts = append(opts, server.WithPubSubRing(*pubsubRing))
 	}
 	var m *obs.Metrics
 	if *metrics {

@@ -1,0 +1,275 @@
+// Fanout through the cluster: GET /v1/sessions/{id}/events is pinned to
+// the session's owner like every other per-session route, and the event
+// sequence survives owner failover. The contract under test, shared with
+// DESIGN.md "Session-event fanout": sequence numbers are a pure function
+// of the session's acknowledged history, so a promoted follower re-seeds
+// the exact sequence the dead owner had published — a subscriber that
+// reconnects with Last-Event-ID sees no regressed, missing or duplicated
+// sequence number across the failover.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+type fanoutFrame struct {
+	id   string
+	name string
+	data string
+}
+
+// readFanoutFrame parses one SSE frame (optional id line, event line, data
+// line, blank terminator) from a live stream.
+func readFanoutFrame(r *bufio.Reader) (fanoutFrame, error) {
+	var f fanoutFrame
+	started := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimSuffix(line, "\n")
+		if line == "" {
+			if started {
+				return f, nil
+			}
+			continue
+		}
+		started = true
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			f.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			f.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			f.data = strings.TrimPrefix(line, "data: ")
+		default:
+			return f, fmt.Errorf("unexpected SSE line %q", line)
+		}
+	}
+}
+
+// subscribeEvents opens the fanout stream through the router. from > 0
+// resumes via Last-Event-ID.
+func subscribeEvents(tc *testCluster, id string, from uint64) (*http.Response, *bufio.Reader, error) {
+	req, err := http.NewRequest(http.MethodGet, tc.url()+"/v1/sessions/"+id+"/events", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if from > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(from, 10))
+	}
+	resp, err := tc.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("subscribe: status %d body %s", resp.StatusCode, body)
+	}
+	return resp, bufio.NewReader(resp.Body), nil
+}
+
+// subscribeEventsRetry keeps dialing until the cluster answers the
+// subscription — reconnection during a promotion window can see transport
+// errors, 404 (session not yet adopted) or 502 (no owner resolvable).
+func subscribeEventsRetry(t *testing.T, tc *testCluster, id string, from uint64) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, br, err := subscribeEvents(tc, id, from)
+		if err == nil {
+			return resp, br
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not resubscribe to %s: %v", id, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func readFrames(t *testing.T, r *bufio.Reader, n int) []fanoutFrame {
+	t.Helper()
+	out := make([]fanoutFrame, 0, n)
+	for len(out) < n {
+		f, err := readFanoutFrame(r)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", len(out), err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// drainFrames reads complete frames until the stream errors or ends,
+// swallowing the error — used on a connection the test is about to tear.
+func drainFrames(r *bufio.Reader) []fanoutFrame {
+	var out []fanoutFrame
+	for {
+		f, err := readFanoutFrame(r)
+		if err != nil {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+// checkFanoutSeq requires contiguous sequence ids first, first+1, ...
+func checkFanoutSeq(t *testing.T, frames []fanoutFrame, first uint64, context string) {
+	t.Helper()
+	for i, f := range frames {
+		want := strconv.FormatUint(first+uint64(i), 10)
+		if f.id != want {
+			t.Fatalf("%s: frame %d (%s) has id %q, want %q", context, i, f.name, f.id, want)
+		}
+	}
+}
+
+// askRaw posts a plain ask through the router and returns the raw body.
+func (tc *testCluster) askRaw(t *testing.T, id, question string) []byte {
+	t.Helper()
+	buf, _ := json.Marshal(map[string]string{"question": question})
+	resp, err := tc.client.Post(tc.url()+"/v1/sessions/"+id+"/ask", "application/json",
+		bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask %s: %d %s", id, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+func (tc *testCluster) deleteSession(t *testing.T, id string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, tc.url()+"/v1/sessions/"+id, nil)
+	resp, err := tc.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete %s: %d", id, resp.StatusCode)
+	}
+}
+
+// TestClusterFanoutRoutesToOwner: the router pins /events to the session's
+// rendezvous owner; a subscription through the router replays the
+// acknowledged history with contiguous sequence ids, the done payload is
+// byte-identical to the plain answer body, and the stream terminates on
+// delete.
+func TestClusterFanoutRoutesToOwner(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+	id := tc.createSession(t)
+	plain := tc.askRaw(t, id, askQuestion)
+
+	resp, br, err := subscribeEvents(tc, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := readFrames(t, br, 5)
+	checkFanoutSeq(t, frames, 1, "replayed history")
+	want := []string{"open", "sql", "explanation", "result", "done"}
+	for i, w := range want {
+		if frames[i].name != w {
+			t.Fatalf("frame %d is %q, want %q", i, frames[i].name, w)
+		}
+	}
+	if got := frames[4].data + "\n"; got != string(plain) {
+		t.Errorf("done payload differs from plain body\nfanout: %s\nplain:  %s",
+			frames[4].data, plain)
+	}
+
+	tc.deleteSession(t, id)
+	tail := drainFrames(br)
+	if len(tail) != 1 || tail[0].name != "delete" || tail[0].id != "6" {
+		t.Fatalf("post-delete tail %+v, want one delete frame with id 6", tail)
+	}
+
+	// Only the owner serves the session; a non-owner answers 404 directly.
+	id2 := tc.createSession(t)
+	owner := tc.ownerOf(id2)
+	for _, tn := range tc.nodes {
+		if tn == owner {
+			continue
+		}
+		r2, err := tc.client.Get(tn.ts.URL + "/v1/sessions/" + id2 + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusNotFound {
+			t.Errorf("non-owner %s serves /events for %s: %d", tn.id, id2, r2.StatusCode)
+		}
+	}
+}
+
+// TestClusterFanoutSubscriberSurvivesFailover is the acceptance scenario:
+// a subscriber is mid-stream when the owner dies; it reconnects through
+// the router with Last-Event-ID and the promoted follower — whose topic
+// was re-seeded by deterministic replay of the replicated journal —
+// continues the sequence with no regress, no gap and no duplicate.
+func TestClusterFanoutSubscriberSurvivesFailover(t *testing.T) {
+	tc := newTestCluster(t, 3, clusterOptions{})
+	id := tc.createSession(t)
+	tc.askRaw(t, id, askQuestion)
+
+	resp, br, err := subscribeEvents(tc, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := readFrames(t, br, 5) // open + the acknowledged first turn
+	checkFanoutSeq(t, pre, 1, "pre-failover")
+
+	victim := tc.ownerOf(id)
+	victim.kill(false)
+	// The open stream is torn by the kill; keep any complete frames that
+	// made it through (none are expected — no turn is in flight).
+	pre = append(pre, drainFrames(br)...)
+	resp.Body.Close()
+	tc.router.MarkDead(victim.id)
+
+	last, err := strconv.ParseUint(pre[len(pre)-1].id, 10, 64)
+	if err != nil {
+		t.Fatalf("last frame id %q: %v", pre[len(pre)-1].id, err)
+	}
+	resp2, br2 := subscribeEventsRetry(t, tc, id, last)
+	defer resp2.Body.Close()
+
+	if owner := tc.ownerOf(id); owner.id == victim.id {
+		t.Fatal("dead node still resolves as owner")
+	}
+	post := tc.askRaw(t, id, "post-failover question")
+	turn := readFrames(t, br2, 4) // sql, explanation, result, done
+	tc.deleteSession(t, id)
+	tail := drainFrames(br2)
+
+	stitched := append(append(pre, turn...), tail...)
+	checkFanoutSeq(t, stitched, 1, "stitched stream")
+	for i, f := range stitched {
+		if f.name == "dropped" {
+			t.Fatalf("frame %d is a dropped marker; failover must not lose events", i)
+		}
+	}
+	if turn[3].name != "done" || turn[3].data+"\n" != string(post) {
+		t.Errorf("post-failover done payload mismatch: %+v", turn[3])
+	}
+	if len(tail) != 1 || tail[0].name != "delete" {
+		t.Fatalf("stream did not end with a single delete frame: %+v", tail)
+	}
+}

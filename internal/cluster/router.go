@@ -129,6 +129,7 @@ func NewRouter(cfg RouterConfig) *Router {
 	rt.mux.HandleFunc("POST /v1/sessions/{id}/ask", rt.handleForwardByID)
 	rt.mux.HandleFunc("POST /v1/sessions/{id}/feedback", rt.handleForwardByID)
 	rt.mux.HandleFunc("GET /v1/sessions/{id}/history", rt.handleForwardByID)
+	rt.mux.HandleFunc("GET /v1/sessions/{id}/events", rt.handleForwardByID)
 	rt.mux.HandleFunc("POST /internal/cluster/drain", rt.handleDrain)
 	rt.mux.HandleFunc("POST /internal/cluster/add", rt.handleAdd)
 	rt.mux.HandleFunc("GET /internal/cluster/members", rt.handleMembers)
@@ -449,6 +450,12 @@ func (rt *Router) copyResponse(w http.ResponseWriter, resp *http.Response) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		// Push the status and headers out immediately: a freshly resumed
+		// /events subscription may have no pending events, and a subscriber
+		// must not wait for the first event to learn it is connected.
+		fl.Flush()
+	}
 	buf := make([]byte, 32<<10)
 	for {
 		n, err := resp.Body.Read(buf)

@@ -125,6 +125,13 @@ func groupRecords(recs []persist.Record) (groups [][]persist.Record, dropped int
 // store. ok is false when the corpus or database no longer exists; skipped
 // counts turns that errored or records replay does not apply (delete and
 // handoff markers, which a live group never contains).
+//
+// Replay publishes each rebuilt turn to the session's fanout topic exactly
+// as the live handlers did: the hub only ever sees acknowledged (journaled)
+// turns, and replay is deterministic, so a rebuilt topic re-seeds the same
+// sequence numbers with byte-identical payloads — a subscriber resuming
+// via Last-Event-ID against a restarted or promoted owner continues the
+// sequence it was reading, with no regress and no duplicate turn.
 func (s *Server) replayGroup(ctx context.Context, group []persist.Record) (sess *session, skipped int, ok bool) {
 	create := group[0]
 	sys, found := s.systems[create.Corpus]
@@ -132,11 +139,18 @@ func (s *Server) replayGroup(ctx context.Context, group []persist.Record) (sess 
 		return nil, len(group), false
 	}
 	sess = &session{sess: sys.NewSession(create.DB), db: create.DB}
+	s.hub.Open(create.Session)
+	s.hub.Publish(create.Session, openPayload(create.Session, create.Corpus, create.DB))
 	for _, rec := range group[1:] {
 		switch rec.Type {
 		case persist.TAsk:
-			if _, err := sess.sess.Ask(ctx, rec.Text); err != nil {
+			ans, err := sess.sess.Ask(ctx, rec.Text)
+			if err != nil {
 				skipped++
+				continue
+			}
+			if body, rerr := s.renderAnswer(nil, ans); rerr == nil {
+				s.publishAnswer(create.Session, nil, ans, body)
 			}
 		case persist.TFeedback:
 			var hl *feedback.Highlight
@@ -147,8 +161,14 @@ func (s *Server) replayGroup(ctx context.Context, group []persist.Record) (sess 
 					Text:  rec.Highlight,
 				}
 			}
-			if _, err := sess.sess.Feedback(ctx, rec.Text, hl); err != nil {
+			ans, err := sess.sess.Feedback(ctx, rec.Text, hl)
+			if err != nil {
 				skipped++
+				continue
+			}
+			if body, rerr := s.renderAnswer(nil, ans); rerr == nil {
+				fb := feedbackPayload(rec.Text, rec.Highlight, rec.HighlightStart)
+				s.publishAnswer(create.Session, &fb, ans, body)
 			}
 		default:
 			skipped++
@@ -214,6 +234,9 @@ func (s *Server) AdoptSessions(recs []persist.Record) AdoptResult {
 			}
 		}
 		if !adopted {
+			// The replay already opened and seeded the fanout topic; tear it
+			// down with the abandoned session.
+			s.hub.CloseTopic(id)
 			continue
 		}
 		s.store.put(id, sess)

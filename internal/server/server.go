@@ -34,6 +34,7 @@ import (
 	"fisql/internal/feedback"
 	"fisql/internal/obs"
 	"fisql/internal/persist"
+	"fisql/internal/pubsub"
 	"fisql/internal/sqlast"
 )
 
@@ -67,6 +68,13 @@ type Server struct {
 
 	nextID atomic.Int64
 	store  *sessionStore
+
+	// Session-event fanout (events.go). Every session has a hub topic; the
+	// server publishes exactly the lifecycle events it journals, and
+	// GET /v1/sessions/{id}/events subscribers follow them with resumable
+	// sequence numbers.
+	hub        *pubsub.Hub
+	pubsubRing int
 
 	// Cluster hooks. replicator, when set, ships every journaled record to
 	// the session's follower before the turn is acknowledged. presetIDs lets
@@ -106,6 +114,7 @@ type Server struct {
 	renderMisses *obs.Counter
 	gone410      *obs.Counter
 	sseStreams   *obs.Counter
+	sseNoFlush   *obs.Counter
 }
 
 // Option configures a Server.
@@ -134,6 +143,14 @@ func WithMaxBodyBytes(n int64) Option {
 			s.maxBodyBytes = n
 		}
 	}
+}
+
+// WithPubSubRing sets the per-session fanout ring capacity in events
+// (pubsub.DefaultRingSize when n <= 0): how far back a reconnecting
+// /events subscriber can resume via Last-Event-ID before the gap is
+// reported as dropped.
+func WithPubSubRing(n int) Option {
+	return func(s *Server) { s.pubsubRing = n }
 }
 
 // Replicator ships one journal record to wherever the cluster keeps the
@@ -214,23 +231,36 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 		secs = 1
 	}
 	s.retryAfter = strconv.FormatInt(secs, 10)
+	s.hub = pubsub.NewHub(s.pubsubRing)
 	s.store = newSessionStore(s.maxSessions, s.sessionTTL)
-	if s.journal != nil || s.replicator != nil {
-		s.store.onRemove = func(id string) {
-			if s.replaying.Load() {
-				return
-			}
-			rec := persist.Record{Type: persist.TDelete, Session: id}
-			if target, ok := s.handoffTarget(id); ok {
-				rec = persist.Record{Type: persist.THandoff, Session: id, Text: target}
-			}
-			// Best effort on both legs: a removal cannot be un-removed, and
-			// deletes/handoffs replicate asynchronously with respect to the
-			// follower's view. The cluster replicator redelivers a missed
-			// delete in the background, which narrows — but does not close —
-			// the resurrection window DESIGN.md documents.
-			_ = s.journalAppend(rec)
+	s.store.onRemove = func(id string) {
+		target, handoff := s.handoffTarget(id)
+		if handoff {
+			// The session moved to another node; it did not end. Close the
+			// topic without a delete event so a subscriber's stream just
+			// ends — it reconnects through the router and resumes on the new
+			// owner, whose adoption replay rebuilt the same sequence numbers.
+			s.hub.CloseTopic(id)
+		} else {
+			// Delete/evict/expire: announce the end, then close. The batch
+			// ordering matters only to subscribers still attached; a closed
+			// topic makes any in-flight turn's publish a no-op.
+			s.hub.Publish(id, deletePayload(id))
+			s.hub.CloseTopic(id)
 		}
+		if s.replaying.Load() || (s.journal == nil && s.replicator == nil) {
+			return
+		}
+		rec := persist.Record{Type: persist.TDelete, Session: id}
+		if handoff {
+			rec = persist.Record{Type: persist.THandoff, Session: id, Text: target}
+		}
+		// Best effort on both legs: a removal cannot be un-removed, and
+		// deletes/handoffs replicate asynchronously with respect to the
+		// follower's view. The cluster replicator redelivers a missed
+		// delete in the background, which narrows — but does not close —
+		// the resurrection window DESIGN.md documents.
+		_ = s.journalAppend(rec)
 	}
 	if s.journal != nil {
 		s.recoverJournal()
@@ -243,6 +273,7 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/ask", s.handleAsk)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	if s.metrics != nil {
 		r := s.metrics.Registry
 		s.httpReqs = r.Counter("fisql_http_requests_total")
@@ -252,6 +283,17 @@ func New(systems map[string]SessionFactory, opts ...Option) *Server {
 		s.renderMisses = r.Counter("fisql_render_cache_misses_total")
 		s.gone410 = r.Counter("fisql_sessions_gone_total")
 		s.sseStreams = r.Counter("fisql_sse_streams_total")
+		s.sseNoFlush = r.Counter("fisql_sse_noflush_total")
+		hub := s.hub
+		r.CounterFunc("fisql_pubsub_published_total", func() int64 { return hub.Stats().Published })
+		r.CounterFunc("fisql_pubsub_dropped_total", func() int64 { return hub.Stats().Dropped })
+		r.CounterFunc("fisql_pubsub_replays_total", func() int64 { return hub.Stats().Replays })
+		r.GaugeFunc("fisql_pubsub_subscribers", func() int64 { return hub.Stats().Subscribers })
+		// The lag histogram's axis carries event counts, not seconds: each
+		// delivery observes how many newer events the subscriber still had
+		// buffered.
+		lagHist := r.Histogram("fisql_pubsub_subscriber_lag_events", subscriberLagBounds)
+		hub.SetLagObserver(func(lag int64) { lagHist.Observe(time.Duration(lag) * time.Second) })
 		s.askLimit.observe(r, "fisql_admission_ask")
 		s.fbLimit.observe(r, "fisql_admission_feedback")
 		st := s.store
@@ -300,8 +342,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.httpLatency.Observe(time.Since(t0))
 }
 
-// statusWriter captures the response code for the error counter, forwards
-// Flush for the SSE path, and converts the only non-JSON error responses
+// statusWriter captures the response code for the error counter, exposes
+// the wrapped writer via Unwrap so the SSE path can discover the real
+// Flusher (flusherOf), and converts the only non-JSON error responses
 // the server can emit — ServeMux's own text/plain 404 ("404 page not
 // found") and 405 ("405 method not allowed") — to the {"error": ...} body
 // every handler-written error already uses. The mux responses are
@@ -336,13 +379,13 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// Flush lets SSE responses stream through the wrapper; a non-flushing
-// underlying writer makes it a no-op.
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
+// Unwrap exposes the wrapped writer so flusherOf can find the real
+// http.Flusher behind the wrapper (the http.ResponseController convention).
+// statusWriter deliberately does NOT implement Flush itself: an
+// unconditional no-op Flush would make every wrapped connection claim to
+// stream, hiding a non-flushing transport from the SSE path — which must
+// detect it and fall back to a plain response instead of fake-streaming.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // ----------------------------------------------------------------------------
 
@@ -572,6 +615,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
+	// Open the fanout topic before the session becomes visible: a subscriber
+	// that sees the session in the store must find its topic.
+	s.hub.Open(id)
+	s.hub.Publish(id, openPayload(id, req.Corpus, req.DB))
 	s.store.put(id, &session{sess: sys.NewSession(req.DB), db: req.DB})
 	writeJSON(w, map[string]any{"session_id": id, "db": req.DB})
 }
@@ -739,8 +786,15 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := s.traced(r)
 	defer tr.Finish()
 	if wantsSSE(r) {
-		s.streamAsk(ctx, w, tr, sess, req.Question)
-		return
+		if fl := flusherOf(w); fl != nil {
+			s.streamAsk(ctx, w, fl, tr, sess, req.Question)
+			return
+		}
+		// The client opted into streaming over a connection that cannot
+		// stream: without a Flusher every event would buffer and arrive as
+		// one burst at handler return — a fake stream that breaks live
+		// following. Serve the plain JSON body instead, and count it.
+		s.sseNoFlush.Inc()
 	}
 	ans, err := sess.sess.Ask(ctx, req.Question)
 	if err != nil {
@@ -759,7 +813,14 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
-	s.writeAnswer(w, tr, ans)
+	body, err := s.renderAnswer(tr, ans)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	// Acknowledged and journaled: fan the turn out to /events subscribers.
+	s.publishAnswer(sess.id, nil, ans, body)
+	writeBody(w, body)
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -837,7 +898,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "journal: "+err.Error())
 		return
 	}
-	s.writeAnswer(w, tr, ans)
+	body, err := s.renderAnswer(tr, ans)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	// The feedback event (mirroring the journaled record) precedes the
+	// corrected turn's answer events in the same atomic batch.
+	fb := feedbackPayload(req.Text, req.Highlight, hlStart)
+	s.publishAnswer(sess.id, &fb, ans, body)
+	writeBody(w, body)
 }
 
 type historyTurn struct {
@@ -898,18 +968,12 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// writeAnswer sends an Assistant answer, rendering each distinct Answer to
-// JSON exactly once: the bytes are cached on the (immutable) Answer, so
-// every later request served by the same memoized Answer — a thundering
-// herd of sessions asking the same question — skips the row rendering and
-// encoding entirely. The hit/miss counters and render span are no-ops when
-// metrics are disabled.
-func (s *Server) writeAnswer(w http.ResponseWriter, tr *obs.Trace, ans *assistant.Answer) {
-	body, err := s.renderAnswer(tr, ans)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
-		return
-	}
+// writeBody sends a pre-rendered JSON body (renderAnswer's output). Each
+// distinct Answer renders to JSON exactly once: the bytes are cached on the
+// (immutable) Answer, so every later request served by the same memoized
+// Answer — a thundering herd of sessions asking the same question — skips
+// the row rendering and encoding entirely.
+func writeBody(w http.ResponseWriter, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	_, _ = w.Write(body)

@@ -38,6 +38,8 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"fisql/internal/assistant"
 	"fisql/internal/engine"
@@ -57,7 +59,9 @@ func wantsSSE(r *http.Request) bool {
 }
 
 // containsToken reports whether the comma-separated header value lists the
-// media type (parameters after ';' ignored).
+// media type (parameters after ';' ignored). The comparison folds ASCII
+// case: RFC 9110 media types are case-insensitive, so "Text/Event-Stream"
+// must opt in exactly as "text/event-stream" does.
 func containsToken(header, token string) bool {
 	for len(header) > 0 {
 		item := header
@@ -69,7 +73,7 @@ func containsToken(header, token string) bool {
 		if i := indexByte(item, ';'); i >= 0 {
 			item = item[:i]
 		}
-		if trimSpaces(item) == token {
+		if strings.EqualFold(trimSpaces(item), token) {
 			return true
 		}
 	}
@@ -121,16 +125,30 @@ type sseStream struct {
 	f http.Flusher
 
 	started bool // response headers committed
-	failed  bool // a write failed (client gone); suppress further writes
+	// failed and errored both end the stream, for opposite reasons. failed
+	// means a write error: the client is gone, nothing further can be
+	// delivered, so every later write is suppressed silently. errored means
+	// an encoding bug: the client is still listening, so it was sent a
+	// terminal "error" event and must not receive further events after it —
+	// a truncated stream that announces itself, never one that looks
+	// well-formed.
+	failed  bool
+	errored bool
 	sentSQL bool
 	sentExp bool
 	sentRes bool
 }
 
-// event frames and flushes one SSE event. data must be newline-free (every
-// caller passes a single-line JSON encoding).
-func (st *sseStream) event(name string, data []byte) {
-	if st.failed {
+// dead reports that the stream can emit no more events.
+func (st *sseStream) dead() bool { return st.failed || st.errored }
+
+// event frames and flushes one SSE event, with seq as the SSE id line when
+// non-zero (eventID). data must be newline-free (every caller passes a
+// single-line JSON encoding).
+func (st *sseStream) event(name string, data []byte) { st.eventID(name, data, 0) }
+
+func (st *sseStream) eventID(name string, data []byte, seq uint64) {
+	if st.dead() {
 		return
 	}
 	if !st.started {
@@ -142,6 +160,11 @@ func (st *sseStream) event(name string, data []byte) {
 	}
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
+	if seq > 0 {
+		buf.WriteString("id: ")
+		buf.WriteString(strconv.FormatUint(seq, 10))
+		buf.WriteByte('\n')
+	}
 	buf.WriteString("event: ")
 	buf.WriteString(name)
 	buf.WriteString("\ndata: ")
@@ -157,14 +180,27 @@ func (st *sseStream) event(name string, data []byte) {
 }
 
 // jsonEvent marshals v and emits it. Marshal of these fixed shapes cannot
-// fail; a failure would only ever surface as a dropped event.
+// fail in practice — but if it ever does, that is an encoding bug, not a
+// client disconnect: the client gets a terminal error event (and nothing
+// after it) instead of a silently truncated stream.
 func (st *sseStream) jsonEvent(name string, v any) {
+	if st.dead() {
+		return
+	}
 	data, err := json.Marshal(v)
 	if err != nil {
-		st.failed = true
+		st.event("error", mustErrorJSON("encode "+name+" event: "+err.Error()))
+		st.errored = true
 		return
 	}
 	st.event(name, data)
+}
+
+// mustErrorJSON renders {"error": msg}; a map[string]string cannot fail to
+// marshal.
+func mustErrorJSON(msg string) []byte {
+	data, _ := json.Marshal(map[string]string{"error": msg})
+	return data
 }
 
 // OnSQL implements assistant.Stream.
@@ -220,15 +256,13 @@ func (st *sseStream) synthesize(ans *assistant.Answer) {
 }
 
 // streamAsk is handleAsk's streaming tail: the caller has validated the
-// request, acquired admission and the session lock, and built the traced
-// context. The ask is journaled at the same point as the non-streaming
-// path.
-func (s *Server) streamAsk(ctx context.Context, w http.ResponseWriter, tr *obs.Trace,
-	sess *session, question string) {
-	st := &sseStream{w: w}
-	if f, ok := w.(http.Flusher); ok {
-		st.f = f
-	}
+// request, verified the connection can actually stream (fl is the real
+// Flusher behind w — see flusherOf), acquired admission and the session
+// lock, and built the traced context. The ask is journaled at the same
+// point as the non-streaming path.
+func (s *Server) streamAsk(ctx context.Context, w http.ResponseWriter, fl http.Flusher,
+	tr *obs.Trace, sess *session, question string) {
+	st := &sseStream{w: w, f: fl}
 	// Commit the stream before the pipeline runs: from here every outcome —
 	// including failure — is delivered as events, so the client always
 	// parses one well-formed stream.
@@ -252,10 +286,16 @@ func (s *Server) streamAsk(ctx context.Context, w http.ResponseWriter, tr *obs.T
 		st.fail(http.StatusInternalServerError, "encode response: "+err.Error())
 		return
 	}
+	// Acknowledged: fan the turn out to /events subscribers as one atomic
+	// batch. The private stream's stage events above were live
+	// (pre-acknowledgment, so they carry no sequence number); the done event
+	// carries the turn's fanout sequence number, letting this client hand
+	// off to a resumable /events subscription without a gap.
+	seq := s.publishAnswer(sess.id, nil, ans, body)
 	st.synthesize(ans)
 	// The rendered body is "{...}\n"; SSE data cannot frame the trailing
 	// newline, so done carries the line itself — append '\n' to recover the
 	// exact non-streamed body.
-	st.event("done", body[:len(body)-1])
+	st.eventID("done", body[:len(body)-1], seq)
 	s.sseStreams.Inc()
 }

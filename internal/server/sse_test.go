@@ -16,25 +16,31 @@ import (
 )
 
 type sseEvent struct {
+	id   string // empty when the frame carries no id line
 	name string
 	data string
 }
 
 // parseSSE splits a complete event-stream body into events, requiring the
-// exact single-data-line framing the server promises.
+// exact framing the server promises: an optional id line, one event line,
+// one data line.
 func parseSSE(t *testing.T, body []byte) []sseEvent {
 	t.Helper()
 	var events []sseEvent
 	for _, frame := range strings.Split(strings.TrimSuffix(string(body), "\n\n"), "\n\n") {
 		lines := strings.Split(frame, "\n")
+		var ev sseEvent
+		if len(lines) == 3 && strings.HasPrefix(lines[0], "id: ") {
+			ev.id = strings.TrimPrefix(lines[0], "id: ")
+			lines = lines[1:]
+		}
 		if len(lines) != 2 || !strings.HasPrefix(lines[0], "event: ") ||
 			!strings.HasPrefix(lines[1], "data: ") {
 			t.Fatalf("malformed SSE frame %q", frame)
 		}
-		events = append(events, sseEvent{
-			name: strings.TrimPrefix(lines[0], "event: "),
-			data: strings.TrimPrefix(lines[1], "data: "),
-		})
+		ev.name = strings.TrimPrefix(lines[0], "event: ")
+		ev.data = strings.TrimPrefix(lines[1], "data: ")
+		events = append(events, ev)
 	}
 	return events
 }
